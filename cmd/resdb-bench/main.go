@@ -1,0 +1,80 @@
+// Command resdb-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	resdb-bench -list
+//	resdb-bench -experiment fig10
+//	resdb-bench -experiment all -scale paper -out results.txt
+//
+// Scale "small" (default) shrinks populations so the full suite finishes
+// in minutes; "paper" uses the paper's populations (80K clients).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"resilientdb/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list experiments and exit")
+	experiment := flag.String("experiment", "all", "experiment id (e.g. fig10) or 'all'")
+	scaleName := flag.String("scale", "small", "small | paper")
+	outPath := flag.String("out", "", "also write results to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-14s %s\n               paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return 0
+	}
+
+	scale := bench.ScaleSmall
+	switch *scaleName {
+	case "small":
+	case "paper":
+		scale = bench.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small|paper)\n", *scaleName)
+		return 2
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var targets []bench.Experiment
+	if *experiment == "all" {
+		targets = bench.All()
+	} else {
+		e, ok := bench.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *experiment)
+			return 2
+		}
+		targets = []bench.Experiment{e}
+	}
+
+	for _, e := range targets {
+		if _, err := bench.RunAndRender(e, scale, w); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+// Command resdb-client drives load against a TCP deployment of
+// resdb-node replicas: it runs many closed-loop clients, each submitting
+// YCSB write transactions and waiting for the protocol's response quorum,
+// then reports throughput and latency.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"resilientdb/internal/cluster"
+	clientengine "resilientdb/internal/consensus/client"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/stats"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	n := flag.Int("n", 4, "number of replicas")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses, index = id")
+	protoName := flag.String("protocol", "pbft", "pbft | zyzzyva")
+	clients := flag.Int("clients", 16, "number of closed-loop clients")
+	burst := flag.Int("burst", 1, "transactions per request")
+	duration := flag.Duration("duration", 10*time.Second, "run duration")
+	timeout := flag.Duration("timeout", 500*time.Millisecond, "client retransmission timeout")
+	seed := flag.Int64("seed", 1, "shared key-derivation seed (must match nodes)")
+	flag.Parse()
+
+	proto := clientengine.PBFT
+	if *protoName == "zyzzyva" {
+		proto = clientengine.Zyzzyva
+	} else if *protoName != "pbft" {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
+		return 2
+	}
+
+	addrList := strings.Split(*replicas, ",")
+	if len(addrList) != *n {
+		fmt.Fprintf(os.Stderr, "-replicas must list exactly %d addresses\n", *n)
+		return 2
+	}
+	addrs := make(map[types.NodeID]string, *n)
+	for i, a := range addrList {
+		addrs[types.ReplicaNode(types.ReplicaID(i))] = strings.TrimSpace(a)
+	}
+
+	var seedBytes [32]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(*seed >> (8 * i))
+	}
+	dir, err := crypto.NewDirectory(crypto.Recommended(), seedBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	cls := make([]*cluster.Client, *clients)
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wl, err := workload.New(workload.Default(), int64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		ep, err := transport.NewTCP(types.ClientNode(types.ClientID(i)), "127.0.0.1:0", addrs, 1, 1<<10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer ep.Close()
+		for node := range addrs {
+			if err := ep.Hello(node); err != nil {
+				fmt.Fprintf(os.Stderr, "cannot reach %v: %v\n", node, err)
+				return 1
+			}
+		}
+		cl, err := cluster.NewClient(cluster.ClientConfig{
+			ID:        types.ClientID(i),
+			N:         *n,
+			Protocol:  proto,
+			Burst:     *burst,
+			Timeout:   *timeout,
+			Directory: dir,
+			Endpoint:  ep,
+			Workload:  wl,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cls[i] = cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Run(ctx)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var txns, fast, slow, retx uint64
+	var latSum time.Duration
+	var latN uint64
+	var p99 time.Duration
+	for _, cl := range cls {
+		s := cl.Stats()
+		txns += s.TxnsCompleted
+		fast += s.FastPath
+		slow += s.SlowPath
+		retx += s.Retransmits
+		h := cl.Latency()
+		latSum += time.Duration(uint64(h.Mean()) * h.Count())
+		latN += h.Count()
+		if v := h.Percentile(99); v > p99 {
+			p99 = v
+		}
+	}
+	mean := time.Duration(0)
+	if latN > 0 {
+		mean = latSum / time.Duration(latN)
+	}
+	fmt.Printf("txns=%d tput=%.0f txn/s mean=%s p99=%s fast=%d slow=%d retx=%d\n",
+		txns, stats.Throughput(txns, elapsed), mean, p99, fast, slow, retx)
+	return 0
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Paper == "" || all[i].Title == "" {
+			t.Fatalf("experiment %s missing documentation", id)
+		}
+	}
+	if _, ok := ByID("fig10"); !ok {
+		t.Fatal("ByID failed for fig10")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID matched a bogus id")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Columns: []string{"a", "long-column"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "long-column", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShapeFig14Storage is the fastest full-experiment shape check:
+// off-memory storage must collapse throughput and inflate latency.
+func TestShapeFig14Storage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := fig14(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics["storage_drop_pct"] < 50 {
+		t.Fatalf("storage drop = %.1f%%, want ≥50%%", out.Metrics["storage_drop_pct"])
+	}
+	if out.Metrics["storage_latency_x"] < 2 {
+		t.Fatalf("storage latency factor = %.1fx, want ≥2x", out.Metrics["storage_latency_x"])
+	}
+}
+
+func TestShapeFig16Cores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := fig16(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics["core_scaling_x"] < 3 {
+		t.Fatalf("core scaling = %.1fx, want ≥3x", out.Metrics["core_scaling_x"])
+	}
+}
+
+func TestRunAndRenderProducesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	e, ok := ByID("ablation-exec")
+	if !ok {
+		t.Fatal("missing experiment")
+	}
+	var buf bytes.Buffer
+	out, err := RunAndRender(e, ScaleSmall, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) == 0 || buf.Len() == 0 {
+		t.Fatal("no output produced")
+	}
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Fatalf("output missing table title:\n%s", buf.String())
+	}
+}

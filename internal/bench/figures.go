@@ -1,0 +1,480 @@
+package bench
+
+import (
+	"fmt"
+
+	"resilientdb/internal/sim"
+)
+
+// base returns the paper's standard configuration (Section 5.1): 16
+// replicas, 8 cores, batch 100, 2 batch-threads, 1 execute-thread,
+// CMAC+ED25519, in-memory storage, checkpoints every 100 batches.
+func base(scale Scale) sim.Config {
+	w, m := scale.windows()
+	return sim.Config{
+		Protocol: sim.PBFT,
+		Replicas: 16,
+		Clients:  scale.clients(80_000),
+		Warmup:   w,
+		Measure:  m,
+	}
+}
+
+func run(cfg sim.Config) (sim.Result, error) { return sim.Run(cfg) }
+
+// fig1 reproduces the headline Figure 1: ResilientDB running three-phase
+// PBFT on the full pipeline versus single-phase Zyzzyva on a
+// protocol-centric (monolithic, 0B 0E) design, 80K clients.
+func fig1(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{
+		Title:   "Figure 1: throughput vs replicas (80K clients)",
+		Columns: []string{"replicas", "ResilientDB-PBFT", "Zyzzyva(protocol-centric)", "PBFT advantage"},
+	}
+	for _, n := range []int{4, 8, 16, 32} {
+		pCfg := base(scale)
+		pCfg.Replicas = n
+		pRes, err := run(pCfg)
+		if err != nil {
+			return out, err
+		}
+		zCfg := base(scale)
+		zCfg.Replicas = n
+		zCfg.Protocol = sim.Zyzzyva
+		zCfg.BatchThreads = -1
+		zCfg.ExecuteThreads = -1
+		zRes, err := run(zCfg)
+		if err != nil {
+			return out, err
+		}
+		adv := (pRes.ThroughputTxns/zRes.ThroughputTxns - 1) * 100
+		t.AddRow(fmt.Sprintf("%d", n), ktps(pRes.ThroughputTxns), ktps(zRes.ThroughputTxns),
+			fmt.Sprintf("+%.0f%%", adv))
+		out.Metrics[fmt.Sprintf("pbft_n%d_tps", n)] = pRes.ThroughputTxns
+		out.Metrics[fmt.Sprintf("zyz_pc_n%d_tps", n)] = zRes.ThroughputTxns
+		if n == 16 {
+			out.Metrics["advantage_pct_n16"] = adv
+		}
+	}
+	out.Tables = append(out.Tables, t)
+	return out, nil
+}
+
+// fig7 reproduces Figure 7: the no-consensus ceiling, No-Execution vs
+// Execution, as the client population grows.
+func fig7(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	tput := Table{Title: "Figure 7a: upper-bound throughput", Columns: []string{"clients", "No-Execution", "Execution"}}
+	lat := Table{Title: "Figure 7b: upper-bound latency", Columns: []string{"clients", "No-Execution", "Execution"}}
+	for _, clients := range []int{4000, 16_000, 32_000, 64_000, 80_000} {
+		c := scale.clients(clients)
+		noCfg := base(scale)
+		noCfg.Replicas = 1
+		noCfg.Clients = c
+		noCfg.Scheme = sim.SchemeNone
+		noCfg.UpperBound = sim.UpperBoundNoExec
+		noRes, err := run(noCfg)
+		if err != nil {
+			return out, err
+		}
+		exCfg := noCfg
+		exCfg.UpperBound = sim.UpperBoundExec
+		exRes, err := run(exCfg)
+		if err != nil {
+			return out, err
+		}
+		tput.AddRow(fmt.Sprintf("%d", c), ktps(noRes.ThroughputTxns), ktps(exRes.ThroughputTxns))
+		lat.AddRow(fmt.Sprintf("%d", c), ms(noRes.MeanLatency), ms(exRes.MeanLatency))
+		out.Metrics[fmt.Sprintf("noexec_c%d_tps", c)] = noRes.ThroughputTxns
+		out.Metrics[fmt.Sprintf("exec_c%d_tps", c)] = exRes.ThroughputTxns
+	}
+	out.Tables = append(out.Tables, tput, lat)
+	return out, nil
+}
+
+// threadConfigs are the Section 5.2 pipeline configurations.
+var threadConfigs = []struct {
+	name string
+	b, e int
+}{
+	{"0B0E", -1, -1},
+	{"0B1E", -1, 1},
+	{"1B1E", 1, 1},
+	{"2B1E", 2, 1},
+}
+
+// fig8 reproduces Figure 8: throughput and latency vs replicas for every
+// thread configuration, PBFT and Zyzzyva.
+func fig8(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	tput := Table{Title: "Figure 8a: throughput (txn/s)", Columns: []string{"config", "n=4", "n=8", "n=16", "n=32"}}
+	lat := Table{Title: "Figure 8b: latency", Columns: []string{"config", "n=4", "n=8", "n=16", "n=32"}}
+	replicaCounts := []int{4, 8, 16, 32}
+	for _, proto := range []sim.Protocol{sim.PBFT, sim.Zyzzyva} {
+		for _, tc := range threadConfigs {
+			tputRow := []string{fmt.Sprintf("%s %s", proto, tc.name)}
+			latRow := []string{fmt.Sprintf("%s %s", proto, tc.name)}
+			for _, n := range replicaCounts {
+				cfg := base(scale)
+				cfg.Protocol = proto
+				cfg.Replicas = n
+				cfg.BatchThreads = tc.b
+				cfg.ExecuteThreads = tc.e
+				res, err := run(cfg)
+				if err != nil {
+					return out, err
+				}
+				tputRow = append(tputRow, ktps(res.ThroughputTxns))
+				latRow = append(latRow, ms(res.MeanLatency))
+				out.Metrics[fmt.Sprintf("%s_%s_n%d_tps", proto, tc.name, n)] = res.ThroughputTxns
+			}
+			tput.Rows = append(tput.Rows, tputRow)
+			lat.Rows = append(lat.Rows, latRow)
+		}
+	}
+	out.Tables = append(out.Tables, tput, lat)
+	if p, z := out.Metrics["pbft_2B1E_n16_tps"], out.Metrics["pbft_0B0E_n16_tps"]; z > 0 {
+		out.Metrics["pbft_pipeline_gain_x"] = p / z
+	}
+	if p, z := out.Metrics["zyzzyva_2B1E_n16_tps"], out.Metrics["zyzzyva_0B0E_n16_tps"]; z > 0 {
+		out.Metrics["zyz_pipeline_gain_x"] = p / z
+	}
+	return out, nil
+}
+
+// fig9 reproduces Figure 9: per-thread saturation at the primary and one
+// backup for each configuration at 16 replicas.
+func fig9(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	prim := Table{
+		Title:   "Figure 9a: saturation at the primary (%)",
+		Columns: []string{"config", "cumulative", "worker", "execute", "batch-1", "batch-2"},
+	}
+	back := Table{
+		Title:   "Figure 9b: saturation at a backup (%)",
+		Columns: []string{"config", "cumulative", "worker", "execute"},
+	}
+	for _, proto := range []sim.Protocol{sim.PBFT, sim.Zyzzyva} {
+		for _, tc := range threadConfigs {
+			cfg := base(scale)
+			cfg.Protocol = proto
+			cfg.BatchThreads = tc.b
+			cfg.ExecuteThreads = tc.e
+			res, err := run(cfg)
+			if err != nil {
+				return out, err
+			}
+			name := fmt.Sprintf("%s %s", proto, tc.name)
+			ps := res.PrimarySaturation
+			bs := res.BackupSaturation
+			prim.AddRow(name,
+				fmt.Sprintf("%.0f", res.CumulativePrimary()),
+				pct(ps["worker"]), pct(ps["execute"]), pct(ps["batch-1"]), pct(ps["batch-2"]))
+			back.AddRow(name,
+				fmt.Sprintf("%.0f", res.CumulativeBackup()),
+				pct(bs["worker"]), pct(bs["execute"]))
+			out.Metrics[fmt.Sprintf("%s_%s_primary_worker_sat", proto, tc.name)] = ps["worker"]
+			out.Metrics[fmt.Sprintf("%s_%s_primary_batch1_sat", proto, tc.name)] = ps["batch-1"]
+			out.Metrics[fmt.Sprintf("%s_%s_backup_worker_sat", proto, tc.name)] = bs["worker"]
+		}
+	}
+	out.Tables = append(out.Tables, prim, back)
+	return out, nil
+}
+
+// fig10 reproduces Figure 10: throughput and latency vs batch size at 16
+// replicas.
+func fig10(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 10: batching (16 replicas)", Columns: []string{"batch size", "throughput", "latency"}}
+	var first, peak float64
+	for _, bs := range []int{1, 10, 100, 500, 1000, 3000, 5000} {
+		cfg := base(scale)
+		cfg.BatchSize = bs
+		if bs > cfg.Clients/2 {
+			// A closed-loop population of k clients can never fill a batch
+			// of more than k transactions; skip sizes the (scaled-down)
+			// population cannot sustain.
+			t.AddRow(fmt.Sprintf("%d", bs), "n/a (exceeds client population)", "-")
+			continue
+		}
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		t.AddRow(fmt.Sprintf("%d", bs), ktps(res.ThroughputTxns), ms(res.MeanLatency))
+		out.Metrics[fmt.Sprintf("batch%d_tps", bs)] = res.ThroughputTxns
+		if bs == 1 {
+			first = res.ThroughputTxns
+		}
+		if res.ThroughputTxns > peak {
+			peak = res.ThroughputTxns
+		}
+	}
+	if first > 0 {
+		out.Metrics["batching_gain_x"] = peak / first
+	}
+	out.Tables = append(out.Tables, t)
+	return out, nil
+}
+
+// fig11 reproduces Figure 11: multi-operation transactions across
+// batch-thread counts.
+func fig11(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	tput := Table{Title: "Figure 11a: throughput (txn/s) vs ops/txn", Columns: []string{"ops/txn", "2B", "3B", "4B", "5B"}}
+	lat := Table{Title: "Figure 11b: latency vs ops/txn", Columns: []string{"ops/txn", "2B", "3B", "4B", "5B"}}
+	ops := Table{Title: "Figure 11 (alt): operations/s vs ops/txn (2B)", Columns: []string{"ops/txn", "ops/s"}}
+	for _, nops := range []int{1, 10, 30, 50} {
+		tputRow := []string{fmt.Sprintf("%d", nops)}
+		latRow := []string{fmt.Sprintf("%d", nops)}
+		for _, b := range []int{2, 3, 4, 5} {
+			cfg := base(scale)
+			cfg.OpsPerTxn = nops
+			cfg.BatchThreads = b
+			res, err := run(cfg)
+			if err != nil {
+				return out, err
+			}
+			tputRow = append(tputRow, ktps(res.ThroughputTxns))
+			latRow = append(latRow, ms(res.MeanLatency))
+			out.Metrics[fmt.Sprintf("ops%d_%dB_tps", nops, b)] = res.ThroughputTxns
+			if b == 2 {
+				ops.AddRow(fmt.Sprintf("%d", nops), ktps(res.ThroughputOps))
+				out.Metrics[fmt.Sprintf("ops%d_2B_opss", nops)] = res.ThroughputOps
+			}
+		}
+		tput.Rows = append(tput.Rows, tputRow)
+		lat.Rows = append(lat.Rows, latRow)
+	}
+	out.Tables = append(out.Tables, tput, lat, ops)
+	return out, nil
+}
+
+// fig12 reproduces Figure 12: growing the pre-prepare message towards
+// 64KB until the network binds.
+func fig12(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 12: message size (16 replicas)", Columns: []string{"pre-prepare", "throughput", "latency"}}
+	for _, payload := range []int{80, 160, 320, 640} {
+		cfg := base(scale)
+		cfg.PayloadSize = payload
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		label := fmt.Sprintf("~%dKB", (payload+160)*100/1024)
+		t.AddRow(label, ktps(res.ThroughputTxns), ms(res.MeanLatency))
+		out.Metrics[fmt.Sprintf("payload%d_tps", payload)] = res.ThroughputTxns
+		out.Metrics[fmt.Sprintf("payload%d_lat_ms", payload)] = res.MeanLatency.Seconds() * 1000
+	}
+	out.Tables = append(out.Tables, t)
+	if a, b := out.Metrics["payload80_tps"], out.Metrics["payload640_tps"]; a > 0 {
+		out.Metrics["size_tput_drop_pct"] = (1 - b/a) * 100
+	}
+	out.Tables[0].Title = "Figure 12: message size (16 replicas)"
+	return out, nil
+}
+
+// fig13 reproduces Figure 13: the four signature configurations.
+func fig13(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 13: signature schemes (16 replicas)", Columns: []string{"scheme", "throughput", "latency"}}
+	for _, s := range []sim.Scheme{sim.SchemeNone, sim.SchemeED25519, sim.SchemeRSA, sim.SchemeCMAC} {
+		cfg := base(scale)
+		cfg.Scheme = s
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		t.AddRow(s.String(), ktps(res.ThroughputTxns), ms(res.MeanLatency))
+		out.Metrics[s.String()+"_tps"] = res.ThroughputTxns
+		out.Metrics[s.String()+"_lat_ms"] = res.MeanLatency.Seconds() * 1000
+	}
+	out.Tables = append(out.Tables, t)
+	if n, c := out.Metrics["nosig_tps"], out.Metrics["cmac+ed25519_tps"]; n > 0 {
+		out.Metrics["crypto_cost_pct"] = (1 - c/n) * 100
+	}
+	if r, c := out.Metrics["rsa_lat_ms"], out.Metrics["cmac+ed25519_lat_ms"]; c > 0 {
+		out.Metrics["rsa_latency_x"] = r / c
+	}
+	if r, c := out.Metrics["rsa_tps"], out.Metrics["cmac+ed25519_tps"]; r > 0 {
+		out.Metrics["scheme_gain_x"] = c / r
+	}
+	return out, nil
+}
+
+// fig14 reproduces Figure 14: in-memory vs off-memory storage.
+func fig14(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 14: storage (16 replicas)", Columns: []string{"storage", "throughput", "latency"}}
+	for _, st := range []sim.Storage{sim.StorageMem, sim.StorageDisk} {
+		cfg := base(scale)
+		cfg.Storage = st
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		name := "in-memory"
+		key := "mem"
+		if st == sim.StorageDisk {
+			name = "off-memory"
+			key = "disk"
+		}
+		t.AddRow(name, ktps(res.ThroughputTxns), ms(res.MeanLatency))
+		out.Metrics[key+"_tps"] = res.ThroughputTxns
+		out.Metrics[key+"_lat_ms"] = res.MeanLatency.Seconds() * 1000
+	}
+	out.Tables = append(out.Tables, t)
+	if m, d := out.Metrics["mem_tps"], out.Metrics["disk_tps"]; m > 0 {
+		out.Metrics["storage_drop_pct"] = (1 - d/m) * 100
+	}
+	if m, d := out.Metrics["mem_lat_ms"], out.Metrics["disk_lat_ms"]; m > 0 {
+		out.Metrics["storage_latency_x"] = d / m
+	}
+	return out, nil
+}
+
+// fig15 reproduces Figure 15: the client sweep.
+func fig15(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 15: clients (16 replicas)", Columns: []string{"clients", "throughput", "latency"}}
+	for _, c := range []int{4000, 8000, 16_000, 32_000, 64_000, 80_000} {
+		cfg := base(scale)
+		cfg.Clients = scale.clients(c)
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		t.AddRow(fmt.Sprintf("%d", cfg.Clients), ktps(res.ThroughputTxns), ms(res.MeanLatency))
+		out.Metrics[fmt.Sprintf("clients%d_tps", c)] = res.ThroughputTxns
+		out.Metrics[fmt.Sprintf("clients%d_lat_ms", c)] = res.MeanLatency.Seconds() * 1000
+	}
+	out.Tables = append(out.Tables, t)
+	if a, b := out.Metrics["clients16000_lat_ms"], out.Metrics["clients80000_lat_ms"]; a > 0 {
+		out.Metrics["latency_growth_x"] = b / a
+	}
+	return out, nil
+}
+
+// fig16 reproduces Figure 16: cores per replica.
+func fig16(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 16: hardware cores (16 replicas)", Columns: []string{"cores", "throughput", "latency"}}
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := base(scale)
+		cfg.Cores = cores
+		res, err := run(cfg)
+		if err != nil {
+			return out, err
+		}
+		t.AddRow(fmt.Sprintf("%d", cores), ktps(res.ThroughputTxns), ms(res.MeanLatency))
+		out.Metrics[fmt.Sprintf("cores%d_tps", cores)] = res.ThroughputTxns
+	}
+	out.Tables = append(out.Tables, t)
+	if c1, c8 := out.Metrics["cores1_tps"], out.Metrics["cores8_tps"]; c1 > 0 {
+		out.Metrics["core_scaling_x"] = c8 / c1
+	}
+	return out, nil
+}
+
+// fig17 reproduces Figure 17: crashed backups. Zyzzyva clients wait a
+// conservative timeout before the commit-certificate phase (the paper
+// "approximates by requiring clients to wait for only a little time"; the
+// collapse factor scales directly with that wait).
+func fig17(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Figure 17: replica failures (16 replicas)", Columns: []string{"failures", "PBFT", "Zyzzyva"}}
+	for _, fail := range []int{0, 1, 5} {
+		pCfg := base(scale)
+		pCfg.Clients = scale.clients(16_000)
+		pCfg.FailedBackups = fail
+		pRes, err := run(pCfg)
+		if err != nil {
+			return out, err
+		}
+		zCfg := pCfg
+		zCfg.Protocol = sim.Zyzzyva
+		if fail > 0 {
+			zCfg.ClientTimeout = 1 * sim.Second
+			zCfg.Warmup = 1200 * sim.Millisecond
+			zCfg.Measure = 1000 * sim.Millisecond
+			if scale == ScaleSmall {
+				zCfg.ClientTimeout = 300 * sim.Millisecond
+				zCfg.Warmup = 400 * sim.Millisecond
+				zCfg.Measure = 300 * sim.Millisecond
+			}
+		}
+		zRes, err := run(zCfg)
+		if err != nil {
+			return out, err
+		}
+		t.AddRow(fmt.Sprintf("%d", fail), ktps(pRes.ThroughputTxns), ktps(zRes.ThroughputTxns))
+		out.Metrics[fmt.Sprintf("pbft_f%d_tps", fail)] = pRes.ThroughputTxns
+		out.Metrics[fmt.Sprintf("zyz_f%d_tps", fail)] = zRes.ThroughputTxns
+	}
+	out.Tables = append(out.Tables, t)
+	if ok, bad := out.Metrics["zyz_f0_tps"], out.Metrics["zyz_f1_tps"]; bad > 0 {
+		out.Metrics["zyz_collapse_x"] = ok / bad
+	}
+	if ok, bad := out.Metrics["pbft_f0_tps"], out.Metrics["pbft_f5_tps"]; bad > 0 {
+		out.Metrics["pbft_f5_ratio"] = ok / bad
+	}
+	return out, nil
+}
+
+// ablationOOO measures Section 4.5's out-of-order processing claim.
+func ablationOOO(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Ablation: out-of-order consensus (16 replicas)", Columns: []string{"mode", "throughput", "latency"}}
+	ooo, err := run(base(scale))
+	if err != nil {
+		return out, err
+	}
+	seqCfg := base(scale)
+	seqCfg.DisableOutOfOrder = true
+	seq, err := run(seqCfg)
+	if err != nil {
+		return out, err
+	}
+	t.AddRow("out-of-order", ktps(ooo.ThroughputTxns), ms(ooo.MeanLatency))
+	t.AddRow("sequential", ktps(seq.ThroughputTxns), ms(seq.MeanLatency))
+	out.Metrics["ooo_tps"] = ooo.ThroughputTxns
+	out.Metrics["seq_tps"] = seq.ThroughputTxns
+	if seq.ThroughputTxns > 0 {
+		out.Metrics["ooo_gain_pct"] = (ooo.ThroughputTxns/seq.ThroughputTxns - 1) * 100
+	}
+	out.Tables = append(out.Tables, t)
+	return out, nil
+}
+
+// ablationExec measures the Section 3 decoupled-execution claim: with no
+// batch-threads in the way (0B), giving execution its own thread (0B0E →
+// 0B1E) unburdens the worker — the intro's "+9.5%" bullet.
+func ablationExec(scale Scale) (Outcome, error) {
+	out := Outcome{Metrics: map[string]float64{}}
+	t := Table{Title: "Ablation: decoupled execution (16 replicas, 0B)", Columns: []string{"mode", "throughput", "latency"}}
+	oneCfg := base(scale)
+	oneCfg.BatchThreads = -1
+	oneCfg.ExecuteThreads = 1
+	one, err := run(oneCfg)
+	if err != nil {
+		return out, err
+	}
+	zeroCfg := base(scale)
+	zeroCfg.BatchThreads = -1
+	zeroCfg.ExecuteThreads = -1
+	zero, err := run(zeroCfg)
+	if err != nil {
+		return out, err
+	}
+	t.AddRow("1E (decoupled)", ktps(one.ThroughputTxns), ms(one.MeanLatency))
+	t.AddRow("0E (worker executes)", ktps(zero.ThroughputTxns), ms(zero.MeanLatency))
+	out.Metrics["exec1_tps"] = one.ThroughputTxns
+	out.Metrics["exec0_tps"] = zero.ThroughputTxns
+	if zero.ThroughputTxns > 0 {
+		out.Metrics["decouple_gain_pct"] = (one.ThroughputTxns/zero.ThroughputTxns - 1) * 100
+	}
+	out.Tables = append(out.Tables, t)
+	return out, nil
+}

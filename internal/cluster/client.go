@@ -1,0 +1,188 @@
+// Package cluster wires replicas and clients into a runnable deployment:
+// the single-process test-bed used by the examples, the integration tests,
+// and the real-runtime experiments. It also provides the client runtime —
+// the load generator of Section 5.1, where up to 80K closed-loop clients
+// submit YCSB transactions and wait for response quorums.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilientdb/internal/consensus"
+	clientengine "resilientdb/internal/consensus/client"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/stats"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// ClientConfig parameterizes one load-generating client.
+type ClientConfig struct {
+	// ID identifies the client; N is the replica count.
+	ID types.ClientID
+	N  int
+	// Protocol selects the quorum rules (PBFT or Zyzzyva).
+	Protocol clientengine.Protocol
+	// Burst is the number of transactions per request (client-side
+	// batching, Section 4.2).
+	Burst int
+	// Timeout is the retransmission / slow-path trigger delay. The paper
+	// keeps it short for Zyzzyva failure experiments (Section 5.10).
+	Timeout time.Duration
+	// Directory provides key material; Endpoint attaches the network;
+	// Workload generates transactions.
+	Directory *crypto.Directory
+	Endpoint  transport.Endpoint
+	Workload  *workload.Workload
+}
+
+// ClientStats is a snapshot of one client's counters.
+type ClientStats struct {
+	TxnsCompleted uint64
+	Requests      uint64
+	FastPath      uint64
+	SlowPath      uint64
+	Retransmits   uint64
+}
+
+// Client is a closed-loop load generator: it keeps exactly one request in
+// flight and records end-to-end latency per completed request.
+type Client struct {
+	cfg     ClientConfig
+	engine  *clientengine.Engine
+	auth    crypto.Authenticator
+	latency *stats.Histogram
+
+	txns     uint64
+	requests uint64
+}
+
+// NewClient creates a client runtime.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	if cfg.Directory == nil || cfg.Endpoint == nil || cfg.Workload == nil {
+		return nil, fmt.Errorf("cluster: client %d missing directory, endpoint, or workload", cfg.ID)
+	}
+	eng, err := clientengine.New(cfg.ID, cfg.N, cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:     cfg,
+		engine:  eng,
+		auth:    cfg.Directory.NodeAuth(types.ClientNode(cfg.ID)),
+		latency: &stats.Histogram{},
+	}, nil
+}
+
+// Latency exposes the client's latency histogram.
+func (c *Client) Latency() *stats.Histogram { return c.latency }
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	es := c.engine.Stats()
+	return ClientStats{
+		TxnsCompleted: c.txns,
+		Requests:      c.requests,
+		FastPath:      es.FastPath,
+		SlowPath:      es.SlowPath,
+		Retransmits:   es.Retransmits,
+	}
+}
+
+// Run submits requests in a closed loop until ctx is cancelled. It owns
+// the endpoint's inbox; do not call Run concurrently.
+func (c *Client) Run(ctx context.Context) {
+	inbox := c.cfg.Endpoint.Inbox(0)
+	clientSeq := uint64(1)
+	timer := time.NewTimer(c.cfg.Timeout)
+	defer timer.Stop()
+
+	for ctx.Err() == nil {
+		req := c.cfg.Workload.NextRequest(c.cfg.ID, clientSeq, c.cfg.Burst)
+		sig, err := c.auth.Sign(types.ReplicaNode(0), req.SigningBytes())
+		if err != nil {
+			return
+		}
+		req.Sig = sig
+		start := time.Now()
+		c.requests++
+		c.dispatch(c.engine.Submit(req))
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.cfg.Timeout)
+
+	waitResponse:
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case env, ok := <-inbox:
+				if !ok {
+					return
+				}
+				if err := c.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+					continue
+				}
+				msg, err := types.DecodeBody(env.Type, env.Body)
+				if err != nil {
+					continue
+				}
+				outcome, acts := c.engine.OnMessage(env.From, msg)
+				c.dispatch(acts)
+				if outcome != nil {
+					c.latency.Record(time.Since(start))
+					c.txns += uint64(c.cfg.Burst)
+					clientSeq += uint64(c.cfg.Burst)
+					break waitResponse
+				}
+			case <-timer.C:
+				c.dispatch(c.engine.OnTimeout())
+				timer.Reset(c.cfg.Timeout)
+			}
+		}
+	}
+}
+
+// dispatch signs and transmits client engine actions.
+func (c *Client) dispatch(acts []consensus.Action) {
+	self := types.ClientNode(c.cfg.ID)
+	for _, a := range acts {
+		switch act := a.(type) {
+		case consensus.Send:
+			c.transmit(self, act.To, act.Msg)
+		case consensus.Broadcast:
+			for r := 0; r < c.cfg.N; r++ {
+				c.transmit(self, types.ReplicaNode(types.ReplicaID(r)), act.Msg)
+			}
+		}
+	}
+}
+
+func (c *Client) transmit(from, to types.NodeID, msg types.Message) {
+	body := types.MarshalBody(msg)
+	sig, err := c.auth.Sign(to, body)
+	if err != nil {
+		return
+	}
+	_ = c.cfg.Endpoint.Send(&types.Envelope{
+		From: from,
+		To:   to,
+		Type: msg.Type(),
+		Body: body,
+		Auth: sig,
+	})
+}

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	clientengine "resilientdb/internal/consensus/client"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/replica"
+	"resilientdb/internal/stats"
+	"resilientdb/internal/store"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// Options configures a single-process cluster.
+type Options struct {
+	// N is the number of replicas (n ≥ 3f+1); Clients the number of
+	// closed-loop clients.
+	N       int
+	Clients int
+	// Protocol selects PBFT or Zyzzyva for replicas and clients alike.
+	Protocol replica.Protocol
+	// Burst is transactions per client request; BatchSize transactions
+	// per consensus batch.
+	Burst     int
+	BatchSize int
+	// Thread counts; see replica.Config. Defaults follow the paper's
+	// standard configuration: 2 batch-threads, 1 execute-thread,
+	// 2 output-threads, 2 replica input-threads. Pass -1 to request the
+	// folded 0B / 0E configurations explicitly.
+	BatchThreads   int
+	ExecuteThreads int
+	OutputThreads  int
+	ReplicaInboxes int
+	// Crypto selects the signature configuration (default: the paper's
+	// recommended CMAC + ED25519 combination).
+	Crypto crypto.Config
+	// Workload configures the YCSB generator.
+	Workload workload.Config
+	// ClientTimeout is the client retransmission delay; ViewTimeout the
+	// replica progress watchdog (0 disables view changes).
+	ClientTimeout time.Duration
+	ViewTimeout   time.Duration
+	// CheckpointInterval is Δ in batches.
+	CheckpointInterval uint64
+	// LedgerMode selects block linkage.
+	LedgerMode ledger.Mode
+	// DisableOutOfOrder serializes consensus (ablation).
+	DisableOutOfOrder bool
+	// StoreFactory builds each replica's record store; nil means fresh
+	// in-memory stores.
+	StoreFactory func(id types.ReplicaID) (store.Store, error)
+	// Seed makes key material and workloads reproducible.
+	Seed int64
+	// PreloadTable loads the YCSB table into every store before starting.
+	PreloadTable bool
+}
+
+func (o *Options) fill() error {
+	if o.N < 4 {
+		return fmt.Errorf("cluster: need n ≥ 4, got %d", o.N)
+	}
+	if o.Clients < 1 {
+		o.Clients = 4
+	}
+	if o.Protocol == 0 {
+		o.Protocol = replica.PBFT
+	}
+	if o.Burst < 1 {
+		o.Burst = 1
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 100
+	}
+	if o.BatchThreads == 0 {
+		o.BatchThreads = 2
+	}
+	if o.BatchThreads < 0 {
+		o.BatchThreads = 0 // explicit 0B request
+	}
+	if o.ExecuteThreads == 0 {
+		o.ExecuteThreads = 1
+	}
+	if o.ExecuteThreads < 0 {
+		o.ExecuteThreads = 0 // explicit 0E request
+	}
+	if o.OutputThreads == 0 {
+		o.OutputThreads = 2
+	}
+	if o.ReplicaInboxes == 0 {
+		o.ReplicaInboxes = 2
+	}
+	if o.Crypto.ReplicaScheme == 0 {
+		o.Crypto = crypto.Recommended()
+	}
+	if o.Workload.Records == 0 {
+		o.Workload = workload.Default()
+	}
+	if o.ClientTimeout <= 0 {
+		o.ClientTimeout = 500 * time.Millisecond
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 100
+	}
+	return nil
+}
+
+// ExecuteThreadsOne is a helper constant for readability at call sites.
+const ExecuteThreadsOne = 1
+
+// Result summarizes a load run.
+type Result struct {
+	Duration   time.Duration
+	Txns       uint64
+	Throughput float64 // transactions per second (client-side completions)
+	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P99Lat     time.Duration
+	FastPath   uint64
+	SlowPath   uint64
+	Retransmit uint64
+}
+
+// String renders a compact one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("txns=%d tput=%.0f txn/s mean=%s p50=%s p99=%s fast=%d slow=%d retx=%d",
+		r.Txns, r.Throughput, r.MeanLat, r.P50Lat, r.P99Lat, r.FastPath, r.SlowPath, r.Retransmit)
+}
+
+// Cluster is a runnable single-process deployment.
+type Cluster struct {
+	opts     Options
+	net      *transport.Inproc
+	dir      *crypto.Directory
+	replicas []*replica.Replica
+	clients  []*Client
+	clientEP []transport.Endpoint
+}
+
+// New builds a cluster; call Start before Run.
+func New(opts Options) (*Cluster, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	var seed [32]byte
+	seed[0] = byte(opts.Seed)
+	seed[1] = byte(opts.Seed >> 8)
+	seed[2] = byte(opts.Seed >> 16)
+	dir, err := crypto.NewDirectory(opts.Crypto, seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{opts: opts, net: transport.NewInproc(), dir: dir}
+
+	for i := 0; i < opts.N; i++ {
+		id := types.ReplicaID(i)
+		var st store.Store
+		if opts.StoreFactory != nil {
+			st, err = opts.StoreFactory(id)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: store for replica %d: %w", i, err)
+			}
+		} else {
+			st = store.NewMemStore(int(opts.Workload.Records))
+		}
+		if opts.PreloadTable {
+			if err := workload.InitTable(st, opts.Workload); err != nil {
+				return nil, err
+			}
+		}
+		ep := c.net.Endpoint(types.ReplicaNode(id), 1+opts.ReplicaInboxes, 1<<13)
+		rep, err := replica.New(replica.Config{
+			ID:                 id,
+			N:                  opts.N,
+			Protocol:           opts.Protocol,
+			BatchSize:          opts.BatchSize,
+			BatchThreads:       opts.BatchThreads,
+			ExecuteThreads:     opts.ExecuteThreads,
+			OutputThreads:      opts.OutputThreads,
+			ReplicaInboxes:     opts.ReplicaInboxes,
+			CheckpointInterval: opts.CheckpointInterval,
+			LedgerMode:         opts.LedgerMode,
+			Store:              st,
+			Directory:          dir,
+			Endpoint:           ep,
+			VerifyClientSigs:   true,
+			DisableOutOfOrder:  opts.DisableOutOfOrder,
+			ViewTimeout:        opts.ViewTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, rep)
+	}
+
+	proto := clientengine.PBFT
+	if opts.Protocol == replica.Zyzzyva {
+		proto = clientengine.Zyzzyva
+	}
+	for i := 0; i < opts.Clients; i++ {
+		id := types.ClientID(i)
+		wl, err := workload.New(opts.Workload, int64(i)+opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ep := c.net.Endpoint(types.ClientNode(id), 1, 1<<10)
+		cl, err := NewClient(ClientConfig{
+			ID:        id,
+			N:         opts.N,
+			Protocol:  proto,
+			Burst:     opts.Burst,
+			Timeout:   opts.ClientTimeout,
+			Directory: dir,
+			Endpoint:  ep,
+			Workload:  wl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+		c.clientEP = append(c.clientEP, ep)
+	}
+	return c, nil
+}
+
+// Start launches every replica pipeline.
+func (c *Cluster) Start() {
+	for _, r := range c.replicas {
+		r.Start()
+	}
+}
+
+// Replica returns the i-th replica.
+func (c *Cluster) Replica(i int) *replica.Replica { return c.replicas[i] }
+
+// Clients returns the client runtimes.
+func (c *Cluster) Clients() []*Client { return c.clients }
+
+// Crash isolates a replica: all its traffic is silently dropped, exactly
+// like a crashed host (Section 5.10 fails backups this way).
+func (c *Cluster) Crash(i int) {
+	c.net.SetDown(types.ReplicaNode(types.ReplicaID(i)), true)
+}
+
+// Run drives all clients for the given duration and aggregates results.
+// Counters are reported as deltas for this run, so successive Run calls
+// (e.g. before and after a crash) are directly comparable.
+func (c *Cluster) Run(ctx context.Context, d time.Duration) Result {
+	before := make([]ClientStats, len(c.clients))
+	for i, cl := range c.clients {
+		before[i] = cl.Stats()
+	}
+	runCtx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, cl := range c.clients {
+		wg.Add(1)
+		go func(cl *Client) {
+			defer wg.Done()
+			cl.Run(runCtx)
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Duration: elapsed}
+	for i, cl := range c.clients {
+		s := cl.Stats()
+		res.Txns += s.TxnsCompleted - before[i].TxnsCompleted
+		res.FastPath += s.FastPath - before[i].FastPath
+		res.SlowPath += s.SlowPath - before[i].SlowPath
+		res.Retransmit += s.Retransmits - before[i].Retransmits
+	}
+	res.Throughput = stats.Throughput(res.Txns, elapsed)
+	res.MeanLat, res.P50Lat, res.P99Lat = c.aggregateLatency()
+	return res
+}
+
+func (c *Cluster) aggregateLatency() (mean, p50, p99 time.Duration) {
+	var total uint64
+	var weighted uint64
+	maxP50, maxP99 := time.Duration(0), time.Duration(0)
+	for _, cl := range c.clients {
+		h := cl.Latency()
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		total += n
+		weighted += uint64(h.Mean()) * n
+		if v := h.Percentile(50); v > maxP50 {
+			maxP50 = v
+		}
+		if v := h.Percentile(99); v > maxP99 {
+			maxP99 = v
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return time.Duration(weighted / total), maxP50, maxP99
+}
+
+// WaitForHeight blocks until every live replica's ledger reaches height h
+// or the timeout expires; it returns the slowest observed height.
+func (c *Cluster) WaitForHeight(h uint64, timeout time.Duration, live func(int) bool) uint64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		minH := ^uint64(0)
+		for i, r := range c.replicas {
+			if live != nil && !live(i) {
+				continue
+			}
+			if got := r.Ledger().Height(); got < minH {
+				minH = got
+			}
+		}
+		if minH >= h || time.Now().After(deadline) {
+			return minH
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// VerifyLedgers validates every replica's chain and checks pairwise
+// agreement on common prefixes. live filters replicas (nil means all).
+func (c *Cluster) VerifyLedgers(live func(int) bool) error {
+	var ref *replica.Replica
+	for i, r := range c.replicas {
+		if live != nil && !live(i) {
+			continue
+		}
+		if err := r.Ledger().Validate(); err != nil {
+			return fmt.Errorf("replica %d ledger invalid: %w", i, err)
+		}
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if err := ledger.VerifyChainEquality(ref.Ledger(), r.Ledger()); err != nil {
+			return fmt.Errorf("replica %d vs %d: %w", i, ref.ID(), err)
+		}
+	}
+	return nil
+}
+
+// Stop shuts down replicas and client endpoints.
+func (c *Cluster) Stop() {
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	for _, ep := range c.clientEP {
+		ep.Close()
+	}
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/replica"
+	"resilientdb/internal/workload"
+)
+
+// smallOpts returns options sized for fast tests: 4 replicas, small
+// batches, aggressive linger, tiny YCSB table.
+func smallOpts() Options {
+	wl := workload.Default()
+	wl.Records = 1000
+	wl.ValueSize = 16
+	return Options{
+		N:                  4,
+		Clients:            8,
+		BatchSize:          8,
+		CheckpointInterval: 4,
+		Workload:           wl,
+		ClientTimeout:      400 * time.Millisecond,
+		Seed:               7,
+	}
+}
+
+func runCluster(t *testing.T, opts Options, d time.Duration) (*Cluster, Result) {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	res := c.Run(context.Background(), d)
+	return c, res
+}
+
+func TestPBFTClusterEndToEnd(t *testing.T) {
+	c, res := runCluster(t, smallOpts(), 1500*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions completed: %s", res)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica executed the same batches and built real blocks.
+	h := c.Replica(0).Ledger().Height()
+	if h == 0 {
+		t.Fatal("ledger never grew")
+	}
+	// Commit-certificate blocks carry 2f+1 proof entries.
+	blk, err := c.Replica(0).Ledger().Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.CommitProof) < 3 {
+		t.Fatalf("block carries %d commit sigs, want ≥ 3", len(blk.CommitProof))
+	}
+	// Client-side results were all fast path (no failures injected).
+	if res.SlowPath != 0 {
+		t.Fatalf("unexpected slow-path completions: %s", res)
+	}
+}
+
+func TestZyzzyvaClusterEndToEnd(t *testing.T) {
+	opts := smallOpts()
+	opts.Protocol = replica.Zyzzyva
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions completed: %s", res)
+	}
+	if res.FastPath == 0 {
+		t.Fatalf("fault-free Zyzzyva never used the fast path: %s", res)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPBFTSurvivesBackupCrash(t *testing.T) {
+	opts := smallOpts()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	c.Crash(3) // crash one backup before any load
+	res := c.Run(context.Background(), 1500*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatalf("PBFT made no progress with one backup down: %s", res)
+	}
+	live := func(i int) bool { return i != 3 }
+	if err := c.VerifyLedgers(live); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZyzzyvaBackupCrashForcesSlowPath(t *testing.T) {
+	opts := smallOpts()
+	opts.Protocol = replica.Zyzzyva
+	opts.ClientTimeout = 100 * time.Millisecond // "wait for only a little time"
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	c.Crash(3)
+	res := c.Run(context.Background(), 1500*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatalf("Zyzzyva completed nothing via slow path: %s", res)
+	}
+	if res.SlowPath == 0 {
+		t.Fatalf("one crashed backup should force the slow path: %s", res)
+	}
+	if res.FastPath != 0 {
+		t.Fatalf("fast path impossible with a crashed replica: %s", res)
+	}
+}
+
+func TestClusterCryptoSchemes(t *testing.T) {
+	schemes := map[string]crypto.Config{
+		"nosig":       crypto.NoSig(),
+		"ed25519":     crypto.AllED25519(),
+		"recommended": crypto.Recommended(),
+	}
+	for name, cc := range schemes {
+		t.Run(name, func(t *testing.T) {
+			opts := smallOpts()
+			opts.Clients = 4
+			opts.Crypto = cc
+			c, res := runCluster(t, opts, 800*time.Millisecond)
+			if res.Txns == 0 {
+				t.Fatalf("no progress under %s: %s", name, res)
+			}
+			if err := c.VerifyLedgers(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestClusterThreadConfigs(t *testing.T) {
+	// The Section 5.2 configurations: 0B/0E, 0B/1E, 1B/1E, 2B/1E.
+	configs := []struct {
+		name string
+		b, e int
+	}{
+		{"0B0E", -1, -1}, // -1 requests the folded stages explicitly
+		{"0B1E", -1, 1},
+		{"1B1E", 1, 1},
+		{"2B1E", 2, 1},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := smallOpts()
+			opts.Clients = 4
+			opts.BatchThreads = tc.b
+			opts.ExecuteThreads = tc.e
+			c, res := runCluster(t, opts, 800*time.Millisecond)
+			if res.Txns == 0 {
+				t.Fatalf("no progress under %s: %s", tc.name, res)
+			}
+			if err := c.VerifyLedgers(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestClusterBursts(t *testing.T) {
+	opts := smallOpts()
+	opts.Burst = 5 // client-side batching: five txns per request
+	c, res := runCluster(t, opts, 1200*time.Millisecond)
+	if res.Txns == 0 || res.Txns%5 != 0 {
+		t.Fatalf("burst accounting broken: %s", res)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterExecutionAppliesWrites(t *testing.T) {
+	opts := smallOpts()
+	opts.Clients = 2
+	c, res := runCluster(t, opts, 800*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatal("no transactions")
+	}
+	// Let the backups finish executing everything the primary committed.
+	target := c.Replica(0).Ledger().Height()
+	if got := c.WaitForHeight(target, 5*time.Second, nil); got < target {
+		t.Fatalf("backups stuck at height %d < %d", got, target)
+	}
+	// Executed writes must be visible in every replica's store, and all
+	// stores must agree on the record count (same writes applied).
+	want := c.Replica(0).Store().Len()
+	if want == 0 {
+		t.Fatal("primary store is empty after execution")
+	}
+	for i := 1; i < opts.N; i++ {
+		if got := c.Replica(i).Store().Len(); got != want {
+			t.Fatalf("replica %d has %d records, replica 0 has %d", i, got, want)
+		}
+	}
+}
+
+func TestClusterCheckpointPrunesLedger(t *testing.T) {
+	opts := smallOpts()
+	opts.CheckpointInterval = 2
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatal("no transactions")
+	}
+	// After checkpoints, early blocks must be pruned from the ledger.
+	r := c.Replica(0)
+	if r.Stats().Checkpoints == 0 {
+		t.Skip("no checkpoint completed in the test window")
+	}
+	if _, err := r.Ledger().Get(1); err == nil {
+		t.Fatal("block 1 still present after stable checkpoints")
+	}
+}
+
+func TestViewChangeAfterPrimaryCrash(t *testing.T) {
+	opts := smallOpts()
+	opts.Clients = 4
+	opts.ViewTimeout = 150 * time.Millisecond
+	opts.ClientTimeout = 100 * time.Millisecond
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+
+	// Warm up under primary 0.
+	res1 := c.Run(context.Background(), 600*time.Millisecond)
+	if res1.Txns == 0 {
+		t.Fatalf("no progress before crash: %s", res1)
+	}
+	// Crash the primary; clients retransmit to backups, watchdogs fire,
+	// replica 1 takes over view 1.
+	c.Crash(0)
+	res2 := c.Run(context.Background(), 2500*time.Millisecond)
+	if res2.Txns == 0 {
+		t.Fatalf("no progress after primary crash: %s", res2)
+	}
+	live := func(i int) bool { return i != 0 }
+	if err := c.VerifyLedgers(live); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if v := c.Replica(i).Stats().View; v == 0 {
+			t.Fatalf("replica %d never left view 0", i)
+		}
+	}
+}
+
+func TestReplicaStatsAccounting(t *testing.T) {
+	c, res := runCluster(t, smallOpts(), 800*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatal("no transactions")
+	}
+	s := c.Replica(0).Stats()
+	if s.TxnsExecuted == 0 || s.BatchesExecuted == 0 {
+		t.Fatalf("primary stats empty: %+v", s)
+	}
+	if s.MsgsIn == 0 || s.MsgsOut == 0 {
+		t.Fatalf("message counters empty: %+v", s)
+	}
+	if s.LedgerHeight == 0 {
+		t.Fatalf("ledger height zero: %+v", s)
+	}
+	// Busy-time accounting must attribute work to the standard stages.
+	for _, st := range []replica.Stage{replica.StageWorker, replica.StageExecute, replica.StageBatch} {
+		if s.BusyNS[st] == 0 {
+			t.Fatalf("stage %v recorded no busy time", st)
+		}
+	}
+}
+
+func TestLedgerModesAgree(t *testing.T) {
+	for _, mode := range []ledger.Mode{ledger.HashChain, ledger.CommitCertificate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			opts := smallOpts()
+			opts.Clients = 4
+			opts.LedgerMode = mode
+			c, res := runCluster(t, opts, 800*time.Millisecond)
+			if res.Txns == 0 {
+				t.Fatal("no transactions")
+			}
+			if err := c.VerifyLedgers(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDisableOutOfOrderStillCorrect(t *testing.T) {
+	opts := smallOpts()
+	opts.Clients = 4
+	opts.DisableOutOfOrder = true
+	c, res := runCluster(t, opts, 800*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatal("no transactions with sequential consensus")
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package client implements the client-side halves of the consensus
+// protocols: quorum collection over replica responses, retransmission,
+// and Zyzzyva's client-driven second phase.
+//
+// Like the replica engines, client engines are pure state machines driven
+// by both the real runtime and the simulator. PBFT clients accept a result
+// after f+1 matching responses; Zyzzyva's fast path requires responses
+// from all 3f+1 replicas, which is why a single crashed backup forces
+// every Zyzzyva request through a timeout plus the commit-certificate
+// phase (Sections 2.1 and 5.10).
+package client
+
+import (
+	"fmt"
+	"sort"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/types"
+)
+
+// Protocol selects the client-side quorum rules.
+type Protocol int
+
+// Supported protocols.
+const (
+	PBFT Protocol = iota + 1
+	Zyzzyva
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case PBFT:
+		return "pbft"
+	case Zyzzyva:
+		return "zyzzyva"
+	default:
+		return "invalid"
+	}
+}
+
+// Outcome describes a completed request.
+type Outcome struct {
+	ClientSeq uint64
+	Result    types.Digest
+	// FastPath reports whether a Zyzzyva request completed with all 3f+1
+	// speculative responses (always true for PBFT completions).
+	FastPath bool
+}
+
+// Engine is the client state machine for one logical client. It manages a
+// single in-flight request at a time (closed loop, as in the evaluation:
+// clients wait for a response before issuing the next request).
+type Engine struct {
+	id       types.ClientID
+	n        int
+	f        int
+	protocol Protocol
+	view     types.View // latest view observed from responses
+
+	cur *inflight
+
+	stats Stats
+}
+
+// Stats counts client-side events.
+type Stats struct {
+	Completed   uint64
+	FastPath    uint64
+	SlowPath    uint64
+	Retransmits uint64
+}
+
+type inflight struct {
+	req       types.ClientRequest
+	clientSeq uint64
+	// PBFT: votes by result digest.
+	// Zyzzyva fast path: votes keyed by (seq, history, result).
+	votes map[voteKey]map[types.ReplicaID]bool
+	// Zyzzyva slow path state.
+	certSent     bool
+	localCommits map[types.ReplicaID]bool
+	specSeq      types.SeqNum
+	specHistory  types.Digest
+	specResult   types.Digest
+	done         bool
+}
+
+type voteKey struct {
+	seq     types.SeqNum
+	history types.Digest
+	result  types.Digest
+}
+
+// New creates a client engine.
+func New(id types.ClientID, n int, protocol Protocol) (*Engine, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("client: need n ≥ 4 replicas, got %d", n)
+	}
+	switch protocol {
+	case PBFT, Zyzzyva:
+	default:
+		return nil, fmt.Errorf("client: invalid protocol %d", protocol)
+	}
+	return &Engine{
+		id:       id,
+		n:        n,
+		f:        consensus.MaxFaults(n),
+		protocol: protocol,
+	}, nil
+}
+
+// Stats returns the client's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Busy reports whether a request is in flight.
+func (e *Engine) Busy() bool { return e.cur != nil && !e.cur.done }
+
+// Primary returns the replica the client currently believes is primary.
+func (e *Engine) Primary() types.ReplicaID {
+	return consensus.PrimaryOf(e.view, e.n)
+}
+
+// Submit starts a new request and returns the send action. The request
+// must already carry the client's signature. Submitting while a request
+// is in flight abandons the previous one.
+func (e *Engine) Submit(req types.ClientRequest) []consensus.Action {
+	e.cur = &inflight{
+		req:          req,
+		clientSeq:    req.FirstSeq,
+		votes:        make(map[voteKey]map[types.ReplicaID]bool),
+		localCommits: make(map[types.ReplicaID]bool),
+	}
+	return []consensus.Action{consensus.Send{
+		To:  types.ReplicaNode(e.Primary()),
+		Msg: &req,
+	}}
+}
+
+// OnMessage applies a replica response. When the request completes it
+// returns the Outcome; otherwise the Outcome is nil.
+func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []consensus.Action) {
+	if e.cur == nil || e.cur.done || !from.IsReplica() {
+		return nil, nil
+	}
+	rep := from.Replica()
+	switch m := msg.(type) {
+	case *types.ClientResponse:
+		if e.protocol != PBFT || m.Client != e.id || m.ClientSeq != e.cur.clientSeq {
+			return nil, nil
+		}
+		if m.View > e.view {
+			e.view = m.View
+		}
+		k := voteKey{result: m.Result}
+		if e.vote(k, rep) >= e.f+1 {
+			return e.complete(m.Result, true), nil
+		}
+	case *types.SpecResponse:
+		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq {
+			return nil, nil
+		}
+		if m.View > e.view {
+			e.view = m.View
+		}
+		k := voteKey{seq: m.Seq, history: m.History, result: m.Result}
+		votes := e.vote(k, rep)
+		// Track the strongest candidate for a potential slow path.
+		if votes >= consensus.Quorum2f1(e.n) && !e.cur.certSent {
+			e.cur.specSeq = m.Seq
+			e.cur.specHistory = m.History
+			e.cur.specResult = m.Result
+		}
+		if votes >= e.n {
+			// Fast path: all 3f+1 replicas agree.
+			return e.complete(m.Result, true), nil
+		}
+	case *types.LocalCommit:
+		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq || !e.cur.certSent {
+			return nil, nil
+		}
+		if m.History != e.cur.specHistory {
+			return nil, nil
+		}
+		e.cur.localCommits[rep] = true
+		if len(e.cur.localCommits) >= consensus.Quorum2f1(e.n) {
+			return e.complete(e.cur.specResult, false), nil
+		}
+	}
+	return nil, nil
+}
+
+func (e *Engine) vote(k voteKey, rep types.ReplicaID) int {
+	voters, ok := e.cur.votes[k]
+	if !ok {
+		voters = make(map[types.ReplicaID]bool)
+		e.cur.votes[k] = voters
+	}
+	voters[rep] = true
+	return len(voters)
+}
+
+func (e *Engine) complete(result types.Digest, fast bool) *Outcome {
+	e.cur.done = true
+	e.stats.Completed++
+	if fast {
+		e.stats.FastPath++
+	} else {
+		e.stats.SlowPath++
+	}
+	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, FastPath: fast}
+}
+
+// OnTimeout handles the client timer expiring before completion.
+//
+// PBFT: retransmit the request to every replica (which is also what pulls
+// a stalled system into a view change — backups that receive a client
+// request they cannot get ordered eventually vote to replace the primary).
+//
+// Zyzzyva: if 2f+1 matching speculative responses arrived, broadcast the
+// commit certificate and await 2f+1 LocalCommits; otherwise retransmit.
+// The paper approximates the unknowably "optimal" wait by keeping the
+// client timeout short (Section 5.10) — the timeout duration itself is the
+// driver's concern.
+func (e *Engine) OnTimeout() []consensus.Action {
+	if e.cur == nil || e.cur.done {
+		return nil
+	}
+	e.stats.Retransmits++
+	if e.protocol == Zyzzyva && !e.cur.certSent {
+		k := voteKey{seq: e.cur.specSeq, history: e.cur.specHistory, result: e.cur.specResult}
+		if voters := e.cur.votes[k]; len(voters) >= consensus.Quorum2f1(e.n) {
+			e.cur.certSent = true
+			cert := &types.CommitCert{
+				Client:    e.id,
+				ClientSeq: e.cur.clientSeq,
+				View:      e.view,
+				Seq:       e.cur.specSeq,
+				History:   e.cur.specHistory,
+				Replicas:  sortedVoters(voters),
+			}
+			return []consensus.Action{consensus.Broadcast{Msg: cert}}
+		}
+	}
+	// Retransmit to every replica.
+	acts := make([]consensus.Action, 0, e.n)
+	for r := 0; r < e.n; r++ {
+		req := e.cur.req
+		acts = append(acts, consensus.Send{To: types.ReplicaNode(types.ReplicaID(r)), Msg: &req})
+	}
+	return acts
+}
+
+func sortedVoters(voters map[types.ReplicaID]bool) []types.ReplicaID {
+	ids := make([]types.ReplicaID, 0, len(voters))
+	for id := range voters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

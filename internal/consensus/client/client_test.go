@@ -1,0 +1,247 @@
+package client
+
+import (
+	"testing"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/types"
+)
+
+func req(client types.ClientID, seq uint64) types.ClientRequest {
+	return types.ClientRequest{Client: client, FirstSeq: seq, Sig: []byte{1}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2, PBFT); err == nil {
+		t.Fatal("accepted n=2")
+	}
+	if _, err := New(1, 4, Protocol(0)); err == nil {
+		t.Fatal("accepted invalid protocol")
+	}
+}
+
+func TestSubmitSendsToPrimary(t *testing.T) {
+	e, err := New(3, 4, PBFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := e.Submit(req(3, 1))
+	if len(acts) != 1 {
+		t.Fatalf("Submit produced %d actions", len(acts))
+	}
+	send, ok := acts[0].(consensus.Send)
+	if !ok || send.To != types.ReplicaNode(0) {
+		t.Fatalf("Submit sent to %v", send.To)
+	}
+	if !e.Busy() {
+		t.Fatal("client not busy after Submit")
+	}
+}
+
+func TestPBFTQuorumFPlusOne(t *testing.T) {
+	e, err := New(3, 4, PBFT) // f=1, quorum 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	result := types.Digest{7}
+	resp := func(rep types.ReplicaID) *types.ClientResponse {
+		return &types.ClientResponse{View: 0, Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: rep}
+	}
+	out, _ := e.OnMessage(types.ReplicaNode(0), resp(0))
+	if out != nil {
+		t.Fatal("completed with one response")
+	}
+	// Duplicate from the same replica must not complete the quorum.
+	out, _ = e.OnMessage(types.ReplicaNode(0), resp(0))
+	if out != nil {
+		t.Fatal("completed on duplicate responses")
+	}
+	out, _ = e.OnMessage(types.ReplicaNode(1), resp(1))
+	if out == nil {
+		t.Fatal("did not complete at f+1 matching responses")
+	}
+	if out.Result != result || out.ClientSeq != 5 || !out.FastPath {
+		t.Fatalf("bad outcome: %+v", out)
+	}
+	if e.Busy() {
+		t.Fatal("still busy after completion")
+	}
+	if s := e.Stats(); s.Completed != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestPBFTMismatchedResultsDoNotComplete(t *testing.T) {
+	e, err := New(3, 4, PBFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	a := &types.ClientResponse{Client: 3, ClientSeq: 5, Result: types.Digest{1}, Replica: 0}
+	b := &types.ClientResponse{Client: 3, ClientSeq: 5, Result: types.Digest{2}, Replica: 1}
+	if out, _ := e.OnMessage(types.ReplicaNode(0), a); out != nil {
+		t.Fatal("early completion")
+	}
+	if out, _ := e.OnMessage(types.ReplicaNode(1), b); out != nil {
+		t.Fatal("completed on mismatched results")
+	}
+}
+
+func TestPBFTIgnoresWrongClientSeq(t *testing.T) {
+	e, err := New(3, 4, PBFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	stale := &types.ClientResponse{Client: 3, ClientSeq: 4, Result: types.Digest{1}, Replica: 0}
+	stale2 := &types.ClientResponse{Client: 3, ClientSeq: 4, Result: types.Digest{1}, Replica: 1}
+	e.OnMessage(types.ReplicaNode(0), stale)
+	if out, _ := e.OnMessage(types.ReplicaNode(1), stale2); out != nil {
+		t.Fatal("completed on stale responses")
+	}
+}
+
+func TestPBFTTimeoutRetransmitsToAll(t *testing.T) {
+	e, err := New(3, 4, PBFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	acts := e.OnTimeout()
+	if len(acts) != 4 {
+		t.Fatalf("retransmitted to %d replicas, want 4", len(acts))
+	}
+	if s := e.Stats(); s.Retransmits != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func specResp(rep types.ReplicaID, client types.ClientID, cseq uint64, history types.Digest) *types.SpecResponse {
+	return &types.SpecResponse{
+		View: 0, Seq: 1, Digest: types.Digest{9}, History: history,
+		Client: client, ClientSeq: cseq, Result: types.Digest{5}, Replica: rep,
+	}
+}
+
+func TestZyzzyvaFastPathNeedsAll(t *testing.T) {
+	e, err := New(2, 4, Zyzzyva)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(2, 9))
+	h := types.Digest{3}
+	for rep := 0; rep < 3; rep++ {
+		out, _ := e.OnMessage(types.ReplicaNode(types.ReplicaID(rep)), specResp(types.ReplicaID(rep), 2, 9, h))
+		if out != nil {
+			t.Fatalf("completed with only %d/4 responses", rep+1)
+		}
+	}
+	out, _ := e.OnMessage(types.ReplicaNode(3), specResp(3, 2, 9, h))
+	if out == nil {
+		t.Fatal("did not complete with all 3f+1 responses")
+	}
+	if !out.FastPath {
+		t.Fatal("completion not marked fast path")
+	}
+	if s := e.Stats(); s.FastPath != 1 || s.SlowPath != 0 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestZyzzyvaSlowPathCommitCert(t *testing.T) {
+	e, err := New(2, 4, Zyzzyva) // 2f+1 = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(2, 9))
+	h := types.Digest{3}
+	// Only 3 of 4 replicas respond (one crashed): no fast path.
+	for rep := 0; rep < 3; rep++ {
+		e.OnMessage(types.ReplicaNode(types.ReplicaID(rep)), specResp(types.ReplicaID(rep), 2, 9, h))
+	}
+	// Timeout: client escalates to the commit-certificate phase.
+	acts := e.OnTimeout()
+	if len(acts) != 1 {
+		t.Fatalf("timeout produced %d actions", len(acts))
+	}
+	bc, ok := acts[0].(consensus.Broadcast)
+	if !ok {
+		t.Fatalf("timeout action = %T, want Broadcast", acts[0])
+	}
+	cert, ok := bc.Msg.(*types.CommitCert)
+	if !ok {
+		t.Fatalf("broadcast message = %T, want CommitCert", bc.Msg)
+	}
+	if cert.History != h || len(cert.Replicas) != 3 {
+		t.Fatalf("bad cert: %+v", cert)
+	}
+	// 2f+1 local commits complete the request as slow path.
+	for rep := 0; rep < 2; rep++ {
+		lc := &types.LocalCommit{View: 0, Seq: 1, History: h, Client: 2, ClientSeq: 9, Replica: types.ReplicaID(rep)}
+		if out, _ := e.OnMessage(types.ReplicaNode(types.ReplicaID(rep)), lc); out != nil {
+			t.Fatalf("completed with %d local commits", rep+1)
+		}
+	}
+	lc := &types.LocalCommit{View: 0, Seq: 1, History: h, Client: 2, ClientSeq: 9, Replica: 2}
+	out, _ := e.OnMessage(types.ReplicaNode(2), lc)
+	if out == nil {
+		t.Fatal("slow path did not complete at 2f+1 local commits")
+	}
+	if out.FastPath {
+		t.Fatal("slow-path completion marked fast")
+	}
+	if s := e.Stats(); s.SlowPath != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestZyzzyvaTimeoutWithoutQuorumRetransmits(t *testing.T) {
+	e, err := New(2, 4, Zyzzyva)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(2, 9))
+	h := types.Digest{3}
+	// Only 2 responses: below the 2f+1 commit-cert threshold.
+	for rep := 0; rep < 2; rep++ {
+		e.OnMessage(types.ReplicaNode(types.ReplicaID(rep)), specResp(types.ReplicaID(rep), 2, 9, h))
+	}
+	acts := e.OnTimeout()
+	if len(acts) != 4 {
+		t.Fatalf("expected retransmission to 4 replicas, got %d actions", len(acts))
+	}
+}
+
+func TestZyzzyvaMismatchedHistoriesSplitVotes(t *testing.T) {
+	e, err := New(2, 4, Zyzzyva)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(2, 9))
+	for rep := 0; rep < 4; rep++ {
+		h := types.Digest{byte(rep)} // every replica reports a different history
+		if out, _ := e.OnMessage(types.ReplicaNode(types.ReplicaID(rep)), specResp(types.ReplicaID(rep), 2, 9, h)); out != nil {
+			t.Fatal("completed on divergent histories")
+		}
+	}
+}
+
+func TestViewTrackingFollowsResponses(t *testing.T) {
+	e, err := New(3, 4, PBFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 1))
+	resp := &types.ClientResponse{View: 2, Client: 3, ClientSeq: 1, Result: types.Digest{1}, Replica: 1}
+	e.OnMessage(types.ReplicaNode(1), resp)
+	if e.Primary() != 2 {
+		t.Fatalf("Primary = %d after observing view 2, want 2", e.Primary())
+	}
+	// The next Submit goes to the new primary.
+	acts := e.Submit(req(3, 2))
+	send := acts[0].(consensus.Send)
+	if send.To != types.ReplicaNode(2) {
+		t.Fatalf("submitted to %v, want r2", send.To)
+	}
+}

@@ -1,0 +1,131 @@
+// Package consensus defines the engine abstraction shared by every BFT
+// protocol in the fabric.
+//
+// An Engine is a pure, deterministic state machine: verified messages go
+// in, Actions come out. Engines never touch the network, the clock,
+// threads, or cryptography — those belong to the drivers. The same engine
+// code is driven by the real pipelined replica runtime
+// (internal/replica) and by the discrete-event simulator (internal/sim),
+// which is what lets the simulator's paper-scale experiments measure the
+// behaviour of the very protocol implementation the runnable system uses.
+package consensus
+
+import (
+	"resilientdb/internal/types"
+)
+
+// Action is one output of an engine step. Drivers interpret actions:
+// the runtime maps Send/Broadcast onto the transport and Execute onto the
+// execution layer; the simulator maps them onto cost-modelled events.
+type Action interface{ isAction() }
+
+// Send delivers a message to a single node.
+type Send struct {
+	To  types.NodeID
+	Msg types.Message
+}
+
+// Broadcast delivers a message to every other replica. The engine has
+// already applied the message to itself where the protocol requires it;
+// drivers must not loop a broadcast back to its sender.
+type Broadcast struct {
+	Msg types.Message
+}
+
+// Execute hands an ordered batch to the execution layer. For PBFT the
+// batch carries its 2f+1 commit certificate; for Zyzzyva the batch is
+// Speculative and carries the history digest the response must embed.
+type Execute struct {
+	Seq         types.SeqNum
+	View        types.View
+	Digest      types.Digest
+	History     types.Digest // Zyzzyva history hash; zero for PBFT
+	Requests    []types.ClientRequest
+	Proof       []types.CommitSig
+	Speculative bool
+}
+
+// CheckpointStable reports that a checkpoint gathered its 2f+1 quorum:
+// everything up to and including Seq may be garbage collected
+// (Section 4.7).
+type CheckpointStable struct {
+	Seq types.SeqNum
+}
+
+// ViewChanged reports that the engine entered a new view.
+type ViewChanged struct {
+	View types.View
+}
+
+// Evidence reports byzantine behaviour the engine observed, such as an
+// equivocating primary. Drivers log it and may trigger a view change.
+type Evidence struct {
+	Culprit types.ReplicaID
+	Detail  string
+}
+
+func (Send) isAction()             {}
+func (Broadcast) isAction()        {}
+func (Execute) isAction()          {}
+func (CheckpointStable) isAction() {}
+func (ViewChanged) isAction()      {}
+func (Evidence) isAction()         {}
+
+// Engine is a replica-side consensus state machine. Engines are not safe
+// for concurrent use; exactly one goroutine (the worker-thread) or one
+// simulator event at a time may step them.
+type Engine interface {
+	// OnMessage applies a verified message from a peer. auth carries the
+	// authenticator bytes from the envelope so engines can retain commit
+	// certificates; it may be nil.
+	OnMessage(from types.NodeID, msg types.Message, auth []byte) []Action
+
+	// Propose assigns the next sequence number to a batch of client
+	// requests and starts consensus on it. Only the current primary may
+	// propose; other replicas receive a nil result.
+	Propose(reqs []types.ClientRequest) []Action
+
+	// OnExecuted tells the engine the execution layer finished the batch
+	// at seq and reports the resulting state digest, which feeds
+	// checkpoint generation.
+	OnExecuted(seq types.SeqNum, stateDigest types.Digest) []Action
+
+	// OnViewTimeout signals that progress stalled (the driver's view
+	// timer fired); the engine may start a view change.
+	OnViewTimeout() []Action
+
+	// View returns the engine's current view.
+	View() types.View
+
+	// IsPrimary reports whether this replica leads the current view.
+	IsPrimary() bool
+
+	// Stats returns engine counters for observability.
+	Stats() EngineStats
+}
+
+// EngineStats exposes engine counters for tests and monitoring.
+type EngineStats struct {
+	Proposed    uint64 // batches proposed (primary)
+	Executed    uint64 // batches released for execution
+	Checkpoints uint64 // stable checkpoints reached
+	ViewChanges uint64 // view changes completed
+	Dropped     uint64 // messages ignored (stale view, out of watermark…)
+}
+
+// Quorum2f returns the prepare quorum: 2f when n = 3f+1, generalized to
+// n−f−1 so that the pre-prepare plus the prepares form an n−f quorum for
+// any n ≥ 3f+1 (two such quorums intersect in more than f replicas).
+func Quorum2f(n int) int { return n - MaxFaults(n) - 1 }
+
+// Quorum2f1 returns the commit quorum: 2f+1 when n = 3f+1, generalized to
+// n−f for any n ≥ 3f+1.
+func Quorum2f1(n int) int { return n - MaxFaults(n) }
+
+// MaxFaults returns f, the number of byzantine replicas n can tolerate.
+func MaxFaults(n int) int { return (n - 1) / 3 }
+
+// PrimaryOf returns the primary replica for view v among n replicas.
+func PrimaryOf(v types.View, n int) types.ReplicaID {
+	return types.ReplicaID(uint64(v) % uint64(n))
+}

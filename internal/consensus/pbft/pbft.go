@@ -1,0 +1,634 @@
+// Package pbft implements the Practical Byzantine Fault Tolerance protocol
+// (Castro & Liskov, OSDI '99) as a pure consensus engine: the three-phase
+// pre-prepare/prepare/commit flow of paper Figure 3, Δ-interval
+// checkpointing with garbage collection (Section 4.7), watermark-bounded
+// out-of-order instance pipelining (Section 4.5), and view changes.
+//
+// The engine deliberately supports many simultaneously open instances:
+// consensus for sequence numbers k and k+1 may overlap or even complete
+// out of order (Example 4.1). PBFT does not require a request to embed the
+// digest of its predecessor — 2f matching prepares already pin the order —
+// which is exactly what makes the fabric's parallel pipeline sound.
+// In-order execution is restored downstream by the execution layer.
+package pbft
+
+import (
+	"fmt"
+	"sort"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/types"
+)
+
+// Config parameterizes a PBFT engine.
+type Config struct {
+	// ID is this replica's identifier.
+	ID types.ReplicaID
+	// N is the number of replicas; it must satisfy n ≥ 3f+1.
+	N int
+	// CheckpointInterval is Δ: a checkpoint is generated after every Δ
+	// executed batches. The paper generates checkpoints infrequently,
+	// once per 10K transactions (Section 5.1).
+	CheckpointInterval uint64
+	// WatermarkWindow bounds how far consensus may run ahead of the last
+	// stable checkpoint (the out-of-order pipelining depth).
+	WatermarkWindow uint64
+	// VerifyDigests makes the engine recompute batch digests of incoming
+	// pre-prepares. Drivers that already verify digests (accounting the
+	// cost where it belongs, in the worker or batch threads) leave this
+	// off; adversarial tests switch it on.
+	VerifyDigests bool
+}
+
+func (c *Config) fill() {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 100
+	}
+	if c.WatermarkWindow == 0 {
+		c.WatermarkWindow = 4096
+	}
+}
+
+// instance is the per-sequence-number consensus state. Prepare and commit
+// votes are bucketed by digest because messages routinely arrive before
+// the pre-prepare that names the authoritative digest.
+type instance struct {
+	view       types.View
+	digest     types.Digest
+	havePP     bool
+	isNull     bool
+	requests   []types.ClientRequest
+	prepares   map[types.Digest]map[types.ReplicaID]bool
+	commits    map[types.Digest]map[types.ReplicaID][]byte
+	sentCommit bool
+	committed  bool
+	released   bool // Execute action emitted
+}
+
+func newInstance() *instance {
+	return &instance{
+		prepares: make(map[types.Digest]map[types.ReplicaID]bool),
+		commits:  make(map[types.Digest]map[types.ReplicaID][]byte),
+	}
+}
+
+// Engine is a PBFT replica state machine. It is not safe for concurrent
+// use; see the consensus package documentation.
+type Engine struct {
+	cfg  Config
+	f    int
+	view types.View
+
+	nextSeq  types.SeqNum // last proposed sequence number (primary)
+	lowWater types.SeqNum // last locally-adopted stable checkpoint
+
+	// executedSeq is the highest locally executed sequence number;
+	// quorumStable the highest checkpoint with a 2f+1 quorum. The low
+	// watermark advances to min(quorumStable, executedSeq): a lagging
+	// replica never garbage-collects instances it has yet to execute,
+	// which substitutes for full state transfer (see DESIGN.md).
+	executedSeq  types.SeqNum
+	quorumStable types.SeqNum
+
+	instances map[types.SeqNum]*instance
+
+	// Checkpoint votes: seq → digest → voters.
+	checkpoints map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool
+
+	// View change state.
+	inViewChange bool
+	votedView    types.View
+	viewChanges  map[types.View]map[types.ReplicaID]*types.ViewChange
+
+	stats consensus.EngineStats
+}
+
+var _ consensus.Engine = (*Engine)(nil)
+
+// New creates a PBFT engine.
+func New(cfg Config) (*Engine, error) {
+	cfg.fill()
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("pbft: need n ≥ 4 replicas, got %d", cfg.N)
+	}
+	if int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("pbft: replica id %d out of range for n=%d", cfg.ID, cfg.N)
+	}
+	return &Engine{
+		cfg:         cfg,
+		f:           consensus.MaxFaults(cfg.N),
+		instances:   make(map[types.SeqNum]*instance),
+		checkpoints: make(map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool),
+		viewChanges: make(map[types.View]map[types.ReplicaID]*types.ViewChange),
+	}, nil
+}
+
+// View implements consensus.Engine.
+func (e *Engine) View() types.View { return e.view }
+
+// IsPrimary implements consensus.Engine.
+func (e *Engine) IsPrimary() bool {
+	return consensus.PrimaryOf(e.view, e.cfg.N) == e.cfg.ID && !e.inViewChange
+}
+
+// Stats implements consensus.Engine.
+func (e *Engine) Stats() consensus.EngineStats { return e.stats }
+
+// LowWatermark returns the last stable checkpoint sequence number.
+func (e *Engine) LowWatermark() types.SeqNum { return e.lowWater }
+
+// OpenInstances returns the number of live consensus instances; tests use
+// it to verify checkpoint garbage collection.
+func (e *Engine) OpenInstances() int { return len(e.instances) }
+
+func (e *Engine) inWindow(seq types.SeqNum) bool {
+	return seq > e.lowWater && uint64(seq) <= uint64(e.lowWater)+e.cfg.WatermarkWindow
+}
+
+func (e *Engine) inst(seq types.SeqNum) *instance {
+	in, ok := e.instances[seq]
+	if !ok {
+		in = newInstance()
+		e.instances[seq] = in
+	}
+	return in
+}
+
+// Propose implements consensus.Engine. It assigns the next sequence number
+// to the batch and broadcasts the pre-prepare. A nil return with no side
+// effects means the engine refused (not primary, mid view change, or
+// window full) and the caller should retry later.
+func (e *Engine) Propose(reqs []types.ClientRequest) []consensus.Action {
+	if !e.IsPrimary() {
+		return nil
+	}
+	seq := e.nextSeq + 1
+	if !e.inWindow(seq) {
+		return nil
+	}
+	e.nextSeq = seq
+	e.stats.Proposed++
+
+	pp := &types.PrePrepare{
+		View:     e.view,
+		Seq:      seq,
+		Digest:   types.BatchDigest(reqs),
+		Requests: reqs,
+	}
+	in := e.inst(seq)
+	in.view = e.view
+	in.digest = pp.Digest
+	in.havePP = true
+	in.requests = reqs
+	return []consensus.Action{consensus.Broadcast{Msg: pp}}
+}
+
+// OnMessage implements consensus.Engine.
+func (e *Engine) OnMessage(from types.NodeID, msg types.Message, auth []byte) []consensus.Action {
+	if !from.IsReplica() {
+		e.stats.Dropped++
+		return nil
+	}
+	rep := from.Replica()
+	switch m := msg.(type) {
+	case *types.PrePrepare:
+		return e.onPrePrepare(rep, m)
+	case *types.Prepare:
+		return e.onPrepare(rep, m)
+	case *types.Commit:
+		return e.onCommit(rep, m, auth)
+	case *types.Checkpoint:
+		return e.onCheckpoint(rep, m)
+	case *types.ViewChange:
+		return e.onViewChange(rep, m)
+	case *types.NewView:
+		return e.onNewView(rep, m)
+	default:
+		e.stats.Dropped++
+		return nil
+	}
+}
+
+func (e *Engine) onPrePrepare(from types.ReplicaID, m *types.PrePrepare) []consensus.Action {
+	if m.View != e.view || e.inViewChange || !e.inWindow(m.Seq) {
+		e.stats.Dropped++
+		return nil
+	}
+	if from != consensus.PrimaryOf(e.view, e.cfg.N) {
+		e.stats.Dropped++
+		return []consensus.Action{consensus.Evidence{
+			Culprit: from,
+			Detail:  fmt.Sprintf("pre-prepare for view %d from non-primary %d", m.View, from),
+		}}
+	}
+	if e.cfg.VerifyDigests && len(m.Requests) > 0 && types.BatchDigest(m.Requests) != m.Digest {
+		e.stats.Dropped++
+		return []consensus.Action{consensus.Evidence{
+			Culprit: from,
+			Detail:  fmt.Sprintf("pre-prepare digest mismatch at seq %d", m.Seq),
+		}}
+	}
+
+	in := e.inst(m.Seq)
+	if in.havePP {
+		if in.digest != m.Digest {
+			// The primary proposed two different batches for one sequence
+			// number: equivocation.
+			return []consensus.Action{consensus.Evidence{
+				Culprit: from,
+				Detail:  fmt.Sprintf("equivocating pre-prepares at seq %d", m.Seq),
+			}}
+		}
+		e.stats.Dropped++ // duplicate
+		return nil
+	}
+	in.view = m.View
+	in.digest = m.Digest
+	in.havePP = true
+	in.isNull = m.Digest == types.Digest{} && len(m.Requests) == 0
+	in.requests = m.Requests
+
+	var acts []consensus.Action
+	if e.cfg.ID != consensus.PrimaryOf(e.view, e.cfg.N) {
+		// Backups vote; the primary's pre-prepare stands as its prepare.
+		p := &types.Prepare{View: m.View, Seq: m.Seq, Digest: m.Digest, Replica: e.cfg.ID}
+		e.recordPrepare(in, e.cfg.ID, m.Digest)
+		acts = append(acts, consensus.Broadcast{Msg: p})
+	}
+	return append(acts, e.advance(m.Seq, in)...)
+}
+
+func (e *Engine) recordPrepare(in *instance, from types.ReplicaID, d types.Digest) {
+	voters, ok := in.prepares[d]
+	if !ok {
+		voters = make(map[types.ReplicaID]bool)
+		in.prepares[d] = voters
+	}
+	voters[from] = true
+}
+
+func (e *Engine) onPrepare(from types.ReplicaID, m *types.Prepare) []consensus.Action {
+	if m.View != e.view || e.inViewChange || !e.inWindow(m.Seq) {
+		e.stats.Dropped++
+		return nil
+	}
+	if m.Replica != from {
+		e.stats.Dropped++
+		return nil
+	}
+	in := e.inst(m.Seq)
+	e.recordPrepare(in, from, m.Digest)
+	return e.advance(m.Seq, in)
+}
+
+func (e *Engine) onCommit(from types.ReplicaID, m *types.Commit, auth []byte) []consensus.Action {
+	if m.View != e.view || e.inViewChange || !e.inWindow(m.Seq) {
+		e.stats.Dropped++
+		return nil
+	}
+	if m.Replica != from {
+		e.stats.Dropped++
+		return nil
+	}
+	in := e.inst(m.Seq)
+	voters, ok := in.commits[m.Digest]
+	if !ok {
+		voters = make(map[types.ReplicaID][]byte)
+		in.commits[m.Digest] = voters
+	}
+	if _, dup := voters[from]; !dup {
+		voters[from] = auth
+	}
+	return e.advance(m.Seq, in)
+}
+
+// advance fires the prepared→commit and committed→execute transitions of
+// an instance whenever new state makes them possible.
+func (e *Engine) advance(seq types.SeqNum, in *instance) []consensus.Action {
+	var acts []consensus.Action
+	if !in.havePP {
+		return nil
+	}
+	// Prepared: pre-prepare plus 2f prepares matching its digest.
+	if !in.sentCommit && len(in.prepares[in.digest]) >= consensus.Quorum2f(e.cfg.N) {
+		in.sentCommit = true
+		c := &types.Commit{View: in.view, Seq: seq, Digest: in.digest, Replica: e.cfg.ID}
+		// Record our own commit vote.
+		voters, ok := in.commits[in.digest]
+		if !ok {
+			voters = make(map[types.ReplicaID][]byte)
+			in.commits[in.digest] = voters
+		}
+		voters[e.cfg.ID] = nil
+		acts = append(acts, consensus.Broadcast{Msg: c})
+	}
+	// Committed: 2f+1 commits matching the pre-prepare digest.
+	if in.sentCommit && !in.released && len(in.commits[in.digest]) >= consensus.Quorum2f1(e.cfg.N) {
+		in.committed = true
+		in.released = true
+		e.stats.Executed++
+		acts = append(acts, consensus.Execute{
+			Seq:      seq,
+			View:     in.view,
+			Digest:   in.digest,
+			Requests: in.requests,
+			Proof:    commitProof(in),
+		})
+	}
+	return acts
+}
+
+// commitProof deterministically assembles the block's commit certificate
+// from the recorded commit votes (Section 4.6: the 2f+1 commit signatures
+// replace the previous-block hash).
+func commitProof(in *instance) []types.CommitSig {
+	voters := in.commits[in.digest]
+	ids := make([]types.ReplicaID, 0, len(voters))
+	for id := range voters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	proof := make([]types.CommitSig, len(ids))
+	for i, id := range ids {
+		proof[i] = types.CommitSig{Replica: id, Auth: voters[id]}
+	}
+	return proof
+}
+
+// OnExecuted implements consensus.Engine: after every Δ-th batch the
+// replica broadcasts a checkpoint carrying its state digest.
+func (e *Engine) OnExecuted(seq types.SeqNum, stateDigest types.Digest) []consensus.Action {
+	if seq > e.executedSeq {
+		e.executedSeq = seq
+	}
+	if uint64(seq)%e.cfg.CheckpointInterval != 0 {
+		return e.advanceLowWater()
+	}
+	cp := &types.Checkpoint{Seq: seq, StateDigest: stateDigest, Replica: e.cfg.ID}
+	acts := e.recordCheckpoint(e.cfg.ID, cp)
+	return append([]consensus.Action{consensus.Broadcast{Msg: cp}}, acts...)
+}
+
+func (e *Engine) onCheckpoint(from types.ReplicaID, m *types.Checkpoint) []consensus.Action {
+	if m.Replica != from {
+		e.stats.Dropped++
+		return nil
+	}
+	return e.recordCheckpoint(from, m)
+}
+
+func (e *Engine) recordCheckpoint(from types.ReplicaID, m *types.Checkpoint) []consensus.Action {
+	if m.Seq <= e.lowWater {
+		return nil // already stable
+	}
+	bySeq, ok := e.checkpoints[m.Seq]
+	if !ok {
+		bySeq = make(map[types.Digest]map[types.ReplicaID]bool)
+		e.checkpoints[m.Seq] = bySeq
+	}
+	voters, ok := bySeq[m.StateDigest]
+	if !ok {
+		voters = make(map[types.ReplicaID]bool)
+		bySeq[m.StateDigest] = voters
+	}
+	voters[from] = true
+	if len(voters) < consensus.Quorum2f1(e.cfg.N) {
+		return nil
+	}
+	if m.Seq > e.quorumStable {
+		e.quorumStable = m.Seq
+	}
+	return e.advanceLowWater()
+}
+
+// advanceLowWater moves the low watermark to the newest quorum-stable
+// checkpoint this replica has itself executed, and garbage collects
+// everything at or below it (Section 4.7).
+func (e *Engine) advanceLowWater() []consensus.Action {
+	target := e.quorumStable
+	if executedCk := types.SeqNum(uint64(e.executedSeq) / e.cfg.CheckpointInterval * e.cfg.CheckpointInterval); executedCk < target {
+		// Quantize to checkpoint boundaries: never past local execution.
+		target = executedCk
+	}
+	if target <= e.lowWater {
+		return nil
+	}
+	e.lowWater = target
+	e.stats.Checkpoints++
+	for seq := range e.instances {
+		if seq <= target {
+			delete(e.instances, seq)
+		}
+	}
+	for seq := range e.checkpoints {
+		if seq <= target {
+			delete(e.checkpoints, seq)
+		}
+	}
+	if e.nextSeq < target {
+		// A lagging former primary must not re-propose old numbers.
+		e.nextSeq = target
+	}
+	return []consensus.Action{consensus.CheckpointStable{Seq: target}}
+}
+
+// ---- View change ----
+
+// OnViewTimeout implements consensus.Engine: abandon the current view and
+// vote to move to the next.
+func (e *Engine) OnViewTimeout() []consensus.Action {
+	target := e.view + 1
+	if e.votedView >= target {
+		target = e.votedView + 1
+	}
+	return e.startViewChange(target)
+}
+
+func (e *Engine) startViewChange(target types.View) []consensus.Action {
+	e.inViewChange = true
+	e.votedView = target
+	vc := &types.ViewChange{
+		NewView:   target,
+		StableSeq: e.lowWater,
+		Prepared:  e.preparedProofs(),
+		Replica:   e.cfg.ID,
+	}
+	acts := []consensus.Action{consensus.Broadcast{Msg: vc}}
+	return append(acts, e.recordViewChange(e.cfg.ID, vc)...)
+}
+
+// preparedProofs collects, for every instance prepared beyond the stable
+// checkpoint, the pre-prepare metadata and its 2f prepare votes.
+func (e *Engine) preparedProofs() []types.PreparedProof {
+	var proofs []types.PreparedProof
+	for seq, in := range e.instances {
+		if !in.havePP || len(in.prepares[in.digest]) < consensus.Quorum2f(e.cfg.N) {
+			continue
+		}
+		var votes []types.Prepare
+		for id := range in.prepares[in.digest] {
+			votes = append(votes, types.Prepare{View: in.view, Seq: seq, Digest: in.digest, Replica: id})
+		}
+		sort.Slice(votes, func(i, j int) bool { return votes[i].Replica < votes[j].Replica })
+		proofs = append(proofs, types.PreparedProof{
+			View: in.view, Seq: seq, Digest: in.digest, Prepares: votes,
+		})
+	}
+	sort.Slice(proofs, func(i, j int) bool { return proofs[i].Seq < proofs[j].Seq })
+	return proofs
+}
+
+func (e *Engine) onViewChange(from types.ReplicaID, m *types.ViewChange) []consensus.Action {
+	if m.Replica != from || m.NewView <= e.view {
+		e.stats.Dropped++
+		return nil
+	}
+	return e.recordViewChange(from, m)
+}
+
+func (e *Engine) recordViewChange(from types.ReplicaID, m *types.ViewChange) []consensus.Action {
+	votes, ok := e.viewChanges[m.NewView]
+	if !ok {
+		votes = make(map[types.ReplicaID]*types.ViewChange)
+		e.viewChanges[m.NewView] = votes
+	}
+	votes[from] = m
+
+	var acts []consensus.Action
+	// An honest replica that sees f+1 votes for a higher view joins the
+	// view change even without its own timeout (standard PBFT liveness).
+	if !e.inViewChange && len(votes) > e.f && m.NewView > e.votedView {
+		acts = append(acts, e.startViewChange(m.NewView)...)
+		votes = e.viewChanges[m.NewView]
+	}
+	if consensus.PrimaryOf(m.NewView, e.cfg.N) != e.cfg.ID {
+		return acts
+	}
+	if len(votes) < consensus.Quorum2f1(e.cfg.N) || e.view >= m.NewView {
+		return acts
+	}
+	// This replica leads the new view: build and broadcast the NewView.
+	nv := e.buildNewView(m.NewView, votes)
+	acts = append(acts, consensus.Broadcast{Msg: nv})
+	acts = append(acts, e.enterNewView(nv)...)
+	return acts
+}
+
+// buildNewView assembles the proof of the view change plus re-proposals
+// for every batch that prepared anywhere beyond the stable checkpoint.
+// Gaps are filled with null requests so sequence numbers stay dense.
+func (e *Engine) buildNewView(v types.View, votes map[types.ReplicaID]*types.ViewChange) *types.NewView {
+	var vcs []types.ViewChange
+	maxStable := types.SeqNum(0)
+	type chosen struct {
+		view   types.View
+		digest types.Digest
+	}
+	best := make(map[types.SeqNum]chosen)
+	var maxSeq types.SeqNum
+
+	ids := make([]types.ReplicaID, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		vc := votes[id]
+		vcs = append(vcs, *vc)
+		if vc.StableSeq > maxStable {
+			maxStable = vc.StableSeq
+		}
+		for _, p := range vc.Prepared {
+			if cur, ok := best[p.Seq]; !ok || p.View > cur.view {
+				best[p.Seq] = chosen{view: p.View, digest: p.Digest}
+			}
+			if p.Seq > maxSeq {
+				maxSeq = p.Seq
+			}
+		}
+	}
+
+	var pps []types.PrePrepare
+	for seq := maxStable + 1; seq <= maxSeq; seq++ {
+		pp := types.PrePrepare{View: v, Seq: seq}
+		if c, ok := best[seq]; ok {
+			pp.Digest = c.digest
+			// Attach the payload when this replica has it cached so
+			// backups missing the original pre-prepare can still execute.
+			if in, ok := e.instances[seq]; ok && in.havePP && in.digest == c.digest {
+				pp.Requests = in.requests
+			}
+		}
+		pps = append(pps, pp)
+	}
+	return &types.NewView{View: v, ViewChanges: vcs, PrePrepares: pps}
+}
+
+func (e *Engine) onNewView(from types.ReplicaID, m *types.NewView) []consensus.Action {
+	if m.View <= e.view || from != consensus.PrimaryOf(m.View, e.cfg.N) {
+		e.stats.Dropped++
+		return nil
+	}
+	if len(m.ViewChanges) < consensus.Quorum2f1(e.cfg.N) {
+		e.stats.Dropped++
+		return []consensus.Action{consensus.Evidence{
+			Culprit: from,
+			Detail:  fmt.Sprintf("new-view for %d with %d < quorum view-changes", m.View, len(m.ViewChanges)),
+		}}
+	}
+	seen := make(map[types.ReplicaID]bool)
+	for i := range m.ViewChanges {
+		vc := &m.ViewChanges[i]
+		if vc.NewView != m.View || seen[vc.Replica] {
+			e.stats.Dropped++
+			return nil
+		}
+		seen[vc.Replica] = true
+	}
+	acts := e.enterNewView(m)
+	// Backups re-run the prepare phase for every re-proposed batch.
+	for i := range m.PrePrepares {
+		pp := m.PrePrepares[i]
+		acts = append(acts, e.onPrePrepare(from, &pp)...)
+	}
+	return acts
+}
+
+// enterNewView installs the new view and resets per-view state. The new
+// primary also installs its own re-proposals.
+func (e *Engine) enterNewView(nv *types.NewView) []consensus.Action {
+	e.view = nv.View
+	e.inViewChange = false
+	e.stats.ViewChanges++
+	// Instances from older views are superseded by the re-proposals.
+	for seq, in := range e.instances {
+		if in.view < nv.View && !in.released {
+			delete(e.instances, seq)
+		}
+	}
+	delete(e.viewChanges, nv.View)
+
+	acts := []consensus.Action{consensus.ViewChanged{View: nv.View}}
+	if consensus.PrimaryOf(nv.View, e.cfg.N) == e.cfg.ID {
+		maxSeq := e.lowWater
+		for i := range nv.PrePrepares {
+			pp := &nv.PrePrepares[i]
+			if pp.Seq > maxSeq {
+				maxSeq = pp.Seq
+			}
+			in := e.inst(pp.Seq)
+			in.view = nv.View
+			in.digest = pp.Digest
+			in.havePP = true
+			in.isNull = pp.Digest == types.Digest{}
+			in.requests = pp.Requests
+		}
+		if e.nextSeq < maxSeq {
+			e.nextSeq = maxSeq
+		}
+		if e.nextSeq < e.lowWater {
+			e.nextSeq = e.lowWater
+		}
+	}
+	return acts
+}

@@ -1,0 +1,269 @@
+// Package ledger maintains the immutable blockchain of Section 2.2: each
+// replica independently appends one block per executed batch, starting
+// from a genesis block holding dummy data (the hash of the first primary's
+// identifier).
+//
+// Two linkage modes implement the Section 4.6 "Block Generation" insight:
+// traditional hash-chain linkage computes H(B_{i-1}) on the critical path,
+// while commit-certificate linkage instead embeds the 2f+1 commit
+// authenticators that already prove the order, avoiding the extra hash.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"resilientdb/internal/types"
+)
+
+// Mode selects how consecutive blocks are linked.
+type Mode int
+
+// Linkage modes.
+const (
+	// HashChain embeds H(B_{i-1}) in every block (Section 2.2).
+	HashChain Mode = iota + 1
+	// CommitCertificate embeds the 2f+1 commit signatures collected during
+	// consensus instead of hashing the previous block (Section 4.6).
+	CommitCertificate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case HashChain:
+		return "hash-chain"
+	case CommitCertificate:
+		return "commit-certificate"
+	default:
+		return "invalid"
+	}
+}
+
+// Errors reported by Append and Validate.
+var (
+	ErrGap           = errors.New("ledger: non-consecutive height")
+	ErrBrokenChain   = errors.New("ledger: hash chain broken")
+	ErrMissingProof  = errors.New("ledger: commit certificate below quorum")
+	ErrPruned        = errors.New("ledger: block pruned")
+	ErrBadGenesis    = errors.New("ledger: corrupt genesis block")
+	errUnknownHeight = errors.New("ledger: unknown height")
+)
+
+// Ledger is one replica's copy of the blockchain. It is safe for
+// concurrent use; in the pipeline only the execute-thread appends, while
+// the checkpoint-thread reads and prunes.
+type Ledger struct {
+	mode   Mode
+	quorum int // commit signatures required in CommitCertificate mode
+
+	mu     sync.RWMutex
+	blocks []types.Block // blocks[i] has Height = base+i
+	base   uint64        // height of blocks[0]
+}
+
+// New creates a Ledger seeded with the genesis block. primarySeed is the
+// dummy data stored in the genesis block, conventionally the hash of the
+// first primary's identifier H(P). quorum is the commit-certificate size
+// to enforce (2f+1); it is ignored in HashChain mode.
+func New(mode Mode, primarySeed types.Digest, quorum int) *Ledger {
+	genesis := types.Block{
+		Height: 0,
+		Seq:    0,
+		View:   0,
+		Digest: primarySeed,
+	}
+	return &Ledger{
+		mode:   mode,
+		quorum: quorum,
+		blocks: []types.Block{genesis},
+	}
+}
+
+// Mode returns the linkage mode.
+func (l *Ledger) Mode() Mode { return l.mode }
+
+// Head returns the most recently appended block.
+func (l *Ledger) Head() types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.blocks[len(l.blocks)-1]
+}
+
+// Height returns the height of the head block.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base + uint64(len(l.blocks)) - 1
+}
+
+// Append creates, links, and appends the block for an executed batch and
+// returns it. Blocks must be appended in execution order: seq must be
+// exactly one above the current head's height. In CommitCertificate mode
+// the proof must carry at least quorum signatures.
+func (l *Ledger) Append(seq types.SeqNum, view types.View, digest types.Digest, proof []types.CommitSig, txnCount uint32) (types.Block, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	head := l.blocks[len(l.blocks)-1]
+	if uint64(seq) != head.Height+1 {
+		return types.Block{}, fmt.Errorf("%w: appending seq %d after height %d", ErrGap, seq, head.Height)
+	}
+	b := types.Block{
+		Height:   uint64(seq),
+		Seq:      seq,
+		View:     view,
+		Digest:   digest,
+		TxnCount: txnCount,
+	}
+	switch l.mode {
+	case HashChain:
+		b.PrevHash = head.Hash()
+	case CommitCertificate:
+		if len(proof) < l.quorum {
+			return types.Block{}, fmt.Errorf("%w: %d < %d", ErrMissingProof, len(proof), l.quorum)
+		}
+		b.CommitProof = proof
+	}
+	l.blocks = append(l.blocks, b)
+	return b, nil
+}
+
+// Get returns the block at the given height.
+func (l *Ledger) Get(height uint64) (types.Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height < l.base {
+		return types.Block{}, fmt.Errorf("%w: height %d", ErrPruned, height)
+	}
+	idx := height - l.base
+	if idx >= uint64(len(l.blocks)) {
+		return types.Block{}, fmt.Errorf("%w: %d", errUnknownHeight, height)
+	}
+	return l.blocks[idx], nil
+}
+
+// Range calls fn for every retained block from height from upward, in
+// order, stopping early if fn returns false.
+func (l *Ledger) Range(from uint64, fn func(types.Block) bool) {
+	l.mu.RLock()
+	snapshot := l.blocks
+	base := l.base
+	l.mu.RUnlock()
+	for i := range snapshot {
+		if base+uint64(i) < from {
+			continue
+		}
+		if !fn(snapshot[i]) {
+			return
+		}
+	}
+}
+
+// Blocks returns a copy of all retained blocks in order.
+func (l *Ledger) Blocks() []types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]types.Block, len(l.blocks))
+	copy(out, l.blocks)
+	return out
+}
+
+// BlocksSince returns copies of the retained blocks with height > after.
+// Checkpoint messages carry these to lagging replicas (Section 4.7).
+func (l *Ledger) BlocksSince(after uint64) []types.Block {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []types.Block
+	for i := range l.blocks {
+		if l.base+uint64(i) > after {
+			out = append(out, l.blocks[i])
+		}
+	}
+	return out
+}
+
+// Prune discards all blocks with height strictly below keepFrom, the
+// garbage collection a stable checkpoint enables (Section 4.7). The head
+// block is always retained.
+func (l *Ledger) Prune(keepFrom uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	headHeight := l.base + uint64(len(l.blocks)) - 1
+	if keepFrom > headHeight {
+		keepFrom = headHeight
+	}
+	if keepFrom <= l.base {
+		return
+	}
+	drop := keepFrom - l.base
+	remaining := make([]types.Block, len(l.blocks)-int(drop))
+	copy(remaining, l.blocks[drop:])
+	l.blocks = remaining
+	l.base = keepFrom
+}
+
+// StateDigest summarizes the chain head for checkpoint messages: replicas
+// that executed the same prefix produce the same digest.
+func (l *Ledger) StateDigest() types.Digest {
+	h := l.Head()
+	return h.Hash()
+}
+
+// Validate walks the retained chain and checks every link: consecutive
+// heights, intact hash chain (HashChain mode), and quorum-sized commit
+// certificates (CommitCertificate mode). The genesis block is exempt from
+// proof checks when it is still retained.
+func (l *Ledger) Validate() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i := 1; i < len(l.blocks); i++ {
+		prev, cur := &l.blocks[i-1], &l.blocks[i]
+		if cur.Height != prev.Height+1 {
+			return fmt.Errorf("%w: %d follows %d", ErrGap, cur.Height, prev.Height)
+		}
+		switch l.mode {
+		case HashChain:
+			if cur.PrevHash != prev.Hash() {
+				return fmt.Errorf("%w: at height %d", ErrBrokenChain, cur.Height)
+			}
+		case CommitCertificate:
+			if len(cur.CommitProof) < l.quorum {
+				return fmt.Errorf("%w: at height %d", ErrMissingProof, cur.Height)
+			}
+			seen := make(map[types.ReplicaID]bool, len(cur.CommitProof))
+			for _, sig := range cur.CommitProof {
+				if seen[sig.Replica] {
+					return fmt.Errorf("%w: duplicate signer %d at height %d", ErrMissingProof, sig.Replica, cur.Height)
+				}
+				seen[sig.Replica] = true
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyChainEquality reports whether two ledgers agree on every height
+// both retain: same batch digests, views, and transaction counts. It is
+// the cross-replica safety check used by integration tests.
+func VerifyChainEquality(a, b *Ledger) error {
+	ha, hb := a.Height(), b.Height()
+	limit := ha
+	if hb < limit {
+		limit = hb
+	}
+	for h := uint64(1); h <= limit; h++ {
+		ba, errA := a.Get(h)
+		bb, errB := b.Get(h)
+		if errors.Is(errA, ErrPruned) || errors.Is(errB, ErrPruned) {
+			continue
+		}
+		if errA != nil || errB != nil {
+			return fmt.Errorf("ledger: fetching height %d: %v / %v", h, errA, errB)
+		}
+		if ba.Digest != bb.Digest || ba.Seq != bb.Seq || ba.TxnCount != bb.TxnCount {
+			return fmt.Errorf("ledger: divergence at height %d: %x vs %x", h, ba.Digest[:4], bb.Digest[:4])
+		}
+	}
+	return nil
+}

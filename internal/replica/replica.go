@@ -1,0 +1,451 @@
+// Package replica implements the multi-threaded deep pipeline of paper
+// Section 4 (Figures 5 and 6): the runnable replica that turns a consensus
+// engine into a high-throughput permissioned blockchain node.
+//
+// A replica runs these stages, each on its own goroutine(s):
+//
+//   - one input-thread dedicated to client traffic and ReplicaInboxes
+//     input-threads sharing replica traffic (Section 4.1);
+//   - at the primary, BatchThreads batch-threads pulling client requests
+//     from a shared lock-free queue, verifying client signatures, building
+//     batches with a single digest, signing and proposing them
+//     (Section 4.3);
+//   - one worker-thread driving the consensus engine over prepare/commit
+//     traffic (Section 4.3–4.4);
+//   - one execute-thread draining the in-order execution queue
+//     (txn % QC slots, Section 4.6), applying transactions to the store,
+//     appending blocks to the ledger, and answering clients;
+//   - one checkpoint-thread processing checkpoint traffic (Section 4.7);
+//   - OutputThreads output-threads transmitting signed envelopes
+//     (Section 4.1).
+//
+// Setting BatchThreads or ExecuteThreads to zero folds that stage into the
+// worker-thread, reproducing the paper's 0B/0E configurations
+// (Section 5.2); message and transaction buffers come from object pools
+// (Section 4.8).
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/consensus/pbft"
+	"resilientdb/internal/consensus/zyzzyva"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/pool"
+	"resilientdb/internal/queue"
+	"resilientdb/internal/store"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// Protocol selects the consensus engine.
+type Protocol int
+
+// Supported protocols.
+const (
+	PBFT Protocol = iota + 1
+	Zyzzyva
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case PBFT:
+		return "pbft"
+	case Zyzzyva:
+		return "zyzzyva"
+	default:
+		return "invalid"
+	}
+}
+
+// Config parameterizes a replica.
+type Config struct {
+	// ID is this replica's identifier; N the cluster size (n ≥ 3f+1).
+	ID types.ReplicaID
+	N  int
+	// Protocol selects PBFT or Zyzzyva.
+	Protocol Protocol
+	// BatchSize is the number of transactions aggregated per consensus
+	// batch (the paper's default is 100, Section 5.1).
+	BatchSize int
+	// BatchLinger flushes a partial batch after this much quiet time so
+	// lightly loaded systems keep bounded latency.
+	BatchLinger time.Duration
+	// BatchThreads is B: 0 folds batching into the worker-thread.
+	BatchThreads int
+	// ExecuteThreads is E: 0 folds execution into the worker-thread;
+	// 1 dedicates an execute-thread. Values above 1 are rejected — the
+	// paper warns multiple execution threads cause data conflicts
+	// (Section 6, "Threading and Pipelining").
+	ExecuteThreads int
+	// OutputThreads is the number of transmitting threads (default 2).
+	OutputThreads int
+	// ReplicaInboxes is the number of input-threads for replica traffic
+	// (default 2).
+	ReplicaInboxes int
+	// CheckpointInterval is Δ in batches; the paper checkpoints once per
+	// 10K transactions, i.e. every 100 batches of 100 (Section 5.1).
+	CheckpointInterval uint64
+	// WatermarkWindow bounds out-of-order pipelining depth.
+	WatermarkWindow uint64
+	// LedgerMode selects block linkage (default CommitCertificate,
+	// Section 4.6).
+	LedgerMode ledger.Mode
+	// Store is the record table; nil means a fresh in-memory store.
+	Store store.Store
+	// Directory provides key material; Endpoint attaches the network.
+	Directory *crypto.Directory
+	Endpoint  transport.Endpoint
+	// VerifyClientSigs makes batch-threads verify client request
+	// signatures before batching (on by default at the primary via
+	// NewDefault; forged requests are rejected).
+	VerifyClientSigs bool
+	// DisableOutOfOrder serializes consensus instances: the primary
+	// proposes batch k+1 only after batch k executed. It exists as the
+	// ablation baseline for Section 4.5.
+	DisableOutOfOrder bool
+	// ViewTimeout arms a progress watchdog that triggers a view change
+	// when client work stalls; zero disables it.
+	ViewTimeout time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.N < 4 {
+		return fmt.Errorf("replica: need n ≥ 4, got %d", c.N)
+	}
+	if int(c.ID) >= c.N {
+		return fmt.Errorf("replica: id %d out of range for n=%d", c.ID, c.N)
+	}
+	switch c.Protocol {
+	case PBFT, Zyzzyva:
+	default:
+		return fmt.Errorf("replica: invalid protocol %d", c.Protocol)
+	}
+	if c.ExecuteThreads < 0 || c.ExecuteThreads > 1 {
+		return fmt.Errorf("replica: ExecuteThreads must be 0 or 1 (multiple execution threads cause data conflicts)")
+	}
+	if c.BatchThreads < 0 {
+		return fmt.Errorf("replica: negative BatchThreads")
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 100
+	}
+	if c.BatchLinger <= 0 {
+		c.BatchLinger = 2 * time.Millisecond
+	}
+	if c.OutputThreads < 1 {
+		c.OutputThreads = 2
+	}
+	if c.ReplicaInboxes < 1 {
+		c.ReplicaInboxes = 2
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 100
+	}
+	if c.WatermarkWindow == 0 {
+		c.WatermarkWindow = 4096
+	}
+	if c.LedgerMode == 0 {
+		c.LedgerMode = ledger.CommitCertificate
+	}
+	if c.Directory == nil {
+		return fmt.Errorf("replica: Directory is required")
+	}
+	if c.Endpoint == nil {
+		return fmt.Errorf("replica: Endpoint is required")
+	}
+	return nil
+}
+
+// Stage identifies a pipeline stage for busy-time accounting.
+type Stage int
+
+// Pipeline stages (Figure 6).
+const (
+	StageInput Stage = iota
+	StageBatch
+	StageWorker
+	StageExecute
+	StageCheckpoint
+	StageOutput
+	stageCount
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageInput:
+		return "input"
+	case StageBatch:
+		return "batch"
+	case StageWorker:
+		return "worker"
+	case StageExecute:
+		return "execute"
+	case StageCheckpoint:
+		return "checkpoint"
+	case StageOutput:
+		return "output"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a snapshot of replica counters.
+type Stats struct {
+	TxnsExecuted    uint64
+	BatchesExecuted uint64
+	BatchesProposed uint64
+	MsgsIn          uint64
+	MsgsOut         uint64
+	AuthFailures    uint64
+	Checkpoints     uint64
+	View            types.View
+	LedgerHeight    uint64
+	// BusyNS is cumulative busy time per stage, the runtime analogue of
+	// the Figure 9 saturation measurement.
+	BusyNS [stageCount]uint64
+}
+
+// workItem is the union flowing into the worker queue: either a verified
+// envelope from a peer or (in 0B mode) a client request to batch.
+type workItem struct {
+	env *types.Envelope
+	req *types.ClientRequest
+}
+
+// execItem carries one committed batch into the execution stage.
+type execItem struct {
+	act consensus.Execute
+}
+
+// Replica is a runnable pipelined replica.
+type Replica struct {
+	cfg    Config
+	engine consensus.Engine
+	engMu  sync.Mutex
+	auth   crypto.Authenticator
+
+	ledger *ledger.Ledger
+	store  store.Store
+
+	batchQ *queue.MPMC[*types.ClientRequest]
+	workQ  chan workItem
+	ckptQ  chan *types.Envelope
+	outQs  []chan *types.Envelope
+	execIn *queue.InOrder[execItem]
+
+	reqPool *pool.Pool[types.ClientRequest]
+
+	// Execution-side dedup: last executed client sequence per client.
+	lastExec map[types.ClientID]uint64
+
+	// Watchdog state.
+	pendingHint  atomic.Bool
+	lastProgress atomic.Int64 // unix nanos
+
+	// notPrimary caches the inverse primary role for the lock-free input
+	// path; refreshed on ViewChanged actions.
+	notPrimary atomic.Bool
+
+	// evidence counts byzantine-behaviour observations and pipeline
+	// invariant violations.
+	evidence atomic.Uint64
+
+	// Inline (0E) execution reorder state, guarded by inlineMu.
+	inlineMu      sync.Mutex
+	inlinePending map[uint64]consensus.Execute
+	inlineNext    uint64
+
+	// inflight tracks unexecuted proposed batches for the
+	// DisableOutOfOrder ablation.
+	inflight atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	inputWg  sync.WaitGroup
+	stage1Wg sync.WaitGroup // batch, worker, checkpoint
+	execWg   sync.WaitGroup
+	outWg    sync.WaitGroup
+	watchWg  sync.WaitGroup
+
+	txnsExecuted    atomic.Uint64
+	batchesExecuted atomic.Uint64
+	msgsIn          atomic.Uint64
+	msgsOut         atomic.Uint64
+	authFailures    atomic.Uint64
+	busyNS          [stageCount]atomic.Uint64
+}
+
+// New creates a replica; call Start to launch the pipeline.
+func New(cfg Config) (*Replica, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	var engine consensus.Engine
+	var err error
+	switch cfg.Protocol {
+	case PBFT:
+		engine, err = pbft.New(pbft.Config{
+			ID:                 cfg.ID,
+			N:                  cfg.N,
+			CheckpointInterval: cfg.CheckpointInterval,
+			WatermarkWindow:    cfg.WatermarkWindow,
+		})
+	case Zyzzyva:
+		engine, err = zyzzyva.New(zyzzyva.Config{
+			ID:                  cfg.ID,
+			N:                   cfg.N,
+			CheckpointInterval:  cfg.CheckpointInterval,
+			MaxSpeculationDepth: cfg.WatermarkWindow,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == Zyzzyva && cfg.LedgerMode == ledger.CommitCertificate {
+		// Speculative execution has no commit certificate at block-creation
+		// time; Zyzzyva chains blocks by hash.
+		cfg.LedgerMode = ledger.HashChain
+	}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemStore(1 << 16)
+	}
+	genesis := crypto.Hash256([]byte(fmt.Sprintf("genesis-primary-%d", consensus.PrimaryOf(0, cfg.N))))
+	r := &Replica{
+		cfg:      cfg,
+		engine:   engine,
+		auth:     cfg.Directory.NodeAuth(types.ReplicaNode(cfg.ID)),
+		ledger:   ledger.New(cfg.LedgerMode, genesis, consensus.Quorum2f1(cfg.N)),
+		store:    st,
+		batchQ:   queue.NewMPMC[*types.ClientRequest](1 << 14),
+		workQ:    make(chan workItem, 1<<13),
+		ckptQ:    make(chan *types.Envelope, 1<<10),
+		execIn:   queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, 1),
+		lastExec: make(map[types.ClientID]uint64),
+		stop:     make(chan struct{}),
+		reqPool: pool.New[types.ClientRequest](nil, func(cr *types.ClientRequest) {
+			*cr = types.ClientRequest{}
+		}, 1024, 1<<16),
+	}
+	r.inlinePending = make(map[uint64]consensus.Execute)
+	r.inlineNext = 1
+	r.outQs = make([]chan *types.Envelope, cfg.OutputThreads)
+	for i := range r.outQs {
+		r.outQs[i] = make(chan *types.Envelope, 1<<13)
+	}
+	r.notPrimary.Store(!engine.IsPrimary())
+	r.lastProgress.Store(time.Now().UnixNano())
+	return r, nil
+}
+
+// Ledger exposes the replica's blockchain for inspection.
+func (r *Replica) Ledger() *ledger.Ledger { return r.ledger }
+
+// Store exposes the replica's record table.
+func (r *Replica) Store() store.Store { return r.store }
+
+// ID returns the replica identifier.
+func (r *Replica) ID() types.ReplicaID { return r.cfg.ID }
+
+// IsPrimary reports whether this replica currently leads.
+func (r *Replica) IsPrimary() bool {
+	r.engMu.Lock()
+	defer r.engMu.Unlock()
+	return r.engine.IsPrimary()
+}
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() Stats {
+	r.engMu.Lock()
+	view := r.engine.View()
+	es := r.engine.Stats()
+	r.engMu.Unlock()
+	s := Stats{
+		TxnsExecuted:    r.txnsExecuted.Load(),
+		BatchesExecuted: r.batchesExecuted.Load(),
+		BatchesProposed: es.Proposed,
+		MsgsIn:          r.msgsIn.Load(),
+		MsgsOut:         r.msgsOut.Load(),
+		AuthFailures:    r.authFailures.Load(),
+		Checkpoints:     es.Checkpoints,
+		View:            view,
+		LedgerHeight:    r.ledger.Height(),
+	}
+	for i := range s.BusyNS {
+		s.BusyNS[i] = r.busyNS[i].Load()
+	}
+	return s
+}
+
+func (r *Replica) addBusy(stage Stage, d time.Duration) {
+	if d > 0 {
+		r.busyNS[stage].Add(uint64(d))
+	}
+}
+
+// Start launches the pipeline goroutines.
+func (r *Replica) Start() {
+	// Input: client traffic on inbox 0, replica traffic on the rest.
+	r.inputWg.Add(1)
+	go r.inputClientLoop(r.cfg.Endpoint.Inbox(0))
+	for i := 1; i < r.cfg.Endpoint.Inboxes(); i++ {
+		r.inputWg.Add(1)
+		go r.inputReplicaLoop(r.cfg.Endpoint.Inbox(i))
+	}
+
+	for i := 0; i < r.cfg.BatchThreads; i++ {
+		r.stage1Wg.Add(1)
+		go r.batchLoop()
+	}
+	r.stage1Wg.Add(1)
+	go r.workerLoop()
+	r.stage1Wg.Add(1)
+	go r.checkpointLoop()
+
+	if r.cfg.ExecuteThreads > 0 {
+		r.execWg.Add(1)
+		go r.executeLoop()
+	}
+
+	for i := range r.outQs {
+		r.outWg.Add(1)
+		go r.outputLoop(r.outQs[i])
+	}
+
+	if r.cfg.ViewTimeout > 0 {
+		r.watchWg.Add(1)
+		go r.watchdogLoop()
+	}
+}
+
+// Stop shuts the pipeline down gracefully and waits for every goroutine.
+// The replica's endpoint is closed as part of the shutdown.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		r.cfg.Endpoint.Close()
+		r.inputWg.Wait()
+
+		r.batchQ.Close()
+		close(r.workQ)
+		close(r.ckptQ)
+		r.stage1Wg.Wait()
+
+		r.execIn.Close()
+		r.execWg.Wait()
+
+		for _, q := range r.outQs {
+			close(q)
+		}
+		r.outWg.Wait()
+		r.watchWg.Wait()
+	})
+}

@@ -1,0 +1,126 @@
+package replica
+
+import (
+	"strings"
+	"testing"
+
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+func validConfig(t *testing.T) Config {
+	t.Helper()
+	dir, err := crypto.NewDirectory(crypto.NoSig(), [32]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInproc()
+	return Config{
+		ID:        0,
+		N:         4,
+		Protocol:  PBFT,
+		Directory: dir,
+		Endpoint:  net.Endpoint(types.ReplicaNode(0), 3, 16),
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string
+	}{
+		{"valid", func(c *Config) {}, ""},
+		{"too few replicas", func(c *Config) { c.N = 3 }, "n ≥ 4"},
+		{"id out of range", func(c *Config) { c.ID = 9 }, "out of range"},
+		{"bad protocol", func(c *Config) { c.Protocol = 0 }, "protocol"},
+		{"multi execute threads", func(c *Config) { c.ExecuteThreads = 2 }, "ExecuteThreads"},
+		{"negative batch threads", func(c *Config) { c.BatchThreads = -1 }, "BatchThreads"},
+		{"missing directory", func(c *Config) { c.Directory = nil }, "Directory"},
+		{"missing endpoint", func(c *Config) { c.Endpoint = nil }, "Endpoint"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig(t)
+			tt.mutate(&cfg)
+			_, err := New(cfg)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("New() = %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("New() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r, err := New(validConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.BatchSize != 100 || r.cfg.OutputThreads != 2 || r.cfg.ReplicaInboxes != 2 {
+		t.Fatalf("defaults not applied: %+v", r.cfg)
+	}
+	if r.cfg.CheckpointInterval != 100 {
+		t.Fatalf("checkpoint default = %d", r.cfg.CheckpointInterval)
+	}
+	if !r.IsPrimary() {
+		t.Fatal("replica 0 should lead view 0")
+	}
+}
+
+func TestZyzzyvaForcesHashChainLedger(t *testing.T) {
+	cfg := validConfig(t)
+	cfg.Protocol = Zyzzyva
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speculative execution has no commit certificate at block-creation
+	// time, so Zyzzyva must chain blocks by hash.
+	if got := r.Ledger().Mode().String(); got != "hash-chain" {
+		t.Fatalf("ledger mode = %s", got)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	r, err := New(validConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Stop()
+	r.Stop() // second Stop must be a no-op, not a panic
+	s := r.Stats()
+	if s.TxnsExecuted != 0 {
+		t.Fatalf("idle replica executed %d txns", s.TxnsExecuted)
+	}
+}
+
+func TestStageStringNames(t *testing.T) {
+	want := map[Stage]string{
+		StageInput: "input", StageBatch: "batch", StageWorker: "worker",
+		StageExecute: "execute", StageCheckpoint: "checkpoint", StageOutput: "output",
+	}
+	for stage, name := range want {
+		if stage.String() != name {
+			t.Fatalf("Stage(%d).String() = %q, want %q", stage, stage.String(), name)
+		}
+	}
+}
+
+func TestResponseDigestDeterministic(t *testing.T) {
+	a := responseDigest(5, 3, 77)
+	b := responseDigest(5, 3, 77)
+	if a != b {
+		t.Fatal("responseDigest not deterministic")
+	}
+	if responseDigest(6, 3, 77) == a || responseDigest(5, 4, 77) == a || responseDigest(5, 3, 78) == a {
+		t.Fatal("responseDigest ignores an input")
+	}
+}

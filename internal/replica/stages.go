@@ -1,0 +1,524 @@
+package replica
+
+import (
+	"time"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/types"
+)
+
+// ---- Input stage (Section 4.1) ----
+
+// inputClientLoop services inbox 0: client requests and, for Zyzzyva,
+// client commit certificates.
+func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope) {
+	defer r.inputWg.Done()
+	for env := range inbox {
+		t0 := time.Now()
+		r.msgsIn.Add(1)
+		switch env.Type {
+		case types.MsgClientRequest:
+			msg, err := types.DecodeBody(env.Type, env.Body)
+			if err != nil {
+				r.authFailures.Add(1)
+				break
+			}
+			req, ok := msg.(*types.ClientRequest)
+			if !ok {
+				break
+			}
+			if r.isPrimaryHint() {
+				if r.cfg.BatchThreads > 0 {
+					r.batchQ.Push(req)
+				} else {
+					select {
+					case r.workQ <- workItem{req: req}:
+					case <-r.stop:
+					}
+				}
+			} else {
+				// A client that resorts to contacting backups signals a
+				// stalled primary; remember it for the watchdog.
+				r.pendingHint.Store(true)
+			}
+		case types.MsgCommitCert:
+			select {
+			case r.workQ <- workItem{env: env}:
+			case <-r.stop:
+			}
+		default:
+			r.authFailures.Add(1)
+		}
+		r.addBusy(StageInput, time.Since(t0))
+	}
+}
+
+// inputReplicaLoop services one replica-traffic inbox, forwarding
+// checkpoint messages to the checkpoint-thread and everything else to the
+// worker-thread.
+func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope) {
+	defer r.inputWg.Done()
+	for env := range inbox {
+		t0 := time.Now()
+		r.msgsIn.Add(1)
+		if env.Type == types.MsgCheckpoint {
+			select {
+			case r.ckptQ <- env:
+			case <-r.stop:
+			}
+		} else {
+			select {
+			case r.workQ <- workItem{env: env}:
+			case <-r.stop:
+			}
+		}
+		r.addBusy(StageInput, time.Since(t0))
+	}
+}
+
+// isPrimaryHint is the lock-free primary check used on the hot input path;
+// it is refreshed whenever the view changes.
+func (r *Replica) isPrimaryHint() bool {
+	return !r.notPrimary.Load()
+}
+
+// ---- Batch stage (Section 4.3) ----
+
+// batchLoop is one batch-thread: it drains the shared lock-free queue,
+// assembles up to BatchSize transactions (flushing after BatchLinger),
+// verifies client signatures, and proposes the batch.
+func (r *Replica) batchLoop() {
+	defer r.stage1Wg.Done()
+	for {
+		first, ok := r.batchQ.Pop()
+		if !ok {
+			return
+		}
+		t0 := time.Now()
+		reqs := []types.ClientRequest{*first}
+		txns := len(first.Txns)
+		r.reqPool.Put(first)
+		deadline := t0.Add(r.cfg.BatchLinger)
+		for txns < r.cfg.BatchSize {
+			next, ok := r.batchQ.TryPop()
+			if !ok {
+				if time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+			reqs = append(reqs, *next)
+			txns += len(next.Txns)
+			r.reqPool.Put(next)
+		}
+		r.propose(reqs)
+		r.addBusy(StageBatch, time.Since(t0))
+	}
+}
+
+// propose verifies client signatures and drives the engine's Propose,
+// retrying while the watermark window is full.
+func (r *Replica) propose(reqs []types.ClientRequest) {
+	if len(reqs) == 0 {
+		return
+	}
+	if r.cfg.VerifyClientSigs {
+		kept := reqs[:0]
+		for i := range reqs {
+			if err := r.auth.Verify(types.ClientNode(reqs[i].Client), reqs[i].SigningBytes(), reqs[i].Sig); err != nil {
+				r.authFailures.Add(1)
+				continue
+			}
+			kept = append(kept, reqs[i])
+		}
+		reqs = kept
+		if len(reqs) == 0 {
+			return
+		}
+	}
+	for {
+		if r.cfg.DisableOutOfOrder {
+			// Ablation: strictly one consensus instance at a time.
+			for r.inflight.Load() > 0 {
+				select {
+				case <-r.stop:
+					return
+				default:
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}
+		r.engMu.Lock()
+		if !r.engine.IsPrimary() {
+			r.engMu.Unlock()
+			return // lost the primary role; clients will retransmit
+		}
+		acts := r.engine.Propose(reqs)
+		r.engMu.Unlock()
+		if acts != nil {
+			if r.cfg.DisableOutOfOrder {
+				r.inflight.Add(1)
+			}
+			r.handleActions(acts)
+			return
+		}
+		// Watermark window full: wait for execution to catch up.
+		select {
+		case <-r.stop:
+			return
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// ---- Worker stage (Sections 4.3–4.4) ----
+
+// workerLoop drives the consensus engine: it verifies and decodes peer
+// messages, applies them, and (in 0B mode) also assembles batches.
+func (r *Replica) workerLoop() {
+	defer r.stage1Wg.Done()
+	var pend []types.ClientRequest
+	pendTxns := 0
+	var lingerC <-chan time.Time
+
+	flush := func() {
+		if len(pend) > 0 {
+			r.propose(pend)
+			pend = nil
+			pendTxns = 0
+		}
+		lingerC = nil
+	}
+
+	for {
+		select {
+		case item, ok := <-r.workQ:
+			if !ok {
+				flush()
+				return
+			}
+			t0 := time.Now()
+			if item.req != nil {
+				pend = append(pend, *item.req)
+				pendTxns += len(item.req.Txns)
+				if pendTxns >= r.cfg.BatchSize {
+					flush()
+				} else if lingerC == nil {
+					lingerC = time.After(r.cfg.BatchLinger)
+				}
+			} else {
+				r.processEnvelope(item.env)
+			}
+			r.addBusy(StageWorker, time.Since(t0))
+		case <-lingerC:
+			t0 := time.Now()
+			flush()
+			r.addBusy(StageWorker, time.Since(t0))
+		}
+	}
+}
+
+// processEnvelope authenticates, decodes, and applies one peer message.
+// Signature verification happens here, on the worker-thread, exactly where
+// the paper assigns it (Section 4.3).
+func (r *Replica) processEnvelope(env *types.Envelope) {
+	if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+		r.authFailures.Add(1)
+		return
+	}
+	msg, err := types.DecodeBody(env.Type, env.Body)
+	if err != nil {
+		r.authFailures.Add(1)
+		return
+	}
+	// Batch digest verification for proposals (the hashing cost lands on
+	// the worker-thread at backups).
+	switch m := msg.(type) {
+	case *types.PrePrepare:
+		if len(m.Requests) > 0 && types.BatchDigest(m.Requests) != m.Digest {
+			r.authFailures.Add(1)
+			return
+		}
+	case *types.OrderedRequest:
+		if len(m.Requests) > 0 && types.BatchDigest(m.Requests) != m.Digest {
+			r.authFailures.Add(1)
+			return
+		}
+	}
+	r.engMu.Lock()
+	acts := r.engine.OnMessage(env.From, msg, env.Auth)
+	r.engMu.Unlock()
+	r.handleActions(acts)
+}
+
+// ---- Checkpoint stage (Section 4.7) ----
+
+func (r *Replica) checkpointLoop() {
+	defer r.stage1Wg.Done()
+	for env := range r.ckptQ {
+		t0 := time.Now()
+		r.processEnvelope(env)
+		r.addBusy(StageCheckpoint, time.Since(t0))
+	}
+}
+
+// ---- Action dispatch ----
+
+// handleActions interprets engine outputs. It must be called without
+// engMu held.
+func (r *Replica) handleActions(acts []consensus.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case consensus.Broadcast:
+			r.broadcast(act.Msg)
+		case consensus.Send:
+			r.sendTo(act.To, act.Msg)
+		case consensus.Execute:
+			if r.cfg.ExecuteThreads > 0 {
+				r.execIn.Offer(uint64(act.Seq), execItem{act: act})
+			} else {
+				r.inlineExecute(act)
+			}
+		case consensus.CheckpointStable:
+			r.ledger.Prune(uint64(act.Seq))
+		case consensus.ViewChanged:
+			r.notPrimary.Store(consensus.PrimaryOf(act.View, r.cfg.N) != r.cfg.ID)
+		case consensus.Evidence:
+			r.evidence.Add(1)
+		}
+	}
+}
+
+// inlineExecute serializes in-order execution on the calling thread for 0E
+// configurations: batches parked in a reorder map are drained strictly by
+// sequence number under the execution lock.
+func (r *Replica) inlineExecute(act consensus.Execute) {
+	r.inlineMu.Lock()
+	defer r.inlineMu.Unlock()
+	r.inlinePending[uint64(act.Seq)] = act
+	for {
+		next, ok := r.inlinePending[r.inlineNext]
+		if !ok {
+			return
+		}
+		delete(r.inlinePending, r.inlineNext)
+		r.inlineNext++
+		t0 := time.Now()
+		r.executeBatch(next)
+		// In 0E mode execution time is the worker's burden.
+		r.addBusy(StageWorker, time.Since(t0))
+	}
+}
+
+// ---- Execute stage (Section 4.6) ----
+
+func (r *Replica) executeLoop() {
+	defer r.execWg.Done()
+	for {
+		_, item, ok := r.execIn.Next()
+		if !ok {
+			return
+		}
+		t0 := time.Now()
+		r.executeBatch(item.act)
+		r.addBusy(StageExecute, time.Since(t0))
+	}
+}
+
+// executeBatch applies one committed batch: transactions hit the store,
+// the block joins the ledger, the engine learns about the execution
+// (driving checkpoints), and every client gets its response.
+func (r *Replica) executeBatch(act consensus.Execute) {
+	txnCount := uint32(0)
+	for i := range act.Requests {
+		req := &act.Requests[i]
+		txnCount += uint32(len(req.Txns))
+		last := r.lastExec[req.Client]
+		for j := range req.Txns {
+			txn := &req.Txns[j]
+			if txn.ClientSeq <= last && last != 0 {
+				continue // duplicate delivery (e.g. re-proposed after view change)
+			}
+			for k := range txn.Ops {
+				// Write-only YCSB-style application (Section 5.1).
+				_ = r.store.Put(txn.Ops[k].Key, txn.Ops[k].Value)
+			}
+			if txn.ClientSeq > last {
+				last = txn.ClientSeq
+			}
+		}
+		r.lastExec[req.Client] = last
+	}
+
+	if _, err := r.ledger.Append(act.Seq, act.View, act.Digest, act.Proof, txnCount); err != nil {
+		// An append gap is a fatal pipeline bug; surface loudly in stats.
+		r.evidence.Add(1)
+		return
+	}
+
+	r.engMu.Lock()
+	ckActs := r.engine.OnExecuted(act.Seq, r.ledger.StateDigest())
+	r.engMu.Unlock()
+	r.handleActions(ckActs)
+
+	// Respond to every client in the batch.
+	for i := range act.Requests {
+		req := &act.Requests[i]
+		result := responseDigest(act.Seq, req.Client, req.FirstSeq)
+		var resp types.Message
+		if act.Speculative {
+			resp = &types.SpecResponse{
+				View:      act.View,
+				Seq:       act.Seq,
+				Digest:    act.Digest,
+				History:   act.History,
+				Client:    req.Client,
+				ClientSeq: req.FirstSeq,
+				Result:    result,
+				Replica:   r.cfg.ID,
+			}
+		} else {
+			resp = &types.ClientResponse{
+				View:      act.View,
+				Seq:       act.Seq,
+				Client:    req.Client,
+				ClientSeq: req.FirstSeq,
+				Result:    result,
+				Replica:   r.cfg.ID,
+			}
+		}
+		r.sendTo(types.ClientNode(req.Client), resp)
+	}
+
+	r.txnsExecuted.Add(uint64(txnCount))
+	r.batchesExecuted.Add(1)
+	if r.cfg.DisableOutOfOrder {
+		r.inflight.Add(-1)
+	}
+	r.pendingHint.Store(false)
+	r.lastProgress.Store(time.Now().UnixNano())
+}
+
+// responseDigest derives the deterministic execution result all correct
+// replicas report for a request.
+func responseDigest(seq types.SeqNum, client types.ClientID, clientSeq uint64) types.Digest {
+	var w types.Writer
+	w.U64(uint64(seq))
+	w.U32(uint32(client))
+	w.U64(clientSeq)
+	return crypto.Hash256(w.Bytes())
+}
+
+// ---- Output stage (Section 4.1) ----
+
+// broadcast signs and enqueues msg for every other replica. Under a
+// digital-signature scheme the body is signed once and reused; under CMAC
+// a fresh MAC is computed per destination (the MAC-vector cost).
+func (r *Replica) broadcast(msg types.Message) {
+	body := types.MarshalBody(msg)
+	mt := msg.Type()
+	var shared []byte
+	if !r.auth.PerDestination() {
+		sig, err := r.auth.Sign(types.ReplicaNode(0), body)
+		if err != nil {
+			r.authFailures.Add(1)
+			return
+		}
+		shared = sig
+	}
+	for i := 0; i < r.cfg.N; i++ {
+		dst := types.ReplicaID(i)
+		if dst == r.cfg.ID {
+			continue
+		}
+		auth := shared
+		if auth == nil {
+			sig, err := r.auth.Sign(types.ReplicaNode(dst), body)
+			if err != nil {
+				r.authFailures.Add(1)
+				continue
+			}
+			auth = sig
+		}
+		r.enqueueOut(&types.Envelope{
+			From: types.ReplicaNode(r.cfg.ID),
+			To:   types.ReplicaNode(dst),
+			Type: mt,
+			Body: body,
+			Auth: auth,
+		})
+	}
+}
+
+// sendTo signs and enqueues msg for a single destination.
+func (r *Replica) sendTo(to types.NodeID, msg types.Message) {
+	body := types.MarshalBody(msg)
+	sig, err := r.auth.Sign(to, body)
+	if err != nil {
+		r.authFailures.Add(1)
+		return
+	}
+	r.enqueueOut(&types.Envelope{
+		From: types.ReplicaNode(r.cfg.ID),
+		To:   to,
+		Type: msg.Type(),
+		Body: body,
+		Auth: sig,
+	})
+}
+
+// enqueueOut places an envelope on the output queue owned by the
+// destination's output-thread (Section 4.1: clients and replicas are
+// partitioned across output-threads).
+func (r *Replica) enqueueOut(env *types.Envelope) {
+	idx := int(uint32(env.To)) % len(r.outQs)
+	defer func() {
+		// A concurrent Stop may close the queue; dropping the message is
+		// correct (the peer is gone or we are shutting down).
+		_ = recover()
+	}()
+	select {
+	case r.outQs[idx] <- env:
+		r.msgsOut.Add(1)
+	case <-r.stop:
+	}
+}
+
+func (r *Replica) outputLoop(q chan *types.Envelope) {
+	defer r.outWg.Done()
+	for env := range q {
+		t0 := time.Now()
+		_ = r.cfg.Endpoint.Send(env) // dead peers are dropped silently
+		r.addBusy(StageOutput, time.Since(t0))
+	}
+}
+
+// ---- Watchdog (view-change trigger) ----
+
+func (r *Replica) watchdogLoop() {
+	defer r.watchWg.Done()
+	tick := time.NewTicker(r.cfg.ViewTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			if !r.pendingHint.Load() {
+				continue
+			}
+			idle := time.Since(time.Unix(0, r.lastProgress.Load()))
+			if idle < r.cfg.ViewTimeout {
+				continue
+			}
+			r.engMu.Lock()
+			acts := r.engine.OnViewTimeout()
+			r.engMu.Unlock()
+			r.handleActions(acts)
+			r.lastProgress.Store(time.Now().UnixNano()) // back off
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"resilientdb/internal/consensus"
+	clientengine "resilientdb/internal/consensus/client"
+	"resilientdb/internal/types"
+)
+
+// simClient is one closed-loop client: it keeps a single request in
+// flight, driven by the same client engine as the runnable system.
+// Client compute is free (the paper's client machines exist only to
+// generate load); their NICs still serialize outbound bytes.
+type simClient struct {
+	r       *run
+	id      types.ClientID
+	engine  *clientengine.Engine
+	machine *Host
+
+	clientSeq uint64
+	start     Time
+	gen       uint64 // timeout generation; bumping it cancels the timer
+}
+
+func (c *simClient) submitNext() {
+	if c.clientSeq == 0 {
+		c.clientSeq = 1
+	}
+	req := mkRequest(c.id, c.clientSeq, c.r.cfg.Burst)
+	c.start = c.r.sim.Now()
+	acts := c.engine.Submit(req)
+	// Bill the client's signature as a latency offset before the wire.
+	signDelay := c.r.costs.clientSign(c.r.cfg.Scheme)
+	c.r.sim.After(signDelay, func() { c.dispatch(acts) })
+	c.armTimeout()
+}
+
+func (c *simClient) armTimeout() {
+	c.gen++
+	g := c.gen
+	c.r.sim.After(c.r.cfg.ClientTimeout, func() { c.onTimeout(g) })
+}
+
+func (c *simClient) onTimeout(g uint64) {
+	if g != c.gen || !c.engine.Busy() {
+		return
+	}
+	c.dispatch(c.engine.OnTimeout())
+	c.armTimeout()
+}
+
+func (c *simClient) dispatch(acts []consensus.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case consensus.Send:
+			c.transmit(act.To, act.Msg)
+		case consensus.Broadcast:
+			for i := 0; i < c.r.cfg.Replicas; i++ {
+				c.transmit(types.ReplicaNode(types.ReplicaID(i)), act.Msg)
+			}
+		}
+	}
+}
+
+func (c *simClient) transmit(to types.NodeID, msg types.Message) {
+	size := c.r.reqSize
+	if _, ok := msg.(*types.CommitCert); ok {
+		size = c.r.voteSize
+	}
+	from := types.ClientNode(c.id)
+	c.machine.NIC.Send(size, c.r.costs.LinkLatency, func() {
+		c.r.deliverTo(from, to, msg, size)
+	})
+}
+
+// onMessage receives a replica response (free compute at the client).
+func (c *simClient) onMessage(from types.NodeID, msg types.Message) {
+	outcome, acts := c.engine.OnMessage(from, msg)
+	c.dispatch(acts)
+	if outcome == nil {
+		return
+	}
+	c.gen++ // cancel the timer
+	c.r.recordCompletion(c.start, outcome.FastPath)
+	c.clientSeq += uint64(c.r.cfg.Burst)
+	c.submitNext()
+}

@@ -1,0 +1,206 @@
+package sim
+
+// CostModel assigns virtual processing durations to every pipeline step.
+//
+// The defaults come from microbenchmarks of this repository's real
+// implementations, measured on the development host (see EXPERIMENTS.md,
+// "Calibration"): internal/crypto Benchmark* for signatures and hashing,
+// internal/store Benchmark* for storage, internal/types and
+// internal/queue benchmarks for codec and queueing overheads. Shapes in
+// the reproduced figures depend on the *relative* magnitudes (e.g. RSA
+// sign ≫ ED25519 sign ≫ CMAC), which are hardware-stable.
+type CostModel struct {
+	// Digital signatures (ED25519).
+	SignED   Time
+	VerifyED Time
+	// VerifyEDBatched is the amortized per-signature cost when client
+	// request signatures are verified in batches (ed25519 batch
+	// verification amortizes the expensive fixed-base operations across
+	// signatures). The recommended CMAC+ED25519 configuration uses it on
+	// the batch-threads: at the paper's reported 175K txn/s a full
+	// independent verification per request would alone need >10 cores,
+	// so the deployed system necessarily amortizes here (see
+	// EXPERIMENTS.md, "Calibration").
+	VerifyEDBatched Time
+	// Digital signatures (RSA-2048).
+	SignRSA   Time
+	VerifyRSA Time
+	// Message authentication codes (AES-CMAC), per destination.
+	SignMAC   Time
+	VerifyMAC Time
+
+	// Hashing: base cost plus per-byte cost (SHA-256).
+	HashBase    Time
+	HashPerByte float64
+
+	// Message handling overheads.
+	InputPerMsg  Time // receive, classify, enqueue (input-thread)
+	WorkerPerMsg Time // decode, dispatch, engine bookkeeping (worker)
+	OutputPerMsg Time // envelope handoff to the NIC (output-thread)
+
+	// Batching (batch-thread): per-request and per-operation assembly
+	// costs (buffer-pool fetch, copy, bookkeeping).
+	BatchPerReq Time
+	BatchPerOp  Time
+
+	// Execution (execute-thread).
+	ExecPerOpMem  Time // in-memory store write
+	ExecPerOpDisk Time // off-memory (disk-backed API) store write
+	ExecPerBlock  Time // ledger append + block build
+	RespPerReq    Time // response construction per client request
+
+	// CtxSwitch is the per-job scheduling penalty applied when a host
+	// runs more threads than cores, scaled by the oversubscription ratio
+	// (threads-cores)/cores. It models the context-switch and cache
+	// thrash that makes the paper's 1-core replicas 8.92× slower than
+	// 8-core ones (Section 5.9) despite the pipeline's total CPU work
+	// being far less than 8× one core.
+	CtxSwitch Time
+
+	// Network.
+	NICBandwidth float64 // bytes per second
+	LinkLatency  Time
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		// crypto: BenchmarkCryptoED25519Sign ≈ 30µs, Verify ≈ 65µs;
+		// RSA-2048 sign ≈ 1.6ms, verify ≈ 45µs; CMAC (256B) ≈ 0.6µs.
+		SignED:          30 * Microsecond,
+		VerifyED:        65 * Microsecond,
+		VerifyEDBatched: 9 * Microsecond,
+		SignRSA:         1600 * Microsecond,
+		VerifyRSA:       45 * Microsecond,
+		SignMAC:         600 * Nanosecond,
+		VerifyMAC:       600 * Nanosecond,
+
+		// BenchmarkCryptoSHA256PerKB ≈ 2.5µs/KB ⇒ ~2.4ns/byte + base.
+		HashBase:    300 * Nanosecond,
+		HashPerByte: 2.4,
+
+		// Per-message pipeline overheads, syscall-inclusive: receive +
+		// classify + queue transfer on the input-threads; decode +
+		// dispatch + engine bookkeeping + allocation on the worker;
+		// envelope emission + send syscall on the output-threads. Queue
+		// and codec microbenchmarks give ~1–2µs of that; kernel
+		// socket costs dominate the rest.
+		InputPerMsg:  2 * Microsecond,
+		WorkerPerMsg: 6 * Microsecond,
+		OutputPerMsg: 2 * Microsecond,
+
+		BatchPerReq: 1500 * Nanosecond,
+		BatchPerOp:  500 * Nanosecond,
+
+		// store: BenchmarkMemStorePut ≈ 0.4µs; BenchmarkDiskStorePut ≈
+		// 8µs plus the blocking API call the paper measures — the
+		// effective per-op figure lands near 60µs (SQLite API calls are
+		// slower still; the 5.7 ratio is what matters).
+		ExecPerOpMem:  400 * Nanosecond,
+		ExecPerOpDisk: 60 * Microsecond,
+		ExecPerBlock:  2 * Microsecond,
+		RespPerReq:    800 * Nanosecond,
+
+		CtxSwitch: 1 * Microsecond,
+
+		// Google Cloud c2 instances: 10 Gbit/s line rate; ~7 Gbit/s of
+		// achievable TCP goodput. Sub-millisecond intra-zone RTT.
+		NICBandwidth: 7e9 / 8,
+		LinkLatency:  100 * Microsecond,
+	}
+}
+
+// Scheme selects the signature configuration of Section 5.6.
+type Scheme int
+
+// Signature configurations.
+const (
+	// SchemeNone disables signatures everywhere.
+	SchemeNone Scheme = iota + 1
+	// SchemeED25519 signs everything with ED25519 digital signatures.
+	SchemeED25519
+	// SchemeRSA signs everything with RSA-2048 digital signatures.
+	SchemeRSA
+	// SchemeCMAC is the recommended combination: CMAC between replicas,
+	// ED25519 for client requests.
+	SchemeCMAC
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "nosig"
+	case SchemeED25519:
+		return "ed25519"
+	case SchemeRSA:
+		return "rsa"
+	case SchemeCMAC:
+		return "cmac+ed25519"
+	default:
+		return "invalid"
+	}
+}
+
+// replicaSign returns (cost, perDestination) for a replica signing one
+// message under the scheme.
+func (c *CostModel) replicaSign(s Scheme) (Time, bool) {
+	switch s {
+	case SchemeED25519:
+		return c.SignED, false
+	case SchemeRSA:
+		return c.SignRSA, false
+	case SchemeCMAC:
+		return c.SignMAC, true
+	default:
+		return 0, false
+	}
+}
+
+// replicaVerify returns the cost of verifying a replica's message.
+func (c *CostModel) replicaVerify(s Scheme) Time {
+	switch s {
+	case SchemeED25519:
+		return c.VerifyED
+	case SchemeRSA:
+		return c.VerifyRSA
+	case SchemeCMAC:
+		return c.VerifyMAC
+	default:
+		return 0
+	}
+}
+
+// clientSign returns the client request signing cost.
+func (c *CostModel) clientSign(s Scheme) Time {
+	switch s {
+	case SchemeED25519, SchemeCMAC:
+		return c.SignED
+	case SchemeRSA:
+		return c.SignRSA
+	default:
+		return 0
+	}
+}
+
+// clientVerify returns the cost of verifying a client's request signature
+// at the batch-threads. The recommended configuration amortizes via batch
+// verification; the DS-everywhere configurations pay the full per-message
+// price.
+func (c *CostModel) clientVerify(s Scheme) Time {
+	switch s {
+	case SchemeED25519:
+		return c.VerifyED
+	case SchemeCMAC:
+		return c.VerifyEDBatched
+	case SchemeRSA:
+		return c.VerifyRSA
+	default:
+		return 0
+	}
+}
+
+// hash returns the hashing cost for size bytes.
+func (c *CostModel) hash(size int) Time {
+	return c.HashBase + Time(float64(size)*c.HashPerByte)
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("zero value not empty")
+	}
+	h.Record(10 * time.Millisecond)
+	h.Record(20 * time.Millisecond)
+	h.Record(30 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Max(); got != 30*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Percentile(50)
+	p99 := h.Percentile(99)
+	// Log-bucketed upper bounds: p50 within a factor of two of 50ms.
+	if p50 < 50*time.Millisecond || p50 > 128*time.Millisecond {
+		t.Fatalf("P50 = %v", p50)
+	}
+	if p99 < 99*time.Millisecond || p99 > 256*time.Millisecond {
+		t.Fatalf("P99 = %v", p99)
+	}
+	if p99 < p50 {
+		t.Fatal("P99 < P50")
+	}
+	if h.Percentile(0) <= 0 {
+		t.Fatal("P0 not positive")
+	}
+	if h.Percentile(100) < h.Percentile(99) {
+		t.Fatal("P100 < P99")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("negative observation lost")
+	}
+	if h.Max() != 0 {
+		t.Fatalf("Max = %v, want 0", h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d, want 80000", h.Count())
+	}
+	if h.Mean() != time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(500, 250*time.Millisecond); got != 2000 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(5, 0); got != 0 {
+		t.Fatalf("Throughput with zero window = %v", got)
+	}
+}

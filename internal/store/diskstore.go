@@ -1,0 +1,166 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DiskStore is the off-memory storage used by the Section 5.7 experiment.
+// It is an embedded, log-structured key-value store reached through a
+// blocking, fully serialized API: every Put appends a record to a log file
+// and every Get reads the value bytes back from disk. This substitutes for
+// SQLite in the paper's setup — the property under test is that the
+// execute-thread leaves memory and busy-waits on a storage API call, and a
+// synchronous file-backed store exercises the identical code path.
+//
+// The on-disk format is a sequence of records:
+//
+//	[8 bytes key][4 bytes value length][value bytes]
+//
+// An in-memory index maps keys to their latest record offset, rebuilt by
+// scanning the log on open, so the store recovers its state across
+// restarts.
+type DiskStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	index  map[uint64]recordRef
+	off    int64
+	sync   bool
+	closed bool
+}
+
+type recordRef struct {
+	off    int64
+	length uint32
+}
+
+// DiskOptions configures a DiskStore.
+type DiskOptions struct {
+	// SyncEveryPut forces an fsync after each Put, the durability mode of
+	// a write-ahead journal. Off by default; the API-call and file-write
+	// costs already dominate the in-memory path by orders of magnitude.
+	SyncEveryPut bool
+}
+
+// OpenDisk opens (or creates) a DiskStore at path and rebuilds the index
+// from the existing log.
+func OpenDisk(path string, opts DiskOptions) (*DiskStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening log: %w", err)
+	}
+	s := &DiskStore{f: f, index: make(map[uint64]recordRef), sync: opts.SyncEveryPut}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the log, rebuilding the key index. A truncated final
+// record (torn write) is discarded by truncating the log at its start.
+func (s *DiskStore) recover() error {
+	var hdr [12]byte
+	off := int64(0)
+	for {
+		_, err := s.f.ReadAt(hdr[:], off)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn header: discard the tail.
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("store: truncating torn log: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: scanning log: %w", err)
+		}
+		key := binary.BigEndian.Uint64(hdr[:8])
+		vlen := binary.BigEndian.Uint32(hdr[8:])
+		end := off + 12 + int64(vlen)
+		fi, err := s.f.Stat()
+		if err != nil {
+			return fmt.Errorf("store: stat log: %w", err)
+		}
+		if end > fi.Size() {
+			// Torn value: discard the tail.
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("store: truncating torn log: %w", terr)
+			}
+			break
+		}
+		s.index[key] = recordRef{off: off + 12, length: vlen}
+		off = end
+	}
+	s.off = off
+	return nil
+}
+
+// Put implements Store. The write is appended to the log under a single
+// store-wide lock (serialized mode) and the index updated.
+func (s *DiskStore) Put(key uint64, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	buf := make([]byte, 12+len(value))
+	binary.BigEndian.PutUint64(buf[:8], key)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(value)))
+	copy(buf[12:], value)
+	if _, err := s.f.WriteAt(buf, s.off); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	s.index[key] = recordRef{off: s.off + 12, length: uint32(len(value))}
+	s.off += int64(len(buf))
+	return nil
+}
+
+// Get implements Store, reading the value bytes back from the log file.
+func (s *DiskStore) Get(key uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ref, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	out := make([]byte, ref.length)
+	if _, err := s.f.ReadAt(out, ref.off); err != nil {
+		return nil, fmt.Errorf("store: reading record: %w", err)
+	}
+	return out, nil
+}
+
+// Len implements Store.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Close implements Store.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: closing log: %w", err)
+	}
+	return nil
+}

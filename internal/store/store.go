@@ -1,0 +1,129 @@
+// Package store is the storage layer of the fabric (paper Figure 5): the
+// record tables the execution layer reads and writes.
+//
+// Two implementations mirror the Section 5.7 experiment: MemStore keeps
+// records in an in-memory key-value structure, while DiskStore is an
+// off-memory store reached through a blocking, serialized API backed by
+// synchronous file I/O — the role SQLite plays in the paper. The paper's
+// conclusion (Section 6, "Memory Storage") is that replicas can keep
+// records in memory because at most f replicas fail; DiskStore exists to
+// measure what that choice is worth.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when no record exists for the key.
+var ErrNotFound = errors.New("store: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is the record table interface used by the execute-thread.
+type Store interface {
+	// Put stores value under key, overwriting any previous value.
+	Put(key uint64, value []byte) error
+	// Get returns the value stored under key.
+	Get(key uint64) ([]byte, error)
+	// Len returns the number of live records.
+	Len() int
+	// Close releases resources. Operations after Close fail with ErrClosed.
+	Close() error
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*DiskStore)(nil)
+)
+
+// memShards splits the key space to keep lock contention negligible even
+// with several execution threads.
+const memShards = 64
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]byte
+}
+
+// MemStore is the in-memory key-value record table.
+type MemStore struct {
+	shards [memShards]memShard
+	closed sync.Once
+	dead   bool
+	mu     sync.RWMutex // guards dead
+}
+
+// NewMemStore returns an empty in-memory store sized for sizeHint records.
+func NewMemStore(sizeHint int) *MemStore {
+	s := &MemStore{}
+	per := sizeHint/memShards + 1
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64][]byte, per)
+	}
+	return s
+}
+
+func (s *MemStore) shard(key uint64) *memShard {
+	// Spread sequential keys across shards.
+	return &s.shards[(key*0x9E3779B97F4A7C15)>>58%memShards]
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key uint64, value []byte) error {
+	s.mu.RLock()
+	if s.dead {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.mu.RUnlock()
+	sh := s.shard(key)
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	sh.mu.Lock()
+	sh.m[key] = cp
+	sh.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key uint64) ([]byte, error) {
+	s.mu.RLock()
+	if s.dead {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.mu.RUnlock()
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	s.dead = true
+	s.mu.Unlock()
+	return nil
+}

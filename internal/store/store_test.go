@@ -1,0 +1,282 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// stores builds one of each Store implementation for shared conformance
+// tests.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(filepath.Join(t.TempDir(), "records.log"), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":  NewMemStore(100),
+		"disk": disk,
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			if _, err := s.Get(1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get on empty = %v, want ErrNotFound", err)
+			}
+			if err := s.Put(1, []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(2, []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			v, err := s.Get(1)
+			if err != nil || string(v) != "one" {
+				t.Fatalf("Get(1) = (%q,%v)", v, err)
+			}
+			// Overwrite.
+			if err := s.Put(1, []byte("uno")); err != nil {
+				t.Fatal(err)
+			}
+			v, err = s.Get(1)
+			if err != nil || string(v) != "uno" {
+				t.Fatalf("Get(1) after overwrite = (%q,%v)", v, err)
+			}
+			if s.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", s.Len())
+			}
+			// Empty value round-trips.
+			if err := s.Put(3, nil); err != nil {
+				t.Fatal(err)
+			}
+			v, err = s.Get(3)
+			if err != nil || len(v) != 0 {
+				t.Fatalf("Get(3) = (%q,%v)", v, err)
+			}
+		})
+	}
+}
+
+func TestStoreClosedErrors(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(1, []byte("x")); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Put after close = %v", err)
+			}
+			if _, err := s.Get(1); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Get after close = %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			src := []byte("mutable")
+			if err := s.Put(1, src); err != nil {
+				t.Fatal(err)
+			}
+			src[0] = 'X' // caller mutates its buffer after Put
+			v, err := s.Get(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v) != "mutable" {
+				t.Fatalf("store aliased caller buffer: %q", v)
+			}
+			v[0] = 'Y' // caller mutates the returned buffer
+			v2, _ := s.Get(1)
+			if string(v2) != "mutable" {
+				t.Fatalf("store returned aliased buffer: %q", v2)
+			}
+		})
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore(1000)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := uint64(w*2000 + i)
+				val := []byte(fmt.Sprintf("v-%d", key))
+				if err := s.Put(key, val); err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := s.Get(key)
+				if err != nil || !bytes.Equal(got, val) {
+					t.Errorf("Get(%d) = (%q,%v)", key, got, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 16000 {
+		t.Fatalf("Len = %d, want 16000", s.Len())
+	}
+}
+
+func TestDiskStoreRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.log")
+	s, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if err := s.Put(i, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite some keys so recovery must keep only the latest version.
+	if err := s.Put(7, []byte("seven-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 100 {
+		t.Fatalf("recovered Len = %d, want 100", s2.Len())
+	}
+	v, err := s2.Get(7)
+	if err != nil || string(v) != "seven-v2" {
+		t.Fatalf("recovered Get(7) = (%q,%v)", v, err)
+	}
+	v, err = s2.Get(42)
+	if err != nil || string(v) != "value-42" {
+		t.Fatalf("recovered Get(42) = (%q,%v)", v, err)
+	}
+}
+
+func TestDiskStoreTornWriteRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "records.log")
+	s, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("complete")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append half a record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 0, 0, 0, 0, 9, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatalf("recovery after torn write: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+	v, err := s2.Get(1)
+	if err != nil || string(v) != "complete" {
+		t.Fatalf("Get(1) = (%q,%v)", v, err)
+	}
+	// The store must be writable again after truncating the torn tail.
+	if err := s2.Put(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	v, err = s2.Get(2)
+	if err != nil || string(v) != "after" {
+		t.Fatalf("Get(2) = (%q,%v)", v, err)
+	}
+}
+
+// ---- Calibration benchmarks for the Section 5.7 storage experiment. ----
+
+func BenchmarkMemStorePut(b *testing.B) {
+	s := NewMemStore(b.N)
+	defer s.Close()
+	val := bytes.Repeat([]byte{0x11}, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(uint64(i%600000), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskStorePut(b *testing.B) {
+	s, err := OpenDisk(filepath.Join(b.TempDir(), "bench.log"), DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte{0x11}, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(uint64(i%600000), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemStoreGet(b *testing.B) {
+	s := NewMemStore(1000)
+	defer s.Close()
+	val := bytes.Repeat([]byte{0x11}, 100)
+	for i := uint64(0); i < 1000; i++ {
+		if err := s.Put(i, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(uint64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskStoreGet(b *testing.B) {
+	s, err := OpenDisk(filepath.Join(b.TempDir(), "bench.log"), DiskOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte{0x11}, 100)
+	for i := uint64(0); i < 1000; i++ {
+		if err := s.Put(i, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(uint64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

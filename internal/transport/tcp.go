@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"resilientdb/internal/types"
+)
+
+// TCPEndpoint attaches a node to the network over TCP with
+// length-prefixed envelope frames (types.WriteFrame / types.ReadFrame).
+// Outbound connections are dialed lazily per destination and reused;
+// inbound connections are accepted continuously and drained into the
+// classified inboxes.
+type TCPEndpoint struct {
+	self    types.NodeID
+	addrs   map[types.NodeID]string
+	ln      net.Listener
+	inboxes []chan *types.Envelope
+
+	mu       sync.Mutex
+	conns    map[types.NodeID]net.Conn
+	accepted map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// NewTCP creates a TCP endpoint listening on listenAddr. addrs maps every
+// peer (and may include self) to its dialable address. Inbound frames are
+// spread over the given number of inboxes.
+func NewTCP(self types.NodeID, listenAddr string, addrs map[types.NodeID]string, inboxes, capacity int) (*TCPEndpoint, error) {
+	if inboxes < 1 {
+		inboxes = 1
+	}
+	if capacity < 1 {
+		capacity = 1024
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	e := &TCPEndpoint{
+		self:     self,
+		addrs:    make(map[types.NodeID]string, len(addrs)),
+		ln:       ln,
+		conns:    make(map[types.NodeID]net.Conn),
+		accepted: make(map[net.Conn]bool),
+	}
+	for k, v := range addrs {
+		e.addrs[k] = v
+	}
+	e.inboxes = make([]chan *types.Envelope, inboxes)
+	for i := range e.inboxes {
+		e.inboxes[i] = make(chan *types.Envelope, capacity)
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's bound listen address (useful with ":0").
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// SetPeerAddr registers or updates a peer's dialable address. It supports
+// bootstrap flows where nodes bind ephemeral ports first and exchange
+// addresses afterwards.
+func (e *TCPEndpoint) SetPeerAddr(node types.NodeID, addr string) {
+	e.mu.Lock()
+	e.addrs[node] = addr
+	e.mu.Unlock()
+}
+
+// Hello dials the peer (if needed) and sends a transport-level hello
+// frame, teaching the peer a return path to this endpoint. Clients, which
+// have no listener the replicas could know about, call this for every
+// replica before submitting requests so that responses can flow back over
+// the client-initiated connections.
+func (e *TCPEndpoint) Hello(to types.NodeID) error {
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	env := &types.Envelope{From: e.self, To: to, Type: 0}
+	if err := types.WriteFrame(conn, env); err != nil {
+		e.dropConn(to, conn)
+		return fmt.Errorf("transport: hello to %v: %w", to, err)
+	}
+	return nil
+}
+
+// Self implements Endpoint.
+func (e *TCPEndpoint) Self() types.NodeID { return e.self }
+
+// Inbox implements Endpoint.
+func (e *TCPEndpoint) Inbox(i int) <-chan *types.Envelope { return e.inboxes[i] }
+
+// Inboxes implements Endpoint.
+func (e *TCPEndpoint) Inboxes() int { return len(e.inboxes) }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.accepted[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.accepted, conn)
+		e.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		env, err := types.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		closed := e.closed
+		if !closed {
+			// Learn the return path: replies to this peer can reuse the
+			// inbound connection, which is how replicas answer clients
+			// that have no listener of their own.
+			if _, ok := e.conns[env.From]; !ok {
+				e.conns[env.From] = conn
+			}
+		}
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		if env.Type == 0 {
+			// Hello frame: its only job was to teach us the return path.
+			continue
+		}
+		idx := Classify(env.From, len(e.inboxes))
+		// Non-blocking like Inproc: BFT protocols tolerate drops.
+		select {
+		case e.inboxes[idx] <- env:
+		default:
+		}
+	}
+}
+
+// Send implements Endpoint. Connections are cached; a send error tears the
+// cached connection down so the next send re-dials (peer restarts).
+func (e *TCPEndpoint) Send(env *types.Envelope) error {
+	conn, err := e.conn(env.To)
+	if err != nil {
+		return err
+	}
+	if err := types.WriteFrame(conn, env); err != nil {
+		e.dropConn(env.To, conn)
+		return fmt.Errorf("transport: send to %v: %w", env.To, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) conn(to types.NodeID) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := e.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownNode, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v at %s: %w", to, addr, err)
+	}
+	e.conns[to] = c
+	// Connections are full duplex: the peer may reply over this very
+	// connection (it learns the return path from our frames), so every
+	// dialed connection gets a reader too.
+	e.wg.Add(1)
+	go e.readLoop(c)
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to types.NodeID, conn net.Conn) {
+	e.mu.Lock()
+	if e.conns[to] == conn {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	conn.Close()
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	for c := range e.accepted {
+		c.Close()
+	}
+	e.conns = make(map[types.NodeID]net.Conn)
+	e.mu.Unlock()
+
+	e.ln.Close()
+	e.wg.Wait()
+	for _, ch := range e.inboxes {
+		close(ch)
+	}
+}

@@ -1,0 +1,173 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrUnknownType is returned when a decoder encounters a type tag outside
+// the registered message set.
+var ErrUnknownType = errors.New("types: unknown message type")
+
+// Encode appends the tagged encoding of msg to w: one type byte followed by
+// the message body.
+func Encode(w *Writer, msg Message) {
+	w.U8(uint8(msg.Type()))
+	msg.marshal(w)
+}
+
+// EncodeToBytes returns the tagged encoding of msg in a fresh buffer.
+func EncodeToBytes(msg Message) []byte {
+	var w Writer
+	Encode(&w, msg)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// MarshalBody returns the body encoding of msg without the type tag. It is
+// the canonical input for signing and MAC computation.
+func MarshalBody(msg Message) []byte {
+	var w Writer
+	msg.marshal(&w)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// newMessage allocates the concrete message for a type tag.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgClientRequest:
+		return &ClientRequest{}, nil
+	case MsgPrePrepare:
+		return &PrePrepare{}, nil
+	case MsgPrepare:
+		return &Prepare{}, nil
+	case MsgCommit:
+		return &Commit{}, nil
+	case MsgCheckpoint:
+		return &Checkpoint{}, nil
+	case MsgViewChange:
+		return &ViewChange{}, nil
+	case MsgNewView:
+		return &NewView{}, nil
+	case MsgClientResponse:
+		return &ClientResponse{}, nil
+	case MsgOrderedRequest:
+		return &OrderedRequest{}, nil
+	case MsgSpecResponse:
+		return &SpecResponse{}, nil
+	case MsgCommitCert:
+		return &CommitCert{}, nil
+	case MsgLocalCommit:
+		return &LocalCommit{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}
+
+// Decode parses a tagged encoding produced by Encode.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	msg, err := newMessage(MsgType(b[0]))
+	if err != nil {
+		return nil, err
+	}
+	r := NewReader(b[1:])
+	msg.unmarshal(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", MsgType(b[0]), err)
+	}
+	return msg, nil
+}
+
+// DecodeBody parses an untagged body encoding for a known message type.
+func DecodeBody(t MsgType, b []byte) (Message, error) {
+	msg, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	r := NewReader(b)
+	msg.unmarshal(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decoding %s body: %w", t, err)
+	}
+	return msg, nil
+}
+
+// Envelope is the transport frame: a tagged message body plus sender,
+// destination, and the authenticator (digital signature or MAC, Section 3
+// "Expensive Cryptographic Practices") computed over the body.
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	Type MsgType
+	Body []byte
+	Auth []byte
+}
+
+// EncodedSize returns the number of bytes WriteFrame will emit.
+func (e *Envelope) EncodedSize() int {
+	return 4 + 4 + 4 + 1 + 4 + len(e.Body) + 4 + len(e.Auth)
+}
+
+// encode appends the envelope wire form (without the outer length prefix).
+func (e *Envelope) encode(w *Writer) {
+	w.U32(uint32(e.From))
+	w.U32(uint32(e.To))
+	w.U8(uint8(e.Type))
+	w.Blob(e.Body)
+	w.Blob(e.Auth)
+}
+
+// decodeEnvelope parses the envelope wire form.
+func decodeEnvelope(b []byte) (*Envelope, error) {
+	r := NewReader(b)
+	e := &Envelope{}
+	e.From = NodeID(r.U32())
+	e.To = NodeID(r.U32())
+	e.Type = MsgType(r.U8())
+	e.Body = r.Blob()
+	e.Auth = r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decoding envelope: %w", err)
+	}
+	return e, nil
+}
+
+// WriteFrame writes a length-prefixed envelope to w. It is the TCP framing
+// used by the transport layer.
+func WriteFrame(w io.Writer, e *Envelope) error {
+	var wr Writer
+	wr.U32(uint32(4 + 4 + 1 + 4 + len(e.Body) + 4 + len(e.Auth)))
+	e.encode(&wr)
+	_, err := w.Write(wr.Bytes())
+	if err != nil {
+		return fmt.Errorf("writing frame: %w", err)
+	}
+	return nil
+}
+
+// maxFrameLen bounds a single frame read from the network.
+const maxFrameLen = 1 << 28
+
+// ReadFrame reads one length-prefixed envelope from r.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF propagates untouched for clean shutdown
+	}
+	n := uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrOversized, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("reading frame body: %w", err)
+	}
+	return decodeEnvelope(body)
+}

@@ -1,0 +1,592 @@
+package types
+
+// MsgType tags every message on the wire. Values start at one so a zeroed
+// buffer can never masquerade as a valid message.
+type MsgType uint8
+
+// Message type tags. PBFT uses ClientRequest through ClientResponse;
+// Zyzzyva adds OrderedRequest through LocalCommit.
+const (
+	MsgClientRequest MsgType = iota + 1
+	MsgPrePrepare
+	MsgPrepare
+	MsgCommit
+	MsgCheckpoint
+	MsgViewChange
+	MsgNewView
+	MsgClientResponse
+	MsgOrderedRequest
+	MsgSpecResponse
+	MsgCommitCert
+	MsgLocalCommit
+	msgTypeEnd // sentinel; keep last
+)
+
+// String implements fmt.Stringer for log readability.
+func (t MsgType) String() string {
+	switch t {
+	case MsgClientRequest:
+		return "ClientRequest"
+	case MsgPrePrepare:
+		return "PrePrepare"
+	case MsgPrepare:
+		return "Prepare"
+	case MsgCommit:
+		return "Commit"
+	case MsgCheckpoint:
+		return "Checkpoint"
+	case MsgViewChange:
+		return "ViewChange"
+	case MsgNewView:
+		return "NewView"
+	case MsgClientResponse:
+		return "ClientResponse"
+	case MsgOrderedRequest:
+		return "OrderedRequest"
+	case MsgSpecResponse:
+		return "SpecResponse"
+	case MsgCommitCert:
+		return "CommitCert"
+	case MsgLocalCommit:
+		return "LocalCommit"
+	default:
+		return "Unknown"
+	}
+}
+
+// Message is the interface every wire message implements. Marshal appends
+// the body encoding to w; unmarshal decodes from r. Encode and Decode in
+// codec.go add the type tag.
+type Message interface {
+	Type() MsgType
+	marshal(w *Writer)
+	unmarshal(r *Reader)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Message = (*ClientRequest)(nil)
+	_ Message = (*PrePrepare)(nil)
+	_ Message = (*Prepare)(nil)
+	_ Message = (*Commit)(nil)
+	_ Message = (*Checkpoint)(nil)
+	_ Message = (*ViewChange)(nil)
+	_ Message = (*NewView)(nil)
+	_ Message = (*ClientResponse)(nil)
+	_ Message = (*OrderedRequest)(nil)
+	_ Message = (*SpecResponse)(nil)
+	_ Message = (*CommitCert)(nil)
+	_ Message = (*LocalCommit)(nil)
+)
+
+// ---- ClientRequest ----
+
+// Type implements Message.
+func (r *ClientRequest) Type() MsgType { return MsgClientRequest }
+
+func marshalTxn(w *Writer, t *Transaction) {
+	w.U32(uint32(t.Client))
+	w.U64(t.ClientSeq)
+	w.U32(uint32(len(t.Ops)))
+	for i := range t.Ops {
+		w.U64(t.Ops[i].Key)
+		w.Blob(t.Ops[i].Value)
+	}
+	w.Blob(t.Payload)
+}
+
+func unmarshalTxn(r *Reader, t *Transaction) {
+	t.Client = ClientID(r.U32())
+	t.ClientSeq = r.U64()
+	nops := r.count(12)
+	if r.Err() != nil {
+		return
+	}
+	t.Ops = make([]Op, nops)
+	for i := 0; i < nops; i++ {
+		t.Ops[i].Key = r.U64()
+		t.Ops[i].Value = r.Blob()
+	}
+	t.Payload = r.Blob()
+}
+
+func (r *ClientRequest) marshal(w *Writer) {
+	w.U32(uint32(r.Client))
+	w.U64(r.FirstSeq)
+	w.U32(uint32(len(r.Txns)))
+	for i := range r.Txns {
+		marshalTxn(w, &r.Txns[i])
+	}
+	w.Blob(r.Sig)
+}
+
+func (r *ClientRequest) unmarshal(rd *Reader) {
+	r.Client = ClientID(rd.U32())
+	r.FirstSeq = rd.U64()
+	n := rd.count(16)
+	if rd.Err() != nil {
+		return
+	}
+	r.Txns = make([]Transaction, n)
+	for i := 0; i < n; i++ {
+		unmarshalTxn(rd, &r.Txns[i])
+	}
+	r.Sig = rd.Blob()
+}
+
+// ---- PrePrepare ----
+
+// PrePrepare is the primary's proposal binding a batch of client requests
+// to (view, seq). Backups verify the embedded client signatures and the
+// batch digest before preparing.
+type PrePrepare struct {
+	View     View
+	Seq      SeqNum
+	Digest   Digest
+	Requests []ClientRequest
+}
+
+// Type implements Message.
+func (m *PrePrepare) Type() MsgType { return MsgPrePrepare }
+
+func (m *PrePrepare) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.Digest)
+	w.U32(uint32(len(m.Requests)))
+	for i := range m.Requests {
+		m.Requests[i].marshal(w)
+	}
+}
+
+func (m *PrePrepare) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.Digest = r.Bytes32()
+	n := r.count(20)
+	if r.Err() != nil {
+		return
+	}
+	m.Requests = make([]ClientRequest, n)
+	for i := 0; i < n; i++ {
+		m.Requests[i].unmarshal(r)
+	}
+}
+
+// Size returns the encoded size in bytes, used for bandwidth accounting.
+func (m *PrePrepare) Size() int {
+	n := 8 + 8 + 32 + 4
+	for i := range m.Requests {
+		n += m.Requests[i].Size()
+	}
+	return n
+}
+
+// ---- Prepare / Commit ----
+
+// Prepare is a backup's agreement to the order proposed in a pre-prepare.
+// A replica is "prepared" after 2f matching prepares (Section 2.1).
+type Prepare struct {
+	View    View
+	Seq     SeqNum
+	Digest  Digest
+	Replica ReplicaID
+}
+
+// Type implements Message.
+func (m *Prepare) Type() MsgType { return MsgPrepare }
+
+func (m *Prepare) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.Digest)
+	w.U16(uint16(m.Replica))
+}
+
+func (m *Prepare) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.Digest = r.Bytes32()
+	m.Replica = ReplicaID(r.U16())
+}
+
+// Commit is broadcast once a replica is prepared; 2f+1 matching commits
+// guarantee the order and release the batch for execution.
+type Commit struct {
+	View    View
+	Seq     SeqNum
+	Digest  Digest
+	Replica ReplicaID
+}
+
+// Type implements Message.
+func (m *Commit) Type() MsgType { return MsgCommit }
+
+func (m *Commit) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.Digest)
+	w.U16(uint16(m.Replica))
+}
+
+func (m *Commit) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.Digest = r.Bytes32()
+	m.Replica = ReplicaID(r.U16())
+}
+
+// ---- Checkpoint ----
+
+// Checkpoint is broadcast after every Δ executed batches (Section 4.7).
+// 2f+1 matching checkpoints make sequence numbers ≤ Seq stable, allowing
+// old requests, messages, and blocks to be garbage collected.
+type Checkpoint struct {
+	Seq         SeqNum
+	StateDigest Digest
+	Replica     ReplicaID
+}
+
+// Type implements Message.
+func (m *Checkpoint) Type() MsgType { return MsgCheckpoint }
+
+func (m *Checkpoint) marshal(w *Writer) {
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.StateDigest)
+	w.U16(uint16(m.Replica))
+}
+
+func (m *Checkpoint) unmarshal(r *Reader) {
+	m.Seq = SeqNum(r.U64())
+	m.StateDigest = r.Bytes32()
+	m.Replica = ReplicaID(r.U16())
+}
+
+// ---- View change ----
+
+// PreparedProof certifies that a batch prepared at a replica: the
+// pre-prepare metadata plus 2f matching prepares. Request payloads are not
+// carried; the new primary re-fetches or re-proposes by digest.
+type PreparedProof struct {
+	View     View
+	Seq      SeqNum
+	Digest   Digest
+	Prepares []Prepare
+}
+
+func (p *PreparedProof) marshal(w *Writer) {
+	w.U64(uint64(p.View))
+	w.U64(uint64(p.Seq))
+	w.Bytes32(p.Digest)
+	w.U32(uint32(len(p.Prepares)))
+	for i := range p.Prepares {
+		p.Prepares[i].marshal(w)
+	}
+}
+
+func (p *PreparedProof) unmarshal(r *Reader) {
+	p.View = View(r.U64())
+	p.Seq = SeqNum(r.U64())
+	p.Digest = r.Bytes32()
+	n := r.count(50)
+	if r.Err() != nil {
+		return
+	}
+	p.Prepares = make([]Prepare, n)
+	for i := 0; i < n; i++ {
+		p.Prepares[i].unmarshal(r)
+	}
+}
+
+// ViewChange announces that a replica has abandoned its current view and
+// carries evidence of its progress: the last stable checkpoint and every
+// batch prepared since.
+type ViewChange struct {
+	NewView    View
+	StableSeq  SeqNum
+	StateProof []Checkpoint
+	Prepared   []PreparedProof
+	Replica    ReplicaID
+}
+
+// Type implements Message.
+func (m *ViewChange) Type() MsgType { return MsgViewChange }
+
+func (m *ViewChange) marshal(w *Writer) {
+	w.U64(uint64(m.NewView))
+	w.U64(uint64(m.StableSeq))
+	w.U32(uint32(len(m.StateProof)))
+	for i := range m.StateProof {
+		m.StateProof[i].marshal(w)
+	}
+	w.U32(uint32(len(m.Prepared)))
+	for i := range m.Prepared {
+		m.Prepared[i].marshal(w)
+	}
+	w.U16(uint16(m.Replica))
+}
+
+func (m *ViewChange) unmarshal(r *Reader) {
+	m.NewView = View(r.U64())
+	m.StableSeq = SeqNum(r.U64())
+	n := r.count(42)
+	if r.Err() != nil {
+		return
+	}
+	m.StateProof = make([]Checkpoint, n)
+	for i := 0; i < n; i++ {
+		m.StateProof[i].unmarshal(r)
+	}
+	n = r.count(52)
+	if r.Err() != nil {
+		return
+	}
+	m.Prepared = make([]PreparedProof, n)
+	for i := 0; i < n; i++ {
+		m.Prepared[i].unmarshal(r)
+	}
+	m.Replica = ReplicaID(r.U16())
+}
+
+// NewView is the new primary's proof that 2f+1 replicas joined the view,
+// plus the pre-prepares that re-propose every prepared-but-uncommitted
+// batch in the new view.
+type NewView struct {
+	View        View
+	ViewChanges []ViewChange
+	PrePrepares []PrePrepare
+}
+
+// Type implements Message.
+func (m *NewView) Type() MsgType { return MsgNewView }
+
+func (m *NewView) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U32(uint32(len(m.ViewChanges)))
+	for i := range m.ViewChanges {
+		m.ViewChanges[i].marshal(w)
+	}
+	w.U32(uint32(len(m.PrePrepares)))
+	for i := range m.PrePrepares {
+		m.PrePrepares[i].marshal(w)
+	}
+}
+
+func (m *NewView) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	n := r.count(26)
+	if r.Err() != nil {
+		return
+	}
+	m.ViewChanges = make([]ViewChange, n)
+	for i := 0; i < n; i++ {
+		m.ViewChanges[i].unmarshal(r)
+	}
+	n = r.count(52)
+	if r.Err() != nil {
+		return
+	}
+	m.PrePrepares = make([]PrePrepare, n)
+	for i := 0; i < n; i++ {
+		m.PrePrepares[i].unmarshal(r)
+	}
+}
+
+// ---- ClientResponse ----
+
+// ClientResponse is a replica's reply for one client request. PBFT clients
+// accept a result after f+1 matching responses; Zyzzyva's fast path needs
+// all 3f+1 (Section 2.1).
+type ClientResponse struct {
+	View      View
+	Seq       SeqNum
+	Client    ClientID
+	ClientSeq uint64
+	Result    Digest
+	Replica   ReplicaID
+}
+
+// Type implements Message.
+func (m *ClientResponse) Type() MsgType { return MsgClientResponse }
+
+func (m *ClientResponse) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.U32(uint32(m.Client))
+	w.U64(m.ClientSeq)
+	w.Bytes32(m.Result)
+	w.U16(uint16(m.Replica))
+}
+
+func (m *ClientResponse) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.Client = ClientID(r.U32())
+	m.ClientSeq = r.U64()
+	m.Result = r.Bytes32()
+	m.Replica = ReplicaID(r.U16())
+}
+
+// ---- Zyzzyva messages ----
+
+// OrderedRequest is Zyzzyva's counterpart of the pre-prepare: the primary
+// assigns (view, seq) and extends the history hash chain
+// h_k = H(h_{k-1} || d_k); backups execute speculatively on receipt.
+type OrderedRequest struct {
+	View     View
+	Seq      SeqNum
+	Digest   Digest
+	History  Digest
+	Requests []ClientRequest
+}
+
+// Type implements Message.
+func (m *OrderedRequest) Type() MsgType { return MsgOrderedRequest }
+
+func (m *OrderedRequest) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.Digest)
+	w.Bytes32(m.History)
+	w.U32(uint32(len(m.Requests)))
+	for i := range m.Requests {
+		m.Requests[i].marshal(w)
+	}
+}
+
+func (m *OrderedRequest) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.Digest = r.Bytes32()
+	m.History = r.Bytes32()
+	n := r.count(20)
+	if r.Err() != nil {
+		return
+	}
+	m.Requests = make([]ClientRequest, n)
+	for i := 0; i < n; i++ {
+		m.Requests[i].unmarshal(r)
+	}
+}
+
+// Size returns the encoded size in bytes, used for bandwidth accounting.
+func (m *OrderedRequest) Size() int {
+	n := 8 + 8 + 32 + 32 + 4
+	for i := range m.Requests {
+		n += m.Requests[i].Size()
+	}
+	return n
+}
+
+// SpecResponse is a replica's speculative reply to the client, binding the
+// result to the replica's history hash so the client can detect divergence.
+type SpecResponse struct {
+	View      View
+	Seq       SeqNum
+	Digest    Digest
+	History   Digest
+	Client    ClientID
+	ClientSeq uint64
+	Result    Digest
+	Replica   ReplicaID
+}
+
+// Type implements Message.
+func (m *SpecResponse) Type() MsgType { return MsgSpecResponse }
+
+func (m *SpecResponse) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.Digest)
+	w.Bytes32(m.History)
+	w.U32(uint32(m.Client))
+	w.U64(m.ClientSeq)
+	w.Bytes32(m.Result)
+	w.U16(uint16(m.Replica))
+}
+
+func (m *SpecResponse) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.Digest = r.Bytes32()
+	m.History = r.Bytes32()
+	m.Client = ClientID(r.U32())
+	m.ClientSeq = r.U64()
+	m.Result = r.Bytes32()
+	m.Replica = ReplicaID(r.U16())
+}
+
+// CommitCert is Zyzzyva's slow path: a client that gathered only 2f+1
+// matching speculative responses (but not all 3f+1) asks the replicas to
+// commit that history prefix durably.
+type CommitCert struct {
+	Client    ClientID
+	ClientSeq uint64
+	View      View
+	Seq       SeqNum
+	History   Digest
+	Replicas  []ReplicaID
+}
+
+// Type implements Message.
+func (m *CommitCert) Type() MsgType { return MsgCommitCert }
+
+func (m *CommitCert) marshal(w *Writer) {
+	w.U32(uint32(m.Client))
+	w.U64(m.ClientSeq)
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.History)
+	w.U32(uint32(len(m.Replicas)))
+	for _, rep := range m.Replicas {
+		w.U16(uint16(rep))
+	}
+}
+
+func (m *CommitCert) unmarshal(r *Reader) {
+	m.Client = ClientID(r.U32())
+	m.ClientSeq = r.U64()
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.History = r.Bytes32()
+	n := r.count(2)
+	if r.Err() != nil {
+		return
+	}
+	m.Replicas = make([]ReplicaID, n)
+	for i := 0; i < n; i++ {
+		m.Replicas[i] = ReplicaID(r.U16())
+	}
+}
+
+// LocalCommit acknowledges a CommitCert; the client completes the request
+// after 2f+1 local commits.
+type LocalCommit struct {
+	View      View
+	Seq       SeqNum
+	History   Digest
+	Client    ClientID
+	ClientSeq uint64
+	Replica   ReplicaID
+}
+
+// Type implements Message.
+func (m *LocalCommit) Type() MsgType { return MsgLocalCommit }
+
+func (m *LocalCommit) marshal(w *Writer) {
+	w.U64(uint64(m.View))
+	w.U64(uint64(m.Seq))
+	w.Bytes32(m.History)
+	w.U32(uint32(m.Client))
+	w.U64(m.ClientSeq)
+	w.U16(uint16(m.Replica))
+}
+
+func (m *LocalCommit) unmarshal(r *Reader) {
+	m.View = View(r.U64())
+	m.Seq = SeqNum(r.U64())
+	m.History = r.Bytes32()
+	m.Client = ClientID(r.U32())
+	m.ClientSeq = r.U64()
+	m.Replica = ReplicaID(r.U16())
+}

@@ -1,0 +1,413 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTxn(i int) Transaction {
+	return Transaction{
+		Client:    ClientID(i),
+		ClientSeq: uint64(1000 + i),
+		Ops: []Op{
+			{Key: uint64(i * 7), Value: []byte{byte(i), 2, 3}},
+			{Key: uint64(i * 13), Value: []byte("value")},
+		},
+		Payload: bytes.Repeat([]byte{0xAB}, i%17),
+	}
+}
+
+func sampleRequest(i int) ClientRequest {
+	return ClientRequest{
+		Client:   ClientID(i),
+		FirstSeq: uint64(i * 100),
+		Txns:     []Transaction{sampleTxn(i), sampleTxn(i + 1)},
+		Sig:      []byte("sig-bytes"),
+	}
+}
+
+func TestNodeIDMapping(t *testing.T) {
+	tests := []struct {
+		name string
+		node NodeID
+		rep  bool
+	}{
+		{"replica zero", ReplicaNode(0), true},
+		{"replica max", ReplicaNode(ReplicaSpace - 1), true},
+		{"client zero", ClientNode(0), false},
+		{"client large", ClientNode(80000), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.node.IsReplica(); got != tt.rep {
+				t.Fatalf("IsReplica() = %v, want %v", got, tt.rep)
+			}
+			if got := tt.node.IsClient(); got == tt.rep {
+				t.Fatalf("IsClient() = %v, want %v", got, !tt.rep)
+			}
+		})
+	}
+	if got := ClientNode(42).Client(); got != 42 {
+		t.Fatalf("Client() = %d, want 42", got)
+	}
+	if got := ReplicaNode(7).Replica(); got != 7 {
+		t.Fatalf("Replica() = %d, want 7", got)
+	}
+	if s := ClientNode(3).String(); s != "c3" {
+		t.Fatalf("String() = %q, want c3", s)
+	}
+	if s := ReplicaNode(3).String(); s != "r3" {
+		t.Fatalf("String() = %q, want r3", s)
+	}
+}
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	b := EncodeToBytes(msg)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(%s): %v", msg.Type(), err)
+	}
+	return got
+}
+
+func TestRoundTripAllMessageTypes(t *testing.T) {
+	d1 := Digest{1, 2, 3}
+	d2 := Digest{4, 5, 6}
+	msgs := []Message{
+		&ClientRequest{Client: 9, FirstSeq: 55, Txns: []Transaction{sampleTxn(1)}, Sig: []byte{9, 9}},
+		&PrePrepare{View: 3, Seq: 77, Digest: d1, Requests: []ClientRequest{sampleRequest(1), sampleRequest(2)}},
+		&Prepare{View: 1, Seq: 2, Digest: d1, Replica: 5},
+		&Commit{View: 1, Seq: 2, Digest: d2, Replica: 6},
+		&Checkpoint{Seq: 1000, StateDigest: d1, Replica: 2},
+		&ViewChange{
+			NewView:    4,
+			StableSeq:  900,
+			StateProof: []Checkpoint{{Seq: 900, StateDigest: d1, Replica: 0}, {Seq: 900, StateDigest: d1, Replica: 1}},
+			Prepared: []PreparedProof{{
+				View: 3, Seq: 901, Digest: d2,
+				Prepares: []Prepare{{View: 3, Seq: 901, Digest: d2, Replica: 1}, {View: 3, Seq: 901, Digest: d2, Replica: 2}},
+			}},
+			Replica: 3,
+		},
+		&NewView{
+			View:        4,
+			ViewChanges: []ViewChange{{NewView: 4, StableSeq: 900, Replica: 1}},
+			PrePrepares: []PrePrepare{{View: 4, Seq: 901, Digest: d2}},
+		},
+		&ClientResponse{View: 2, Seq: 10, Client: 3, ClientSeq: 44, Result: d1, Replica: 1},
+		&OrderedRequest{View: 0, Seq: 5, Digest: d1, History: d2, Requests: []ClientRequest{sampleRequest(3)}},
+		&SpecResponse{View: 0, Seq: 5, Digest: d1, History: d2, Client: 7, ClientSeq: 11, Result: d1, Replica: 2},
+		&CommitCert{Client: 7, ClientSeq: 11, View: 0, Seq: 5, History: d2, Replicas: []ReplicaID{0, 1, 2}},
+		&LocalCommit{View: 0, Seq: 5, History: d2, Client: 7, ClientSeq: 11, Replica: 3},
+	}
+	for _, msg := range msgs {
+		t.Run(msg.Type().String(), func(t *testing.T) {
+			got := roundTrip(t, msg)
+			if !reflect.DeepEqual(normalize(got), normalize(msg)) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, msg)
+			}
+		})
+	}
+}
+
+// normalize maps nil slices to empty ones so DeepEqual compares structure,
+// not the nil-vs-empty distinction the codec legitimately flattens.
+func normalize(m Message) []byte { return EncodeToBytes(m) }
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	if _, err := Decode([]byte{0xEE, 1, 2, 3}); err == nil {
+		t.Fatal("Decode accepted an unknown message type")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode accepted an empty buffer")
+	}
+}
+
+func TestDecodeTruncatedNeverPanics(t *testing.T) {
+	full := EncodeToBytes(&PrePrepare{View: 3, Seq: 77, Digest: Digest{1}, Requests: []ClientRequest{sampleRequest(1)}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(full[:cut]); err == nil && cut < len(full) {
+			// Some prefixes may decode if trailing fields are empty; only
+			// assert that no prefix panics, which reaching here proves.
+			continue
+		}
+	}
+}
+
+func TestDecodeHostileCounts(t *testing.T) {
+	// A pre-prepare declaring 2^32-1 requests must fail fast, not allocate.
+	var w Writer
+	w.U8(uint8(MsgPrePrepare))
+	w.U64(1) // view
+	w.U64(1) // seq
+	w.Bytes32(Digest{})
+	w.U32(0xFFFFFFFF) // hostile request count
+	if _, err := Decode(w.Bytes()); err == nil {
+		t.Fatal("Decode accepted hostile element count")
+	}
+}
+
+func TestWriterReaderPrimitives(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U16(513)
+	w.U32(70000)
+	w.U64(1 << 40)
+	w.Blob([]byte("hello"))
+	w.Bytes32(Digest{9, 8, 7})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 513 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := r.U32(); got != 70000 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.Blob(); string(got) != "hello" {
+		t.Fatalf("Blob = %q", got)
+	}
+	if got := r.Bytes32(); got != (Digest{9, 8, 7}) {
+		t.Fatalf("Bytes32 = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+	// Reading past the end sets a sticky error.
+	if r.U8(); r.Err() == nil {
+		t.Fatal("expected sticky error after overread")
+	}
+}
+
+func TestReaderBlobCopies(t *testing.T) {
+	var w Writer
+	w.Blob([]byte("abc"))
+	src := w.Bytes()
+	r := NewReader(src)
+	got := r.Blob()
+	src[5] = 'X' // mutate the underlying buffer
+	if string(got) != "abc" {
+		t.Fatalf("Blob aliases input buffer: %q", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	e := &Envelope{
+		From: ReplicaNode(2),
+		To:   ClientNode(7),
+		Type: MsgPrepare,
+		Body: []byte{1, 2, 3, 4},
+		Auth: []byte{9},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != e.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, frame = %d", e.EncodedSize(), buf.Len())
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("frame mismatch: got %+v want %+v", got, e)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("ReadFrame accepted oversized frame")
+	}
+}
+
+func TestBatchDigestProperties(t *testing.T) {
+	reqs := []ClientRequest{sampleRequest(1), sampleRequest(2)}
+	d1 := BatchDigest(reqs)
+	d2 := BatchDigest(reqs)
+	if d1 != d2 {
+		t.Fatal("BatchDigest not deterministic")
+	}
+	reqs[1].Txns[0].Ops[0].Value[0] ^= 1
+	if BatchDigest(reqs) == d1 {
+		t.Fatal("BatchDigest insensitive to content change")
+	}
+	// Order sensitivity.
+	swapped := []ClientRequest{reqs[1], reqs[0]}
+	if BatchDigest(swapped) == BatchDigest(reqs) {
+		t.Fatal("BatchDigest insensitive to order")
+	}
+	// Per-request digest differs from batch digest but shares properties.
+	p1 := PerRequestBatchDigest(reqs)
+	if p1 == BatchDigest(reqs) {
+		t.Fatal("digest modes unexpectedly collide")
+	}
+	if p1 != PerRequestBatchDigest(reqs) {
+		t.Fatal("PerRequestBatchDigest not deterministic")
+	}
+}
+
+func TestBlockHashChanges(t *testing.T) {
+	b := Block{Height: 5, Seq: 5, View: 1, Digest: Digest{1}, PrevHash: Digest{2}, TxnCount: 100}
+	h := b.Hash()
+	b2 := b
+	b2.TxnCount++
+	if b2.Hash() == h {
+		t.Fatal("Block.Hash ignores TxnCount")
+	}
+	b3 := b
+	b3.PrevHash = Digest{3}
+	if b3.Hash() == h {
+		t.Fatal("Block.Hash ignores PrevHash")
+	}
+}
+
+func TestSigningBytesExcludesSignature(t *testing.T) {
+	r1 := sampleRequest(4)
+	r2 := r1
+	r2.Sig = []byte("different")
+	if !bytes.Equal(r1.SigningBytes(), r2.SigningBytes()) {
+		t.Fatal("SigningBytes depends on the signature field")
+	}
+	r3 := r1
+	r3.FirstSeq++
+	if bytes.Equal(r1.SigningBytes(), r3.SigningBytes()) {
+		t.Fatal("SigningBytes ignores FirstSeq")
+	}
+}
+
+func TestRequestSizeMatchesEncoding(t *testing.T) {
+	r := sampleRequest(6)
+	var w Writer
+	r.marshal(&w)
+	if w.Len() != r.Size() {
+		t.Fatalf("Size() = %d, encoded = %d", r.Size(), w.Len())
+	}
+	pp := PrePrepare{View: 1, Seq: 2, Digest: Digest{1}, Requests: []ClientRequest{r}}
+	w.Reset()
+	pp.marshal(&w)
+	if w.Len() != pp.Size() {
+		t.Fatalf("PrePrepare.Size() = %d, encoded = %d", pp.Size(), w.Len())
+	}
+	or := OrderedRequest{View: 1, Seq: 2, Digest: Digest{1}, History: Digest{2}, Requests: []ClientRequest{r}}
+	w.Reset()
+	or.marshal(&w)
+	if w.Len() != or.Size() {
+		t.Fatalf("OrderedRequest.Size() = %d, encoded = %d", or.Size(), w.Len())
+	}
+}
+
+// quickTxn generates a random transaction for property tests.
+func quickTxn(rnd *rand.Rand) Transaction {
+	nops := rnd.Intn(4)
+	ops := make([]Op, nops)
+	for i := range ops {
+		val := make([]byte, rnd.Intn(32))
+		rnd.Read(val)
+		ops[i] = Op{Key: rnd.Uint64(), Value: val}
+	}
+	payload := make([]byte, rnd.Intn(64))
+	rnd.Read(payload)
+	return Transaction{
+		Client:    ClientID(rnd.Uint32()),
+		ClientSeq: rnd.Uint64(),
+		Ops:       ops,
+		Payload:   payload,
+	}
+}
+
+func TestQuickRoundTripPrePrepare(t *testing.T) {
+	f := func(view, seq uint64, seed int64, nreq uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		reqs := make([]ClientRequest, int(nreq)%5)
+		for i := range reqs {
+			txns := make([]Transaction, 1+rnd.Intn(3))
+			for j := range txns {
+				txns[j] = quickTxn(rnd)
+			}
+			sig := make([]byte, rnd.Intn(64))
+			rnd.Read(sig)
+			reqs[i] = ClientRequest{
+				Client:   ClientID(rnd.Uint32()),
+				FirstSeq: rnd.Uint64(),
+				Txns:     txns,
+				Sig:      sig,
+			}
+		}
+		msg := &PrePrepare{View: View(view), Seq: SeqNum(seq), Digest: BatchDigest(reqs), Requests: reqs}
+		b := EncodeToBytes(msg)
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(EncodeToBytes(got), b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripSmallMessages(t *testing.T) {
+	f := func(view, seq uint64, rep uint16, d [32]byte) bool {
+		msgs := []Message{
+			&Prepare{View: View(view), Seq: SeqNum(seq), Digest: d, Replica: ReplicaID(rep)},
+			&Commit{View: View(view), Seq: SeqNum(seq), Digest: d, Replica: ReplicaID(rep)},
+			&Checkpoint{Seq: SeqNum(seq), StateDigest: d, Replica: ReplicaID(rep)},
+			&ClientResponse{View: View(view), Seq: SeqNum(seq), Client: 1, ClientSeq: seq, Result: d, Replica: ReplicaID(rep)},
+			&LocalCommit{View: View(view), Seq: SeqNum(seq), History: d, Client: 1, ClientSeq: seq, Replica: ReplicaID(rep)},
+		}
+		for _, m := range msgs {
+			b := EncodeToBytes(m)
+			got, err := Decode(b)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(EncodeToBytes(got), b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkAblationBatchDigest vs BenchmarkAblationPerRequestDigest is
+// the Section 4.3 hashing ablation: one digest over the whole batch
+// versus hashing every request separately.
+func BenchmarkAblationBatchDigest(b *testing.B) {
+	reqs := make([]ClientRequest, 100)
+	for i := range reqs {
+		reqs[i] = sampleRequest(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchDigest(reqs)
+	}
+}
+
+func BenchmarkAblationPerRequestDigest(b *testing.B) {
+	reqs := make([]ClientRequest, 100)
+	for i := range reqs {
+		reqs[i] = sampleRequest(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PerRequestBatchDigest(reqs)
+	}
+}

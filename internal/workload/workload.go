@@ -1,0 +1,272 @@
+// Package workload implements the application layer of the evaluation
+// (paper Figure 5 and Section 5.1): a YCSB-style benchmark in which each
+// client transaction indexes a table with an active set of 600K records
+// and issues write-only operations, with keys drawn from a Zipfian (or
+// uniform) distribution.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resilientdb/internal/store"
+	"resilientdb/internal/types"
+)
+
+// Distribution selects how keys are drawn from the record space.
+type Distribution int
+
+// Supported key distributions.
+const (
+	// Zipf draws keys from the YCSB Zipfian distribution (the paper's
+	// "uniform Zipfian" with the standard YCSB constant).
+	Zipf Distribution = iota + 1
+	// Uniform draws keys uniformly at random.
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Zipf:
+		return "zipfian"
+	case Uniform:
+		return "uniform"
+	default:
+		return "invalid"
+	}
+}
+
+// Config describes a YCSB workload.
+type Config struct {
+	// Records is the active record set size; the paper uses 600K.
+	Records uint64
+	// OpsPerTxn is the number of write operations per transaction
+	// (Section 5.4 varies this from 1 to 50).
+	OpsPerTxn int
+	// ValueSize is the size in bytes of each written value.
+	ValueSize int
+	// PayloadSize adds opaque bytes to each transaction to inflate message
+	// size (Section 5.5).
+	PayloadSize int
+	// Distribution selects the key distribution; Zipf by default.
+	Distribution Distribution
+	// ZipfTheta is the Zipfian skew constant; 0 means the YCSB default 0.99.
+	ZipfTheta float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Default returns the paper's standard workload: 600K records, single-op
+// write-only transactions with 100-byte values, Zipfian keys.
+func Default() Config {
+	return Config{
+		Records:      600_000,
+		OpsPerTxn:    1,
+		ValueSize:    100,
+		Distribution: Zipf,
+		Seed:         1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Records == 0 {
+		return fmt.Errorf("workload: Records must be positive")
+	}
+	if c.OpsPerTxn < 1 {
+		return fmt.Errorf("workload: OpsPerTxn must be ≥ 1, got %d", c.OpsPerTxn)
+	}
+	if c.ValueSize < 0 || c.PayloadSize < 0 {
+		return fmt.Errorf("workload: sizes must be non-negative")
+	}
+	switch c.Distribution {
+	case Zipf, Uniform:
+	default:
+		return fmt.Errorf("workload: invalid distribution %d", c.Distribution)
+	}
+	return nil
+}
+
+// Generator draws keys from the configured distribution. Generators are
+// not safe for concurrent use; create one per client goroutine.
+type Generator interface {
+	// Next returns the next key in [0, Records).
+	Next() uint64
+}
+
+// Workload builds transactions and client requests for one client.
+type Workload struct {
+	cfg  Config
+	gen  Generator
+	rnd  *rand.Rand
+	fill byte
+}
+
+// New creates a Workload for cfg. Each Workload owns an independent
+// deterministic random stream derived from cfg.Seed and salt (pass the
+// client identifier), so concurrent clients do not contend or correlate.
+func New(cfg Config, salt int64) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed*0x5DEECE66D + salt + 11))
+	var gen Generator
+	switch cfg.Distribution {
+	case Uniform:
+		gen = NewUniform(rnd, cfg.Records)
+	default:
+		theta := cfg.ZipfTheta
+		if theta == 0 {
+			theta = 0.99
+		}
+		gen = NewZipfian(rnd, cfg.Records, theta)
+	}
+	return &Workload{cfg: cfg, gen: gen, rnd: rnd, fill: byte(salt)}, nil
+}
+
+// NextTransaction builds the next write-only transaction for the client.
+func (w *Workload) NextTransaction(client types.ClientID, clientSeq uint64) types.Transaction {
+	ops := make([]types.Op, w.cfg.OpsPerTxn)
+	for i := range ops {
+		val := make([]byte, w.cfg.ValueSize)
+		for j := range val {
+			val[j] = w.fill + byte(clientSeq) + byte(j)
+		}
+		ops[i] = types.Op{Key: w.gen.Next(), Value: val}
+	}
+	var payload []byte
+	if w.cfg.PayloadSize > 0 {
+		payload = make([]byte, w.cfg.PayloadSize)
+		for j := range payload {
+			payload[j] = byte(j)
+		}
+	}
+	return types.Transaction{
+		Client:    client,
+		ClientSeq: clientSeq,
+		Ops:       ops,
+		Payload:   payload,
+	}
+}
+
+// NextRequest builds a client request carrying a burst of txns transactions
+// starting at clientSeq (client-side batching, Section 4.2). The request is
+// unsigned; the client engine signs it.
+func (w *Workload) NextRequest(client types.ClientID, clientSeq uint64, txns int) types.ClientRequest {
+	if txns < 1 {
+		txns = 1
+	}
+	list := make([]types.Transaction, txns)
+	for i := range list {
+		list[i] = w.NextTransaction(client, clientSeq+uint64(i))
+	}
+	return types.ClientRequest{
+		Client:   client,
+		FirstSeq: clientSeq,
+		Txns:     list,
+	}
+}
+
+// InitTable preloads st with the active record set so every replica starts
+// from an identical copy of the table (Section 5.1).
+func InitTable(st store.Store, cfg Config) error {
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for k := uint64(0); k < cfg.Records; k++ {
+		if err := st.Put(k, val); err != nil {
+			return fmt.Errorf("workload: preloading record %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// ---- Key generators ----
+
+// UniformGen draws keys uniformly.
+type UniformGen struct {
+	rnd *rand.Rand
+	n   uint64
+}
+
+var _ Generator = (*UniformGen)(nil)
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(rnd *rand.Rand, n uint64) *UniformGen {
+	return &UniformGen{rnd: rnd, n: n}
+}
+
+// Next implements Generator.
+func (u *UniformGen) Next() uint64 { return uint64(u.rnd.Int63n(int64(u.n))) }
+
+// ZipfianGen draws keys from the YCSB Zipfian distribution (Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases"), under which the
+// i-th most popular key has probability proportional to 1/i^theta.
+// The popular keys are scattered across the key space by a multiplicative
+// hash, as YCSB does, so hot keys do not cluster at low indices.
+type ZipfianGen struct {
+	rnd       *rand.Rand
+	n         uint64
+	theta     float64
+	alpha     float64
+	zetan     float64
+	eta       float64
+	zeta2     float64
+	scrambled bool
+}
+
+var _ Generator = (*ZipfianGen)(nil)
+
+// NewZipfian returns a scrambled Zipfian generator over [0, n) with skew
+// theta in (0, 1).
+func NewZipfian(rnd *rand.Rand, n uint64, theta float64) *ZipfianGen {
+	z := &ZipfianGen{rnd: rnd, n: n, theta: theta, scrambled: true}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next implements Generator.
+func (z *ZipfianGen) Next() uint64 {
+	u := z.rnd.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1.0, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	if !z.scrambled {
+		return rank
+	}
+	// FNV-style scramble into [0, n).
+	return (rank * 0x9E3779B97F4A7C15) % z.n
+}
+
+// Rank returns the unscrambled popularity rank for the next draw; exposed
+// for distribution tests.
+func (z *ZipfianGen) Rank() uint64 {
+	z.scrambled = false
+	defer func() { z.scrambled = true }()
+	return z.Next()
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}

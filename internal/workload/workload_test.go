@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"resilientdb/internal/store"
+	"resilientdb/internal/types"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"default ok", func(c *Config) {}, false},
+		{"zero records", func(c *Config) { c.Records = 0 }, true},
+		{"zero ops", func(c *Config) { c.OpsPerTxn = 0 }, true},
+		{"negative value size", func(c *Config) { c.ValueSize = -1 }, true},
+		{"bad distribution", func(c *Config) { c.Distribution = 99 }, true},
+		{"uniform ok", func(c *Config) { c.Distribution = Uniform }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Default()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransactionShape(t *testing.T) {
+	cfg := Default()
+	cfg.OpsPerTxn = 5
+	cfg.ValueSize = 32
+	cfg.PayloadSize = 128
+	w, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := w.NextTransaction(3, 42)
+	if txn.Client != 3 || txn.ClientSeq != 42 {
+		t.Fatalf("identity = (%d,%d)", txn.Client, txn.ClientSeq)
+	}
+	if len(txn.Ops) != 5 {
+		t.Fatalf("ops = %d, want 5", len(txn.Ops))
+	}
+	for _, op := range txn.Ops {
+		if op.Key >= cfg.Records {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		if len(op.Value) != 32 {
+			t.Fatalf("value size %d, want 32", len(op.Value))
+		}
+	}
+	if len(txn.Payload) != 128 {
+		t.Fatalf("payload size %d, want 128", len(txn.Payload))
+	}
+}
+
+func TestRequestBurst(t *testing.T) {
+	w, err := New(Default(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := w.NextRequest(9, 100, 4)
+	if req.Client != 9 || req.FirstSeq != 100 {
+		t.Fatalf("identity = (%d,%d)", req.Client, req.FirstSeq)
+	}
+	if len(req.Txns) != 4 {
+		t.Fatalf("txns = %d, want 4", len(req.Txns))
+	}
+	for i, txn := range req.Txns {
+		if txn.ClientSeq != 100+uint64(i) {
+			t.Fatalf("txn %d seq = %d", i, txn.ClientSeq)
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	mk := func(salt int64) types.ClientRequest {
+		w, err := New(Default(), salt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.NextRequest(1, 0, 3)
+	}
+	a, b := mk(5), mk(5)
+	if types.BatchDigest([]types.ClientRequest{a}) != types.BatchDigest([]types.ClientRequest{b}) {
+		t.Fatal("same salt produced different workload")
+	}
+	c := mk(6)
+	if types.BatchDigest([]types.ClientRequest{a}) == types.BatchDigest([]types.ClientRequest{c}) {
+		t.Fatal("different salts produced identical workload")
+	}
+}
+
+func TestInitTable(t *testing.T) {
+	cfg := Default()
+	cfg.Records = 1000
+	st := NewCountingStore()
+	if err := InitTable(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", st.Len())
+	}
+	v, err := st.Get(999)
+	if err != nil || len(v) != cfg.ValueSize {
+		t.Fatalf("Get(999) = (%d bytes, %v)", len(v), err)
+	}
+}
+
+// CountingStore wraps MemStore for test observability.
+type CountingStore struct{ *store.MemStore }
+
+// NewCountingStore returns an empty CountingStore.
+func NewCountingStore() *CountingStore {
+	return &CountingStore{MemStore: store.NewMemStore(0)}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	const n = 100
+	g := NewUniform(rand.New(rand.NewSource(1)), n)
+	seen := make(map[uint64]int)
+	for i := 0; i < 20000; i++ {
+		k := g.Next()
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k]++
+	}
+	if len(seen) != n {
+		t.Fatalf("uniform generator covered %d/%d keys", len(seen), n)
+	}
+	// No key should be wildly over-represented (expected 200 each).
+	for k, c := range seen {
+		if c < 100 || c > 320 {
+			t.Fatalf("key %d drawn %d times; uniformity broken", k, c)
+		}
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	g := NewZipfian(rand.New(rand.NewSource(2)), 600_000, 0.99)
+	for i := 0; i < 50000; i++ {
+		if k := g.Next(); k >= 600_000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+// TestZipfianSkew verifies the defining property of the distribution: a
+// tiny set of top-ranked keys receives a disproportionate share of draws,
+// far beyond what a uniform distribution would give them.
+func TestZipfianSkew(t *testing.T) {
+	const n = 10_000
+	const draws = 100_000
+	g := NewZipfian(rand.New(rand.NewSource(3)), n, 0.99)
+	topShare := 0
+	rank0 := 0
+	for i := 0; i < draws; i++ {
+		r := g.Rank()
+		if r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r < n/100 { // top 1% of ranks
+			topShare++
+		}
+		if r == 0 {
+			rank0++
+		}
+	}
+	frac := float64(topShare) / draws
+	if frac < 0.30 {
+		t.Fatalf("top 1%% of keys drew only %.1f%% of accesses; not Zipfian", frac*100)
+	}
+	// The single hottest key alone must beat the uniform expectation
+	// (draws/n = 10) by well over an order of magnitude.
+	if rank0 < 200 {
+		t.Fatalf("hottest key drawn %d times; too flat", rank0)
+	}
+}
+
+func TestZipfianDeterminism(t *testing.T) {
+	g1 := NewZipfian(rand.New(rand.NewSource(4)), 1000, 0.99)
+	g2 := NewZipfian(rand.New(rand.NewSource(4)), 1000, 0.99)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("zipfian not deterministic under equal seeds")
+		}
+	}
+}
+
+func TestZipfianTheta(t *testing.T) {
+	// Higher theta must concentrate more mass on rank 0.
+	count0 := func(theta float64) int {
+		g := NewZipfian(rand.New(rand.NewSource(5)), 10_000, theta)
+		c := 0
+		for i := 0; i < 50_000; i++ {
+			if g.Rank() == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	low, high := count0(0.5), count0(0.99)
+	if high <= low {
+		t.Fatalf("theta=0.99 hottest-key count (%d) not above theta=0.5 (%d)", high, low)
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	g := NewZipfian(rand.New(rand.NewSource(1)), 600_000, 0.99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkWorkloadNextRequest(b *testing.B) {
+	w, err := New(Default(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.NextRequest(1, uint64(i), 1)
+	}
+}
