@@ -1,9 +1,13 @@
 package resilientdb_test
 
 import (
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"resilientdb/internal/bench"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
 )
 
 // Each benchmark regenerates one table/figure of the paper's evaluation
@@ -162,4 +166,84 @@ func BenchmarkAblationDecoupledExecution(b *testing.B) {
 	runFigure(b, "ablation-exec", map[string]string{
 		"decouple_gain_pct": "gain_%",
 	})
+}
+
+// benchTCPTransport pumps b.N envelopes through a localhost TCP pair with
+// the given transport batching config and reports envelopes per second.
+// The workload is identical across configs — only the framing differs —
+// so the two benchmarks below compare the batched send path against the
+// per-envelope baseline at equal client load.
+func benchTCPTransport(b *testing.B, batchMax int, linger time.Duration) {
+	b.Helper()
+	rx, err := transport.NewTCP(types.ReplicaNode(1), "127.0.0.1:0", nil, 1, 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := transport.NewTCPWithConfig(transport.TCPConfig{
+		Self:       types.ReplicaNode(0),
+		ListenAddr: "127.0.0.1:0",
+		Inboxes:    1,
+		Capacity:   16,
+		BatchMax:   batchMax,
+		Linger:     linger,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tx.Close()
+	tx.SetPeerAddr(types.ReplicaNode(1), rx.Addr())
+
+	body := make([]byte, 256)
+	auth := make([]byte, 32)
+	b.SetBytes(int64(len(body) + len(auth)))
+	b.ResetTimer()
+	var sendErrs atomic.Int64
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if tx.Send(&types.Envelope{
+				From: types.ReplicaNode(0),
+				To:   types.ReplicaNode(1),
+				Type: types.MsgPrepare,
+				Body: body,
+				Auth: auth,
+			}) != nil {
+				sendErrs.Add(1)
+			}
+		}
+	}()
+	received := 0
+	lastProgress := time.Now()
+	for received+int(rx.Drops())+int(sendErrs.Load()) < b.N {
+		select {
+		case <-rx.Inbox(0):
+			received++
+			lastProgress = time.Now()
+		case <-time.After(50 * time.Millisecond):
+			// Re-check drop and error counters so a dropped tail cannot
+			// hang the benchmark; a write error can also discard envelopes
+			// already queued on the torn-down writer, which no counter
+			// sees, so a stall deadline backstops the accounting.
+			if time.Since(lastProgress) > 5*time.Second {
+				b.Fatalf("stalled: received=%d drops=%d sendErrs=%d of %d",
+					received, rx.Drops(), sendErrs.Load(), b.N)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(received)/b.Elapsed().Seconds(), "env/s")
+}
+
+// BenchmarkTCPTransportBatched measures the batch-frame send path: each
+// peer's writer coalesces queued envelopes into multi-envelope frames,
+// one write syscall per batch.
+func BenchmarkTCPTransportBatched(b *testing.B) {
+	benchTCPTransport(b, transport.DefaultBatchMax, 0)
+}
+
+// BenchmarkTCPTransportUnbatched measures the per-envelope baseline: one
+// frame and one write syscall per envelope, the transport's pre-batching
+// behavior.
+func BenchmarkTCPTransportUnbatched(b *testing.B) {
+	benchTCPTransport(b, 1, 0)
 }

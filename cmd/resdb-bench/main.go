@@ -5,9 +5,16 @@
 //	resdb-bench -list
 //	resdb-bench -experiment fig10
 //	resdb-bench -experiment all -scale paper -out results.txt
+//	resdb-bench -experiment tcpbatch -net-batch 128 -net-linger 200us
 //
 // Scale "small" (default) shrinks populations so the full suite finishes
 // in minutes; "paper" uses the paper's populations (80K clients).
+//
+// The tcpbatch experiment measures the transport layer directly: batched
+// TCP frames against per-envelope frames. -net-batch sets the maximum
+// envelopes coalesced per frame and -net-linger how long a partial batch
+// waits for more envelopes before flushing (0 flushes when the outbound
+// queue drains).
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 
 	"resilientdb/internal/bench"
+	"resilientdb/internal/transport"
 )
 
 func main() {
@@ -28,7 +36,12 @@ func run() int {
 	experiment := flag.String("experiment", "all", "experiment id (e.g. fig10) or 'all'")
 	scaleName := flag.String("scale", "small", "small | paper")
 	outPath := flag.String("out", "", "also write results to this file")
+	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "tcpbatch: max envelopes per TCP batch frame")
+	netLinger := flag.Duration("net-linger", 0, "tcpbatch: partial-batch flush delay (0 flushes when the queue drains)")
 	flag.Parse()
+
+	bench.TCPTuning.BatchMax = *netBatch
+	bench.TCPTuning.Linger = *netLinger
 
 	if *list {
 		for _, e := range bench.All() {

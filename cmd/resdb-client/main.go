@@ -35,6 +35,8 @@ func run() int {
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "client retransmission timeout")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed (must match nodes)")
+	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
+	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay (0 flushes when the queue drains)")
 	flag.Parse()
 
 	proto := clientengine.PBFT
@@ -77,7 +79,15 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		ep, err := transport.NewTCP(types.ClientNode(types.ClientID(i)), "127.0.0.1:0", addrs, 1, 1<<10)
+		ep, err := transport.NewTCPWithConfig(transport.TCPConfig{
+			Self:       types.ClientNode(types.ClientID(i)),
+			ListenAddr: "127.0.0.1:0",
+			Addrs:      addrs,
+			Inboxes:    1,
+			Capacity:   1 << 10,
+			BatchMax:   *netBatch,
+			Linger:     *netLinger,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

@@ -4,6 +4,18 @@
 // -peers list; key material is derived deterministically from the seed
 // (see internal/crypto), standing in for out-of-band provisioning.
 //
+// The hot-path knobs:
+//
+//   - -net-batch N: coalesce up to N outbound envelopes per peer into one
+//     TCP batch frame (one write syscall for the batch); 1 restores
+//     per-envelope frames.
+//   - -net-linger D: hold a partial batch up to D waiting for more
+//     envelopes; 0 (default) flushes as soon as the outbound queue
+//     drains, so idle connections pay no latency.
+//   - -verify-threads V: verify peer signatures on V parallel workers
+//     between the input-threads and the worker-thread; 0 verifies inline
+//     on the worker-thread.
+//
 // Example 4-replica deployment on one machine:
 //
 //	resdb-node -id 0 -n 4 -listen 127.0.0.1:7000 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
@@ -41,6 +53,9 @@ func run() int {
 	batch := flag.Int("batch", 100, "transactions per consensus batch")
 	batchThreads := flag.Int("batch-threads", 2, "batch-threads (0 folds into worker)")
 	execThreads := flag.Int("execute-threads", 1, "execute-threads (0 or 1)")
+	verifyThreads := flag.Int("verify-threads", 2, "parallel signature-verification workers (0 verifies on the worker-thread)")
+	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
+	netLinger := flag.Duration("net-linger", 0, "how long a partial TCP batch waits for more envelopes before flushing (0 flushes when the queue drains)")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
 	flag.Parse()
@@ -73,7 +88,15 @@ func run() int {
 		return 1
 	}
 
-	ep, err := transport.NewTCP(types.ReplicaNode(types.ReplicaID(*id)), *listen, addrs, 3, 1<<13)
+	ep, err := transport.NewTCPWithConfig(transport.TCPConfig{
+		Self:       types.ReplicaNode(types.ReplicaID(*id)),
+		ListenAddr: *listen,
+		Addrs:      addrs,
+		Inboxes:    3,
+		Capacity:   1 << 13,
+		BatchMax:   *netBatch,
+		Linger:     *netLinger,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -86,6 +109,7 @@ func run() int {
 		BatchSize:        *batch,
 		BatchThreads:     *batchThreads,
 		ExecuteThreads:   *execThreads,
+		VerifyThreads:    *verifyThreads,
 		Directory:        dir,
 		Endpoint:         ep,
 		VerifyClientSigs: true,
@@ -108,14 +132,14 @@ func run() int {
 		case <-stop:
 			rep.Stop()
 			s := rep.Stats()
-			fmt.Printf("final: txns=%d batches=%d height=%d view=%d\n",
-				s.TxnsExecuted, s.BatchesExecuted, s.LedgerHeight, s.View)
+			fmt.Printf("final: txns=%d batches=%d height=%d view=%d drops=%d\n",
+				s.TxnsExecuted, s.BatchesExecuted, s.LedgerHeight, s.View, s.NetDrops)
 			return 0
 		case <-tick.C:
 			s := rep.Stats()
-			fmt.Printf("txns=%d (+%d) height=%d view=%d in=%d out=%d authfail=%d\n",
+			fmt.Printf("txns=%d (+%d) height=%d view=%d in=%d out=%d authfail=%d drops=%d\n",
 				s.TxnsExecuted, s.TxnsExecuted-last, s.LedgerHeight, s.View,
-				s.MsgsIn, s.MsgsOut, s.AuthFailures)
+				s.MsgsIn, s.MsgsOut, s.AuthFailures, s.NetDrops)
 			last = s.TxnsExecuted
 		}
 	}

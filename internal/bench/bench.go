@@ -144,6 +144,8 @@ func All() []Experiment {
 			Paper: "out-of-order processing is worth ~60% throughput (Section 4.5)", Run: ablationOOO},
 		{ID: "ablation-exec", Title: "Ablation: decoupled execution (1E) vs worker-executed (0E)",
 			Paper: "decoupling execution from ordering is worth ~9.5% (Section 3)", Run: ablationExec},
+		{ID: "tcpbatch", Title: "Transport: batched vs per-envelope TCP frames (envelopes/s over localhost)",
+			Paper: "per-message sends put one syscall on every envelope; batch frames amortize it (cf. Section 4.1 output-threads)", Run: tcpbatch},
 	}
 }
 

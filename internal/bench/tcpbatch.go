@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// TCPTuning exposes the transport batching knobs to the resdb-bench
+// command line (-net-batch, -net-linger); the tcpbatch experiment compares
+// this configuration against the per-envelope baseline.
+var TCPTuning = struct {
+	// BatchMax is the batched configuration under test (transport
+	// TCPConfig.BatchMax); 1 would degenerate to the baseline.
+	BatchMax int
+	// Linger is the partial-batch flush delay under test.
+	Linger time.Duration
+}{BatchMax: transport.DefaultBatchMax}
+
+// tcpbatch measures the real-TCP envelope throughput of the transport's
+// batched send path against the per-envelope baseline. It is the
+// transport-layer companion to Figure 10: consensus batching amortizes
+// protocol cost per transaction, transport batching amortizes syscall
+// cost per envelope.
+func tcpbatch(s Scale) (Outcome, error) {
+	window := 250 * time.Millisecond
+	if s == ScalePaper {
+		window = time.Second
+	}
+	const senders = 4
+
+	unbatched, err := runTCPLoad(1, 0, senders, window)
+	if err != nil {
+		return Outcome{}, err
+	}
+	batched, err := runTCPLoad(TCPTuning.BatchMax, TCPTuning.Linger, senders, window)
+	if err != nil {
+		return Outcome{}, err
+	}
+	gain := 0.0
+	if unbatched > 0 {
+		gain = batched / unbatched
+	}
+
+	tab := Table{
+		Title:   "TCP transport batching (envelopes/s, localhost)",
+		Columns: []string{"config", "env/s"},
+	}
+	tab.AddRow("per-envelope frames", fmt.Sprintf("%.0f", unbatched))
+	tab.AddRow(fmt.Sprintf("batch frames (max %d)", TCPTuning.BatchMax), fmt.Sprintf("%.0f", batched))
+	tab.AddRow("gain", fmt.Sprintf("%.2fx", gain))
+	return Outcome{
+		Tables: []Table{tab},
+		Metrics: map[string]float64{
+			"tcp_unbatched_eps": unbatched,
+			"tcp_batched_eps":   batched,
+			"tcp_batch_gain_x":  gain,
+		},
+	}, nil
+}
+
+// runTCPLoad pumps envelopes from a sender endpoint to a receiver over
+// localhost TCP for the given window and returns delivered envelopes per
+// second.
+func runTCPLoad(batchMax int, linger time.Duration, senders int, window time.Duration) (float64, error) {
+	rx, err := transport.NewTCP(types.ReplicaNode(1), "127.0.0.1:0", nil, 1, 1<<15)
+	if err != nil {
+		return 0, err
+	}
+	defer rx.Close()
+	tx, err := transport.NewTCPWithConfig(transport.TCPConfig{
+		Self:       types.ReplicaNode(0),
+		ListenAddr: "127.0.0.1:0",
+		Inboxes:    1,
+		Capacity:   16,
+		BatchMax:   batchMax,
+		Linger:     linger,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Close()
+	tx.SetPeerAddr(types.ReplicaNode(1), rx.Addr())
+
+	var received atomic.Uint64
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for range rx.Inbox(0) {
+			received.Add(1)
+		}
+	}()
+
+	body := make([]byte, 256)
+	auth := make([]byte, 32)
+	start := time.Now()
+	stopAt := start.Add(window)
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stopAt) {
+				env := &types.Envelope{
+					From: types.ReplicaNode(0),
+					To:   types.ReplicaNode(1),
+					Type: types.MsgPrepare,
+					Body: body,
+					Auth: auth,
+				}
+				if tx.Send(env) != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tx.Close() // flush lingering batches
+	// Let in-flight frames land before sampling the counter.
+	time.Sleep(30 * time.Millisecond)
+	elapsed := time.Since(start) - 30*time.Millisecond
+	rx.Close()
+	<-consumed
+	return float64(received.Load()) / elapsed.Seconds(), nil
+}

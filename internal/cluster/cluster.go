@@ -31,12 +31,14 @@ type Options struct {
 	BatchSize int
 	// Thread counts; see replica.Config. Defaults follow the paper's
 	// standard configuration: 2 batch-threads, 1 execute-thread,
-	// 2 output-threads, 2 replica input-threads. Pass -1 to request the
-	// folded 0B / 0E configurations explicitly.
+	// 2 output-threads, 2 replica input-threads, plus 2 verify-threads
+	// (the parallel-crypto refinement of Section 4.2). Pass -1 to request
+	// the folded 0B / 0E / inline-verify configurations explicitly.
 	BatchThreads   int
 	ExecuteThreads int
 	OutputThreads  int
 	ReplicaInboxes int
+	VerifyThreads  int
 	// Crypto selects the signature configuration (default: the paper's
 	// recommended CMAC + ED25519 combination).
 	Crypto crypto.Config
@@ -94,6 +96,12 @@ func (o *Options) fill() error {
 	}
 	if o.ReplicaInboxes == 0 {
 		o.ReplicaInboxes = 2
+	}
+	if o.VerifyThreads == 0 {
+		o.VerifyThreads = 2
+	}
+	if o.VerifyThreads < 0 {
+		o.VerifyThreads = 0 // explicit inline-verify request
 	}
 	if o.Crypto.ReplicaScheme == 0 {
 		o.Crypto = crypto.Recommended()
@@ -183,6 +191,7 @@ func New(opts Options) (*Cluster, error) {
 			ExecuteThreads:     opts.ExecuteThreads,
 			OutputThreads:      opts.OutputThreads,
 			ReplicaInboxes:     opts.ReplicaInboxes,
+			VerifyThreads:      opts.VerifyThreads,
 			CheckpointInterval: opts.CheckpointInterval,
 			LedgerMode:         opts.LedgerMode,
 			Store:              st,

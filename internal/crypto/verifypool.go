@@ -1,0 +1,78 @@
+package crypto
+
+import (
+	"sync"
+
+	"resilientdb/internal/types"
+)
+
+// VerifyPool fans authenticator verification out across a fixed set of
+// worker goroutines. Signature verification is one of the two dominant
+// costs on a replica's receive path (paper Section 3, "Expensive
+// Cryptographic Practices"); verifying on the single worker-thread
+// serializes it behind consensus processing, while a pool verifies many
+// messages concurrently and hands downstream stages only authenticated
+// traffic.
+//
+// Each Submit returns a one-shot result channel, so a caller that must
+// preserve message order (consensus engines expect per-connection FIFO)
+// can submit a window of messages, then await the results in submission
+// order while the verifications themselves run in parallel.
+type VerifyPool struct {
+	auth      Authenticator
+	jobs      chan verifyJob
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type verifyJob struct {
+	src  types.NodeID
+	msg  []byte
+	auth []byte
+	done chan error
+}
+
+// NewVerifyPool starts a pool of workers verifying with auth. queue bounds
+// the number of submitted-but-unclaimed jobs; Submit blocks (backpressure)
+// when it fills.
+func NewVerifyPool(auth Authenticator, workers, queue int) *VerifyPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < workers {
+		queue = workers * 16
+	}
+	p := &VerifyPool{auth: auth, jobs: make(chan verifyJob, queue)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *VerifyPool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		j.done <- p.auth.Verify(j.src, j.msg, j.auth)
+	}
+}
+
+// Submit enqueues one verification and returns the channel its result
+// will be delivered on (nil error means the authenticator verified). The
+// channel is buffered: workers never block on delivery, and the caller
+// may await it whenever convenient. Submit must not be called after
+// Close.
+func (p *VerifyPool) Submit(src types.NodeID, msg, auth []byte) <-chan error {
+	done := make(chan error, 1)
+	p.jobs <- verifyJob{src: src, msg: msg, auth: auth, done: done}
+	return done
+}
+
+// Close drains outstanding jobs and stops the workers. Results already
+// promised by Submit are still delivered.
+func (p *VerifyPool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}

@@ -1,0 +1,110 @@
+package crypto
+
+import (
+	"sync"
+	"testing"
+
+	"resilientdb/internal/types"
+)
+
+func poolDirectory(t *testing.T) *Directory {
+	t.Helper()
+	dir, err := NewDirectory(Recommended(), [32]byte{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestVerifyPoolParallelVerdicts(t *testing.T) {
+	dir := poolDirectory(t)
+	signer := dir.NodeAuth(types.ReplicaNode(1))
+	verifier := dir.NodeAuth(types.ReplicaNode(0))
+
+	pool := NewVerifyPool(verifier, 4, 64)
+	defer pool.Close()
+
+	const n = 200
+	msgs := make([][]byte, n)
+	sigs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i), byte(i >> 8), 0x5A}
+		sig, err := signer.Sign(types.ReplicaNode(0), msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	// Corrupt every third signature.
+	for i := 0; i < n; i += 3 {
+		sigs[i] = append([]byte(nil), sigs[i]...)
+		sigs[i][0] ^= 0xFF
+	}
+
+	results := make([]<-chan error, n)
+	for i := range msgs {
+		results[i] = pool.Submit(types.ReplicaNode(1), msgs[i], sigs[i])
+	}
+	for i, ch := range results {
+		err := <-ch
+		if i%3 == 0 && err == nil {
+			t.Fatalf("job %d: corrupted signature verified", i)
+		}
+		if i%3 != 0 && err != nil {
+			t.Fatalf("job %d: valid signature rejected: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyPoolConcurrentSubmitters(t *testing.T) {
+	dir := poolDirectory(t)
+	signer := dir.NodeAuth(types.ReplicaNode(1))
+	verifier := dir.NodeAuth(types.ReplicaNode(0))
+	msg := []byte("shared message")
+	sig, err := signer.Sign(types.ReplicaNode(0), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewVerifyPool(verifier, 3, 8)
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := <-pool.Submit(types.ReplicaNode(1), msg, sig); err != nil {
+					t.Errorf("verify: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestVerifyPoolCloseDeliversOutstanding(t *testing.T) {
+	dir := poolDirectory(t)
+	signer := dir.NodeAuth(types.ReplicaNode(1))
+	verifier := dir.NodeAuth(types.ReplicaNode(0))
+	msg := []byte("late result")
+	sig, err := signer.Sign(types.ReplicaNode(0), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewVerifyPool(verifier, 1, 32)
+	results := make([]<-chan error, 16)
+	for i := range results {
+		results[i] = pool.Submit(types.ReplicaNode(1), msg, sig)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	for i, ch := range results {
+		if err := <-ch; err != nil {
+			t.Fatalf("job %d lost across Close: %v", i, err)
+		}
+	}
+}

@@ -86,6 +86,13 @@ type Config struct {
 	ExecuteThreads int
 	// OutputThreads is the number of transmitting threads (default 2).
 	OutputThreads int
+	// VerifyThreads is V: the number of parallel signature-verification
+	// workers fed by the input-threads. With V > 0 peer envelopes are
+	// authenticated in a crypto.VerifyPool before they reach the
+	// worker-thread (per-inbox order is preserved), so the worker only
+	// ever sees authenticated messages; 0 verifies inline on the
+	// worker-thread, the paper's baseline assignment (Section 4.3).
+	VerifyThreads int
 	// ReplicaInboxes is the number of input-threads for replica traffic
 	// (default 2).
 	ReplicaInboxes int
@@ -132,6 +139,9 @@ func (c *Config) fill() error {
 	}
 	if c.BatchThreads < 0 {
 		return fmt.Errorf("replica: negative BatchThreads")
+	}
+	if c.VerifyThreads < 0 {
+		return fmt.Errorf("replica: negative VerifyThreads")
 	}
 	if c.BatchSize < 1 {
 		c.BatchSize = 100
@@ -205,19 +215,34 @@ type Stats struct {
 	MsgsIn          uint64
 	MsgsOut         uint64
 	AuthFailures    uint64
-	Checkpoints     uint64
-	View            types.View
-	LedgerHeight    uint64
+	// NetDrops is the endpoint's count of inbound envelopes discarded
+	// because their inbox was full — the previously silent overload
+	// signal.
+	NetDrops     uint64
+	Checkpoints  uint64
+	View         types.View
+	LedgerHeight uint64
 	// BusyNS is cumulative busy time per stage, the runtime analogue of
 	// the Figure 9 saturation measurement.
 	BusyNS [stageCount]uint64
 }
 
-// workItem is the union flowing into the worker queue: either a verified
-// envelope from a peer or (in 0B mode) a client request to batch.
+// workItem is the union flowing into the worker queue: either an envelope
+// from a peer or (in 0B mode) a client request to batch. verified records
+// that the envelope's authenticator already passed the verify stage, so
+// the worker must not spend time re-checking it.
 type workItem struct {
+	env      *types.Envelope
+	req      *types.ClientRequest
+	verified bool
+}
+
+// verifiedItem pairs an envelope with its in-flight verification result;
+// the per-inbox forwarder awaits results in submission order, preserving
+// inbox FIFO while verification itself runs in parallel.
+type verifiedItem struct {
 	env *types.Envelope
-	req *types.ClientRequest
+	res <-chan error
 }
 
 // execItem carries one committed batch into the execution stage.
@@ -237,9 +262,14 @@ type Replica struct {
 
 	batchQ *queue.MPMC[*types.ClientRequest]
 	workQ  chan workItem
-	ckptQ  chan *types.Envelope
+	ckptQ  chan workItem
 	outQs  []chan *types.Envelope
 	execIn *queue.InOrder[execItem]
+
+	// Verify stage (nil / empty when VerifyThreads == 0).
+	verifyPool *crypto.VerifyPool
+	verifyQs   []chan verifiedItem
+	verifyWg   sync.WaitGroup
 
 	reqPool *pool.Pool[types.ClientRequest]
 
@@ -327,7 +357,7 @@ func New(cfg Config) (*Replica, error) {
 		store:    st,
 		batchQ:   queue.NewMPMC[*types.ClientRequest](1 << 14),
 		workQ:    make(chan workItem, 1<<13),
-		ckptQ:    make(chan *types.Envelope, 1<<10),
+		ckptQ:    make(chan workItem, 1<<10),
 		execIn:   queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, 1),
 		lastExec: make(map[types.ClientID]uint64),
 		stop:     make(chan struct{}),
@@ -375,6 +405,7 @@ func (r *Replica) Stats() Stats {
 		MsgsIn:          r.msgsIn.Load(),
 		MsgsOut:         r.msgsOut.Load(),
 		AuthFailures:    r.authFailures.Load(),
+		NetDrops:        r.cfg.Endpoint.Drops(),
 		Checkpoints:     es.Checkpoints,
 		View:            view,
 		LedgerHeight:    r.ledger.Height(),
@@ -393,12 +424,33 @@ func (r *Replica) addBusy(stage Stage, d time.Duration) {
 
 // Start launches the pipeline goroutines.
 func (r *Replica) Start() {
+	// Verify stage: a shared verification pool plus one order-preserving
+	// forwarder per inbox. Each input-thread submits envelopes to the pool
+	// and hands the pending results to its forwarder, which awaits them in
+	// submission order and routes only authenticated envelopes onward.
+	nIn := r.cfg.Endpoint.Inboxes()
+	if r.cfg.VerifyThreads > 0 {
+		r.verifyPool = crypto.NewVerifyPool(r.auth, r.cfg.VerifyThreads, r.cfg.VerifyThreads*64)
+		r.verifyQs = make([]chan verifiedItem, nIn)
+		for i := range r.verifyQs {
+			r.verifyQs[i] = make(chan verifiedItem, 256)
+			r.verifyWg.Add(1)
+			go r.verifyForwardLoop(r.verifyQs[i])
+		}
+	}
+	pend := func(i int) chan verifiedItem {
+		if r.verifyQs == nil {
+			return nil
+		}
+		return r.verifyQs[i]
+	}
+
 	// Input: client traffic on inbox 0, replica traffic on the rest.
 	r.inputWg.Add(1)
-	go r.inputClientLoop(r.cfg.Endpoint.Inbox(0))
-	for i := 1; i < r.cfg.Endpoint.Inboxes(); i++ {
+	go r.inputClientLoop(r.cfg.Endpoint.Inbox(0), pend(0))
+	for i := 1; i < nIn; i++ {
 		r.inputWg.Add(1)
-		go r.inputReplicaLoop(r.cfg.Endpoint.Inbox(i))
+		go r.inputReplicaLoop(r.cfg.Endpoint.Inbox(i), pend(i))
 	}
 
 	for i := 0; i < r.cfg.BatchThreads; i++ {
@@ -433,6 +485,13 @@ func (r *Replica) Stop() {
 		close(r.stop)
 		r.cfg.Endpoint.Close()
 		r.inputWg.Wait()
+
+		// Input loops closed their verify queues on exit; wait for the
+		// forwarders to drain them before the queues they feed close.
+		r.verifyWg.Wait()
+		if r.verifyPool != nil {
+			r.verifyPool.Close()
+		}
 
 		r.batchQ.Close()
 		close(r.workQ)

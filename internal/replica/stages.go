@@ -11,9 +11,15 @@ import (
 // ---- Input stage (Section 4.1) ----
 
 // inputClientLoop services inbox 0: client requests and, for Zyzzyva,
-// client commit certificates.
-func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope) {
+// client commit certificates. With a verify stage (pend non-nil), commit
+// certificates are authenticated in the verify pool instead of on the
+// worker-thread; client request signatures stay with the batch stage,
+// which verifies them batch-wise (Section 4.3).
+func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- verifiedItem) {
 	defer r.inputWg.Done()
+	if pend != nil {
+		defer close(pend)
+	}
 	for env := range inbox {
 		t0 := time.Now()
 		r.msgsIn.Add(1)
@@ -43,6 +49,10 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope) {
 				r.pendingHint.Store(true)
 			}
 		case types.MsgCommitCert:
+			if pend != nil {
+				pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
+				break
+			}
 			select {
 			case r.workQ <- workItem{env: env}:
 			case <-r.stop:
@@ -54,26 +64,52 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope) {
 	}
 }
 
-// inputReplicaLoop services one replica-traffic inbox, forwarding
-// checkpoint messages to the checkpoint-thread and everything else to the
-// worker-thread.
-func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope) {
+// inputReplicaLoop services one replica-traffic inbox. With a verify
+// stage (pend non-nil) every envelope is submitted to the verification
+// pool and handed to the inbox's forwarder; otherwise it is routed
+// directly and the worker-thread verifies inline.
+func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope, pend chan<- verifiedItem) {
 	defer r.inputWg.Done()
+	if pend != nil {
+		defer close(pend)
+	}
 	for env := range inbox {
 		t0 := time.Now()
 		r.msgsIn.Add(1)
-		if env.Type == types.MsgCheckpoint {
-			select {
-			case r.ckptQ <- env:
-			case <-r.stop:
-			}
+		if pend != nil {
+			pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
 		} else {
-			select {
-			case r.workQ <- workItem{env: env}:
-			case <-r.stop:
-			}
+			r.route(env, false)
 		}
 		r.addBusy(StageInput, time.Since(t0))
+	}
+}
+
+// route hands an envelope to the stage that owns its type: checkpoint
+// traffic to the checkpoint-thread, everything else to the worker-thread.
+func (r *Replica) route(env *types.Envelope, verified bool) {
+	q := r.workQ
+	if env.Type == types.MsgCheckpoint {
+		q = r.ckptQ
+	}
+	select {
+	case q <- workItem{env: env, verified: verified}:
+	case <-r.stop:
+	}
+}
+
+// verifyForwardLoop is one inbox's forwarder: it awaits verification
+// results in submission order — keeping the inbox FIFO the engines rely
+// on — and forwards only authenticated envelopes, so downstream stages
+// never re-verify.
+func (r *Replica) verifyForwardLoop(pend <-chan verifiedItem) {
+	defer r.verifyWg.Done()
+	for it := range pend {
+		if err := <-it.res; err != nil {
+			r.authFailures.Add(1)
+			continue
+		}
+		r.route(it.env, true)
 	}
 }
 
@@ -210,7 +246,7 @@ func (r *Replica) workerLoop() {
 					lingerC = time.After(r.cfg.BatchLinger)
 				}
 			} else {
-				r.processEnvelope(item.env)
+				r.processEnvelope(item.env, item.verified)
 			}
 			r.addBusy(StageWorker, time.Since(t0))
 		case <-lingerC:
@@ -222,12 +258,16 @@ func (r *Replica) workerLoop() {
 }
 
 // processEnvelope authenticates, decodes, and applies one peer message.
-// Signature verification happens here, on the worker-thread, exactly where
-// the paper assigns it (Section 4.3).
-func (r *Replica) processEnvelope(env *types.Envelope) {
-	if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
-		r.authFailures.Add(1)
-		return
+// With VerifyThreads == 0 signature verification happens here, on the
+// worker-thread, exactly where the paper assigns it (Section 4.3); when
+// the verify stage already authenticated the envelope (verified true) it
+// is not checked again.
+func (r *Replica) processEnvelope(env *types.Envelope, verified bool) {
+	if !verified {
+		if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+			r.authFailures.Add(1)
+			return
+		}
 	}
 	msg, err := types.DecodeBody(env.Type, env.Body)
 	if err != nil {
@@ -258,9 +298,9 @@ func (r *Replica) processEnvelope(env *types.Envelope) {
 
 func (r *Replica) checkpointLoop() {
 	defer r.stage1Wg.Done()
-	for env := range r.ckptQ {
+	for item := range r.ckptQ {
 		t0 := time.Now()
-		r.processEnvelope(env)
+		r.processEnvelope(item.env, item.verified)
 		r.addBusy(StageCheckpoint, time.Since(t0))
 	}
 }

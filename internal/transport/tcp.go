@@ -4,59 +4,159 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"resilientdb/internal/types"
 )
 
+// Batching defaults. Batching exists because the per-envelope syscall is
+// the transport's dominant cost at high throughput ("What Blocks My
+// Blockchain's Throughput?" finds per-message serialization alongside
+// signature verification as the top bottlenecks): coalescing queued
+// envelopes into one batch frame amortizes the length prefix and, more
+// importantly, the Write call across the whole batch.
+const (
+	// DefaultBatchMax is the default maximum number of envelopes per
+	// batch frame.
+	DefaultBatchMax = 64
+	// DefaultBatchBytes is the default encoded-size threshold that
+	// flushes a batch early.
+	DefaultBatchBytes = 64 << 10
+	// peerQueueCap is the depth of a replica peer's outbound queue;
+	// senders block (backpressure) when the writer falls this far behind.
+	peerQueueCap = 4096
+	// clientQueueCap is the depth of a client peer's outbound queue.
+	// A replica answers each client with ~one response per in-flight
+	// request, so a deep queue would only waste memory across the tens of
+	// thousands of client connections a deployment can carry.
+	clientQueueCap = 64
+	// closeFlushTimeout bounds how long Close waits for a stalled peer to
+	// accept the final flush.
+	closeFlushTimeout = 2 * time.Second
+)
+
+// TCPConfig parameterizes a TCPEndpoint.
+type TCPConfig struct {
+	// Self is the node this endpoint belongs to; ListenAddr its listen
+	// address (":0" picks an ephemeral port).
+	Self       types.NodeID
+	ListenAddr string
+	// Addrs maps peers (may include self) to dialable addresses; more can
+	// be added later with SetPeerAddr.
+	Addrs map[types.NodeID]string
+	// Inboxes is the number of classified inbound channels; Capacity the
+	// per-inbox buffer.
+	Inboxes  int
+	Capacity int
+	// BatchMax is the maximum number of envelopes coalesced into one
+	// batch frame. 0 means DefaultBatchMax; 1 disables batching (every
+	// envelope travels in its own frame, still serialized through the
+	// peer's writer goroutine).
+	BatchMax int
+	// BatchBytes flushes a batch once its encoded size reaches this
+	// threshold, bounding frame size independently of BatchMax. 0 means
+	// DefaultBatchBytes.
+	BatchBytes int
+	// Linger is how long a writer waits for more envelopes before
+	// flushing a partial batch. 0 flushes as soon as the outbound queue
+	// is momentarily empty: under load batches still fill (the queue
+	// outpaces the writer), while an idle connection pays no added
+	// latency. Positive values trade latency for fuller batches.
+	Linger time.Duration
+}
+
+func (c *TCPConfig) fill() {
+	if c.Inboxes < 1 {
+		c.Inboxes = 1
+	}
+	if c.Capacity < 1 {
+		c.Capacity = 1024
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = DefaultBatchMax
+	}
+	if c.BatchMax < 1 {
+		c.BatchMax = 1
+	}
+	if c.BatchBytes < 1 {
+		c.BatchBytes = DefaultBatchBytes
+	}
+}
+
+// tcpPeer is one live connection plus the writer goroutine that owns its
+// write side. Routing every write (Send and Hello alike) through the
+// writer serializes frame writes — concurrent WriteFrame calls on a shared
+// connection could interleave partial frames and corrupt the stream — and
+// is where outbound batching happens.
+type tcpPeer struct {
+	conn net.Conn
+	out  chan *types.Envelope
+	dead chan struct{} // closed when the writer exits; senders stop blocking
+}
+
 // TCPEndpoint attaches a node to the network over TCP with
-// length-prefixed envelope frames (types.WriteFrame / types.ReadFrame).
+// length-prefixed envelope frames (single and batch, see types.ReadFrames).
 // Outbound connections are dialed lazily per destination and reused;
 // inbound connections are accepted continuously and drained into the
 // classified inboxes.
 type TCPEndpoint struct {
+	cfg     TCPConfig
 	self    types.NodeID
-	addrs   map[types.NodeID]string
 	ln      net.Listener
 	inboxes []chan *types.Envelope
+	drops   atomic.Uint64
 
 	mu       sync.Mutex
-	conns    map[types.NodeID]net.Conn
+	addrs    map[types.NodeID]string
+	peers    map[types.NodeID]*tcpPeer
 	accepted map[net.Conn]bool
 	closed   bool
-	wg       sync.WaitGroup
+
+	stopW   chan struct{} // tells writers to flush what is queued and exit
+	writeWg sync.WaitGroup
+	readWg  sync.WaitGroup // accept loop and read loops
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
 
-// NewTCP creates a TCP endpoint listening on listenAddr. addrs maps every
-// peer (and may include self) to its dialable address. Inbound frames are
-// spread over the given number of inboxes.
+// NewTCP creates a TCP endpoint listening on listenAddr with default
+// batching. addrs maps every peer (and may include self) to its dialable
+// address. Inbound frames are spread over the given number of inboxes.
 func NewTCP(self types.NodeID, listenAddr string, addrs map[types.NodeID]string, inboxes, capacity int) (*TCPEndpoint, error) {
-	if inboxes < 1 {
-		inboxes = 1
-	}
-	if capacity < 1 {
-		capacity = 1024
-	}
-	ln, err := net.Listen("tcp", listenAddr)
+	return NewTCPWithConfig(TCPConfig{
+		Self:       self,
+		ListenAddr: listenAddr,
+		Addrs:      addrs,
+		Inboxes:    inboxes,
+		Capacity:   capacity,
+	})
+}
+
+// NewTCPWithConfig creates a TCP endpoint with explicit batching knobs.
+func NewTCPWithConfig(cfg TCPConfig) (*TCPEndpoint, error) {
+	cfg.fill()
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
 	}
 	e := &TCPEndpoint{
-		self:     self,
-		addrs:    make(map[types.NodeID]string, len(addrs)),
+		cfg:      cfg,
+		self:     cfg.Self,
 		ln:       ln,
-		conns:    make(map[types.NodeID]net.Conn),
+		addrs:    make(map[types.NodeID]string, len(cfg.Addrs)),
+		peers:    make(map[types.NodeID]*tcpPeer),
 		accepted: make(map[net.Conn]bool),
+		stopW:    make(chan struct{}),
 	}
-	for k, v := range addrs {
+	for k, v := range cfg.Addrs {
 		e.addrs[k] = v
 	}
-	e.inboxes = make([]chan *types.Envelope, inboxes)
+	e.inboxes = make([]chan *types.Envelope, cfg.Inboxes)
 	for i := range e.inboxes {
-		e.inboxes[i] = make(chan *types.Envelope, capacity)
+		e.inboxes[i] = make(chan *types.Envelope, cfg.Capacity)
 	}
-	e.wg.Add(1)
+	e.readWg.Add(1)
 	go e.acceptLoop()
 	return e, nil
 }
@@ -79,16 +179,17 @@ func (e *TCPEndpoint) SetPeerAddr(node types.NodeID, addr string) {
 // replica before submitting requests so that responses can flow back over
 // the client-initiated connections.
 func (e *TCPEndpoint) Hello(to types.NodeID) error {
-	conn, err := e.conn(to)
+	p, err := e.peer(to)
 	if err != nil {
 		return err
 	}
 	env := &types.Envelope{From: e.self, To: to, Type: 0}
-	if err := types.WriteFrame(conn, env); err != nil {
-		e.dropConn(to, conn)
-		return fmt.Errorf("transport: hello to %v: %w", to, err)
+	select {
+	case p.out <- env:
+		return nil
+	case <-p.dead:
+		return fmt.Errorf("transport: hello to %v: %w", to, ErrClosed)
 	}
-	return nil
 }
 
 // Self implements Endpoint.
@@ -100,8 +201,12 @@ func (e *TCPEndpoint) Inbox(i int) <-chan *types.Envelope { return e.inboxes[i] 
 // Inboxes implements Endpoint.
 func (e *TCPEndpoint) Inboxes() int { return len(e.inboxes) }
 
+// Drops implements Endpoint: envelopes discarded because their inbox was
+// full when they arrived.
+func (e *TCPEndpoint) Drops() uint64 { return e.drops.Load() }
+
 func (e *TCPEndpoint) acceptLoop() {
-	defer e.wg.Done()
+	defer e.readWg.Done()
 	for {
 		conn, err := e.ln.Accept()
 		if err != nil {
@@ -115,13 +220,13 @@ func (e *TCPEndpoint) acceptLoop() {
 		}
 		e.accepted[conn] = true
 		e.mu.Unlock()
-		e.wg.Add(1)
+		e.readWg.Add(1)
 		go e.readLoop(conn)
 	}
 }
 
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
-	defer e.wg.Done()
+	defer e.readWg.Done()
 	defer func() {
 		e.mu.Lock()
 		delete(e.accepted, conn)
@@ -129,87 +234,257 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		env, err := types.ReadFrame(conn)
+		envs, err := types.ReadFrames(conn)
 		if err != nil {
 			return
 		}
+		if len(envs) == 0 {
+			continue
+		}
+		// Learn return paths once per frame: replies to these peers can
+		// reuse the inbound connection, which is how replicas answer
+		// clients that have no listener of their own.
 		e.mu.Lock()
 		closed := e.closed
 		if !closed {
-			// Learn the return path: replies to this peer can reuse the
-			// inbound connection, which is how replicas answer clients
-			// that have no listener of their own.
-			if _, ok := e.conns[env.From]; !ok {
-				e.conns[env.From] = conn
+			for _, env := range envs {
+				if _, ok := e.peers[env.From]; !ok {
+					e.addPeerLocked(env.From, conn)
+				}
 			}
 		}
 		e.mu.Unlock()
 		if closed {
 			return
 		}
-		if env.Type == 0 {
-			// Hello frame: its only job was to teach us the return path.
-			continue
-		}
-		idx := Classify(env.From, len(e.inboxes))
-		// Non-blocking like Inproc: BFT protocols tolerate drops.
-		select {
-		case e.inboxes[idx] <- env:
-		default:
+		for _, env := range envs {
+			if env.Type == 0 {
+				// Hello frame: its only job was to teach us the return path.
+				continue
+			}
+			idx := Classify(env.From, len(e.inboxes))
+			// Non-blocking like Inproc: BFT protocols tolerate drops, but
+			// each drop is counted so overload is observable.
+			select {
+			case e.inboxes[idx] <- env:
+			default:
+				e.drops.Add(1)
+			}
 		}
 	}
 }
 
-// Send implements Endpoint. Connections are cached; a send error tears the
-// cached connection down so the next send re-dials (peer restarts).
+// Send implements Endpoint. The envelope is queued on the destination
+// peer's writer, which owns the connection's write side; callers must not
+// mutate env after Send returns. Connections are cached; a write error
+// tears the cached connection down so the next send re-dials (peer
+// restarts).
 func (e *TCPEndpoint) Send(env *types.Envelope) error {
-	conn, err := e.conn(env.To)
+	p, err := e.peer(env.To)
 	if err != nil {
 		return err
 	}
-	if err := types.WriteFrame(conn, env); err != nil {
-		e.dropConn(env.To, conn)
-		return fmt.Errorf("transport: send to %v: %w", env.To, err)
+	select {
+	case p.out <- env:
+		return nil
+	case <-p.dead:
+		return fmt.Errorf("transport: send to %v: %w", env.To, ErrClosed)
 	}
-	return nil
 }
 
-func (e *TCPEndpoint) conn(to types.NodeID) (net.Conn, error) {
+// peer returns the live peer for a destination, dialing a connection and
+// starting its writer on first use.
+func (e *TCPEndpoint) peer(to types.NodeID) (*tcpPeer, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if c, ok := e.conns[to]; ok {
-		return c, nil
+	if p, ok := e.peers[to]; ok {
+		e.mu.Unlock()
+		return p, nil
 	}
 	addr, ok := e.addrs[to]
+	e.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownNode, to)
 	}
-	c, err := net.Dial("tcp", addr)
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %v at %s: %w", to, addr, err)
 	}
-	e.conns[to] = c
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if p, ok := e.peers[to]; ok {
+		// Lost a dial race (or the peer dialed us first); keep the
+		// established peer.
+		e.mu.Unlock()
+		conn.Close()
+		return p, nil
+	}
+	p := e.addPeerLocked(to, conn)
 	// Connections are full duplex: the peer may reply over this very
 	// connection (it learns the return path from our frames), so every
 	// dialed connection gets a reader too.
-	e.wg.Add(1)
-	go e.readLoop(c)
-	return c, nil
+	e.readWg.Add(1)
+	go e.readLoop(conn)
+	e.mu.Unlock()
+	return p, nil
 }
 
-func (e *TCPEndpoint) dropConn(to types.NodeID, conn net.Conn) {
+// addPeerLocked registers a connection as the path to a peer and starts
+// its writer goroutine. Callers hold e.mu and have checked !e.closed.
+func (e *TCPEndpoint) addPeerLocked(to types.NodeID, conn net.Conn) *tcpPeer {
+	depth := peerQueueCap
+	if to.IsClient() {
+		depth = clientQueueCap
+	}
+	p := &tcpPeer{
+		conn: conn,
+		out:  make(chan *types.Envelope, depth),
+		dead: make(chan struct{}),
+	}
+	e.peers[to] = p
+	e.writeWg.Add(1)
+	go e.writeLoop(to, p)
+	return p
+}
+
+// writeLoop is a peer's writer: it drains the outbound queue, coalesces
+// what it finds into batch frames, and writes each frame with a single
+// Write call.
+func (e *TCPEndpoint) writeLoop(to types.NodeID, p *tcpPeer) {
+	defer e.writeWg.Done()
+	defer close(p.dead)
+	var w types.Writer
+	batch := make([]*types.Envelope, 0, e.cfg.BatchMax)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		select {
+		case env := <-p.out:
+			batch = append(batch[:0], env)
+		case <-e.stopW:
+			e.flushRemaining(to, p, &w)
+			return
+		}
+		size := batch[0].EncodedSize()
+
+		// Collect more envelopes: greedily while the queue is non-empty,
+		// and — with a positive Linger — by waiting out the linger window
+		// for a fuller batch.
+		var lingerC <-chan time.Time
+		if e.cfg.Linger > 0 && e.cfg.BatchMax > 1 {
+			if timer == nil {
+				timer = time.NewTimer(e.cfg.Linger)
+			} else {
+				timer.Reset(e.cfg.Linger)
+			}
+			lingerC = timer.C
+		}
+		stopping := false
+	collect:
+		for len(batch) < e.cfg.BatchMax && size < e.cfg.BatchBytes {
+			if lingerC != nil {
+				select {
+				case env := <-p.out:
+					batch = append(batch, env)
+					size += env.EncodedSize()
+				case <-lingerC:
+					lingerC = nil
+					break collect
+				case <-e.stopW:
+					stopping = true
+					break collect
+				}
+			} else {
+				select {
+				case env := <-p.out:
+					batch = append(batch, env)
+					size += env.EncodedSize()
+				default:
+					break collect
+				}
+			}
+		}
+		if lingerC != nil && !timer.Stop() {
+			<-timer.C // already fired: drain so the next Reset is safe
+		}
+		if !e.writeBatch(to, p, &w, batch) {
+			return
+		}
+		batch = batch[:0]
+		if stopping {
+			e.flushRemaining(to, p, &w)
+			return
+		}
+	}
+}
+
+// writeBatch encodes the batch as one frame — single-envelope framing for
+// a batch of one — and writes it with a single Write call. On error the
+// peer is torn down and false is returned.
+func (e *TCPEndpoint) writeBatch(to types.NodeID, p *tcpPeer, w *types.Writer, batch []*types.Envelope) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	w.Reset()
+	if len(batch) == 1 {
+		types.AppendFrame(w, batch[0])
+	} else {
+		types.AppendBatchFrame(w, batch)
+	}
+	if _, err := p.conn.Write(w.Bytes()); err != nil {
+		e.dropPeer(to, p)
+		return false
+	}
+	return true
+}
+
+// flushRemaining drains whatever is still queued at shutdown and writes it
+// out, so a lingering partial batch is not lost on Close.
+func (e *TCPEndpoint) flushRemaining(to types.NodeID, p *tcpPeer, w *types.Writer) {
+	batch := make([]*types.Envelope, 0, e.cfg.BatchMax)
+	for {
+		batch = batch[:0]
+	drain:
+		for len(batch) < e.cfg.BatchMax {
+			select {
+			case env := <-p.out:
+				batch = append(batch, env)
+			default:
+				break drain
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		if !e.writeBatch(to, p, w, batch) {
+			return
+		}
+	}
+}
+
+// dropPeer tears a failed peer down: the next Send re-dials.
+func (e *TCPEndpoint) dropPeer(to types.NodeID, p *tcpPeer) {
 	e.mu.Lock()
-	if e.conns[to] == conn {
-		delete(e.conns, to)
+	if e.peers[to] == p {
+		delete(e.peers, to)
 	}
 	e.mu.Unlock()
-	conn.Close()
+	p.conn.Close()
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint. Queued envelopes are flushed to their peers
+// before connections come down.
 func (e *TCPEndpoint) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -217,17 +492,27 @@ func (e *TCPEndpoint) Close() {
 		return
 	}
 	e.closed = true
-	for _, c := range e.conns {
-		c.Close()
+	for _, p := range e.peers {
+		// Bound the final flush: a stalled peer cannot hold Close hostage.
+		_ = p.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	}
+	e.mu.Unlock()
+
+	close(e.stopW)
+	e.writeWg.Wait()
+
+	e.mu.Lock()
+	for _, p := range e.peers {
+		p.conn.Close()
 	}
 	for c := range e.accepted {
 		c.Close()
 	}
-	e.conns = make(map[types.NodeID]net.Conn)
+	e.peers = make(map[types.NodeID]*tcpPeer)
 	e.mu.Unlock()
 
 	e.ln.Close()
-	e.wg.Wait()
+	e.readWg.Wait()
 	for _, ch := range e.inboxes {
 		close(ch)
 	}

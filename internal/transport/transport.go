@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"resilientdb/internal/types"
 )
@@ -48,6 +49,11 @@ type Endpoint interface {
 	Inbox(i int) <-chan *types.Envelope
 	// Inboxes returns the number of inbound channels.
 	Inboxes() int
+	// Drops returns how many inbound envelopes were discarded because
+	// their inbox was full. Inbox enqueues are non-blocking — BFT
+	// protocols tolerate loss — but silent loss is undiagnosable, so
+	// every drop is counted.
+	Drops() uint64
 	// Close detaches the endpoint and closes its inboxes.
 	Close()
 }
@@ -118,6 +124,7 @@ type inprocEndpoint struct {
 	net     *Inproc
 	self    types.NodeID
 	inboxes []chan *types.Envelope
+	drops   atomic.Uint64
 
 	mu     sync.RWMutex
 	closed bool
@@ -153,6 +160,7 @@ func (e *inprocEndpoint) receive(env *types.Envelope) {
 	select {
 	case e.inboxes[idx] <- env:
 	default:
+		e.drops.Add(1)
 	}
 }
 
@@ -161,6 +169,9 @@ func (e *inprocEndpoint) Inbox(i int) <-chan *types.Envelope { return e.inboxes[
 
 // Inboxes implements Endpoint.
 func (e *inprocEndpoint) Inboxes() int { return len(e.inboxes) }
+
+// Drops implements Endpoint.
+func (e *inprocEndpoint) Drops() uint64 { return e.drops.Load() }
 
 // Close implements Endpoint.
 func (e *inprocEndpoint) Close() {

@@ -124,27 +124,64 @@ func (e *Envelope) encode(w *Writer) {
 	w.Blob(e.Auth)
 }
 
-// decodeEnvelope parses the envelope wire form.
-func decodeEnvelope(b []byte) (*Envelope, error) {
-	r := NewReader(b)
-	e := &Envelope{}
+// decode parses the envelope wire form from r in place.
+func (e *Envelope) decode(r *Reader) {
 	e.From = NodeID(r.U32())
 	e.To = NodeID(r.U32())
 	e.Type = MsgType(r.U8())
 	e.Body = r.Blob()
 	e.Auth = r.Blob()
+}
+
+// decodeEnvelope parses the envelope wire form.
+func decodeEnvelope(b []byte) (*Envelope, error) {
+	r := NewReader(b)
+	e := &Envelope{}
+	e.decode(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decoding envelope: %w", err)
 	}
 	return e, nil
 }
 
+// batchFrameBit marks a frame's length prefix as a multi-envelope batch
+// frame. The bit is free because maxFrameLen bounds real lengths far below
+// it, and old-style single-envelope frames never set it, so both frame
+// kinds coexist on one connection.
+const batchFrameBit = 1 << 31
+
+// minEnvelopeSize is the smallest envelope wire form: from, to, type, and
+// two empty blobs. It validates batch counts against forged headers.
+const minEnvelopeSize = 4 + 4 + 1 + 4 + 4
+
+// AppendFrame appends the length-prefixed single-envelope frame to w.
+func AppendFrame(w *Writer, e *Envelope) {
+	w.U32(uint32(e.EncodedSize() - 4))
+	e.encode(w)
+}
+
+// AppendBatchFrame appends a batch frame carrying every envelope in envs:
+// a length prefix with the batch bit set, an envelope count, and the
+// concatenated envelope encodings. A batch frame costs one length prefix
+// and — crucially for the transport's send path — one Write call for the
+// whole batch instead of one per envelope.
+func AppendBatchFrame(w *Writer, envs []*Envelope) {
+	payload := 4
+	for _, e := range envs {
+		payload += e.EncodedSize() - 4
+	}
+	w.U32(uint32(payload) | batchFrameBit)
+	w.U32(uint32(len(envs)))
+	for _, e := range envs {
+		e.encode(w)
+	}
+}
+
 // WriteFrame writes a length-prefixed envelope to w. It is the TCP framing
 // used by the transport layer.
 func WriteFrame(w io.Writer, e *Envelope) error {
 	var wr Writer
-	wr.U32(uint32(4 + 4 + 1 + 4 + len(e.Body) + 4 + len(e.Auth)))
-	e.encode(&wr)
+	AppendFrame(&wr, e)
 	_, err := w.Write(wr.Bytes())
 	if err != nil {
 		return fmt.Errorf("writing frame: %w", err)
@@ -152,16 +189,30 @@ func WriteFrame(w io.Writer, e *Envelope) error {
 	return nil
 }
 
+// WriteBatchFrame writes one batch frame carrying all of envs to w.
+func WriteBatchFrame(w io.Writer, envs []*Envelope) error {
+	var wr Writer
+	AppendBatchFrame(&wr, envs)
+	_, err := w.Write(wr.Bytes())
+	if err != nil {
+		return fmt.Errorf("writing batch frame: %w", err)
+	}
+	return nil
+}
+
 // maxFrameLen bounds a single frame read from the network.
 const maxFrameLen = 1 << 28
 
-// ReadFrame reads one length-prefixed envelope from r.
-func ReadFrame(r io.Reader) (*Envelope, error) {
+// ReadFrames reads one frame from r and returns the envelopes it carries:
+// exactly one for a single-envelope frame, zero or more for a batch frame.
+func ReadFrames(r io.Reader) ([]*Envelope, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err // io.EOF propagates untouched for clean shutdown
 	}
 	n := uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3])
+	batch := n&batchFrameBit != 0
+	n &^= batchFrameBit
 	if n > maxFrameLen {
 		return nil, fmt.Errorf("%w: frame of %d bytes", ErrOversized, n)
 	}
@@ -169,5 +220,40 @@ func ReadFrame(r io.Reader) (*Envelope, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("reading frame body: %w", err)
 	}
-	return decodeEnvelope(body)
+	if !batch {
+		e, err := decodeEnvelope(body)
+		if err != nil {
+			return nil, err
+		}
+		return []*Envelope{e}, nil
+	}
+	rd := NewReader(body)
+	count := rd.count(minEnvelopeSize)
+	envs := make([]*Envelope, 0, count)
+	for i := 0; i < count; i++ {
+		e := &Envelope{}
+		e.decode(rd)
+		envs = append(envs, e)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("decoding batch frame: %w", err)
+	}
+	if rd.Remaining() != 0 {
+		return nil, fmt.Errorf("decoding batch frame: %d trailing bytes", rd.Remaining())
+	}
+	return envs, nil
+}
+
+// ReadFrame reads one length-prefixed envelope from r. It rejects batch
+// frames that do not carry exactly one envelope; stream readers that must
+// accept both frame kinds use ReadFrames.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	envs, err := ReadFrames(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(envs) != 1 {
+		return nil, fmt.Errorf("types: expected single-envelope frame, got batch of %d", len(envs))
+	}
+	return envs[0], nil
 }

@@ -1,0 +1,157 @@
+package types
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func batchEnv(from, to uint32, body string) *Envelope {
+	return &Envelope{
+		From: NodeID(from),
+		To:   NodeID(to),
+		Type: MsgPrepare,
+		Body: []byte(body),
+		Auth: []byte{0xAA, 0xBB},
+	}
+}
+
+func envEqual(a, b *Envelope) bool {
+	return a.From == b.From && a.To == b.To && a.Type == b.Type &&
+		bytes.Equal(a.Body, b.Body) && bytes.Equal(a.Auth, b.Auth)
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		envs []*Envelope
+	}{
+		{"empty", nil},
+		{"single", []*Envelope{batchEnv(0, 1, "solo")}},
+		{"many", []*Envelope{
+			batchEnv(0, 1, "first"),
+			batchEnv(2, 1, ""),
+			batchEnv(3, 1, strings.Repeat("x", 4096)),
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteBatchFrame(&buf, tt.envs); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadFrames(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.envs) {
+				t.Fatalf("decoded %d envelopes, want %d", len(got), len(tt.envs))
+			}
+			for i := range got {
+				if !envEqual(got[i], tt.envs[i]) {
+					t.Fatalf("envelope %d = %+v, want %+v", i, got[i], tt.envs[i])
+				}
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("%d bytes left unread", buf.Len())
+			}
+		})
+	}
+}
+
+func TestReadFramesHandlesSingleEnvelopeFrames(t *testing.T) {
+	var buf bytes.Buffer
+	want := batchEnv(4, 5, "legacy-frame")
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrames(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !envEqual(got[0], want) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMixedFrameStream(t *testing.T) {
+	// A connection may interleave both frame kinds; the reader must keep
+	// its framing across the transition.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, batchEnv(0, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatchFrame(&buf, []*Envelope{batchEnv(0, 1, "b"), batchEnv(0, 1, "c")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, batchEnv(0, 1, "d")); err != nil {
+		t.Fatal(err)
+	}
+	var bodies []string
+	for buf.Len() > 0 {
+		envs, err := ReadFrames(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range envs {
+			bodies = append(bodies, string(e.Body))
+		}
+	}
+	if got := strings.Join(bodies, ""); got != "abcd" {
+		t.Fatalf("stream decoded as %q, want %q", got, "abcd")
+	}
+}
+
+func TestReadFrameRejectsMultiEnvelopeBatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatchFrame(&buf, []*Envelope{batchEnv(0, 1, "x"), batchEnv(0, 1, "y")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("ReadFrame accepted a multi-envelope batch frame")
+	}
+}
+
+func TestBatchFrameForgedCountRejected(t *testing.T) {
+	var w Writer
+	AppendBatchFrame(&w, []*Envelope{batchEnv(0, 1, "only")})
+	frame := append([]byte(nil), w.Bytes()...)
+	// Inflate the count field (bytes 4..8) far beyond what the payload
+	// can hold; the decoder must fail instead of over-allocating.
+	frame[4], frame[5], frame[6], frame[7] = 0x7F, 0xFF, 0xFF, 0xFF
+	if _, err := ReadFrames(bytes.NewReader(frame)); err == nil {
+		t.Fatal("forged batch count accepted")
+	}
+}
+
+func TestBatchFrameTruncatedPayload(t *testing.T) {
+	var w Writer
+	AppendBatchFrame(&w, []*Envelope{batchEnv(0, 1, "aaaa"), batchEnv(0, 1, "bbbb")})
+	full := w.Bytes()
+	if _, err := ReadFrames(bytes.NewReader(full[:len(full)-3])); err == nil {
+		t.Fatal("truncated batch frame accepted")
+	}
+}
+
+func TestReadFramesCleanEOF(t *testing.T) {
+	if _, err := ReadFrames(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestBatchFrameTrailingBytesRejected(t *testing.T) {
+	var w Writer
+	AppendBatchFrame(&w, []*Envelope{batchEnv(0, 1, "z")})
+	frame := append([]byte(nil), w.Bytes()...)
+	// Grow the declared payload length by one and append a stray byte the
+	// announced envelope count does not account for.
+	n := uint32(frame[0])<<24 | uint32(frame[1])<<16 | uint32(frame[2])<<8 | uint32(frame[3])
+	n++
+	frame[0], frame[1], frame[2], frame[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	frame = append(frame, 0x00)
+	if _, err := ReadFrames(bytes.NewReader(frame)); err == nil {
+		t.Fatal("batch frame with trailing bytes accepted")
+	}
+}
