@@ -15,6 +15,11 @@
 // envelopes coalesced per frame and -net-linger how long a partial batch
 // waits for more envelopes before flushing (0 flushes when the outbound
 // queue drains).
+//
+// The workerscale experiment runs the real replica pipeline and sweeps
+// the consensus worker lanes from 1 to -worker-threads in powers of two,
+// reporting throughput and per-lane busy time (the runtime analogue of
+// Figure 9's thread-saturation measurement).
 package main
 
 import (
@@ -38,10 +43,14 @@ func run() int {
 	outPath := flag.String("out", "", "also write results to this file")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "tcpbatch: max envelopes per TCP batch frame")
 	netLinger := flag.Duration("net-linger", 0, "tcpbatch: partial-batch flush delay (0 flushes when the queue drains)")
+	workerThreads := flag.Int("worker-threads", 4, "workerscale: largest worker-lane count in the sweep")
 	flag.Parse()
 
 	bench.TCPTuning.BatchMax = *netBatch
 	bench.TCPTuning.Linger = *netLinger
+	if *workerThreads >= 1 {
+		bench.WorkerTuning.MaxThreads = *workerThreads
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -13,8 +13,12 @@
 //     envelopes; 0 (default) flushes as soon as the outbound queue
 //     drains, so idle connections pay no latency.
 //   - -verify-threads V: verify peer signatures on V parallel workers
-//     between the input-threads and the worker-thread; 0 verifies inline
-//     on the worker-thread.
+//     between the input-threads and the worker lanes; 0 verifies inline
+//     on the worker lanes.
+//   - -worker-threads W: step the consensus engine on W parallel worker
+//     lanes routed by sequence number (control traffic stays on lane 0);
+//     1 restores the paper's single worker-thread. Zyzzyva always runs a
+//     single lane (its speculative history is inherently ordered).
 //
 // Example 4-replica deployment on one machine:
 //
@@ -53,7 +57,8 @@ func run() int {
 	batch := flag.Int("batch", 100, "transactions per consensus batch")
 	batchThreads := flag.Int("batch-threads", 2, "batch-threads (0 folds into worker)")
 	execThreads := flag.Int("execute-threads", 1, "execute-threads (0 or 1)")
-	verifyThreads := flag.Int("verify-threads", 2, "parallel signature-verification workers (0 verifies on the worker-thread)")
+	verifyThreads := flag.Int("verify-threads", 2, "parallel signature-verification workers (0 verifies on the worker lanes)")
+	workerThreads := flag.Int("worker-threads", 1, "parallel consensus worker lanes (1 = the paper's single worker-thread)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "how long a partial TCP batch waits for more envelopes before flushing (0 flushes when the queue drains)")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed")
@@ -110,6 +115,7 @@ func run() int {
 		BatchThreads:     *batchThreads,
 		ExecuteThreads:   *execThreads,
 		VerifyThreads:    *verifyThreads,
+		WorkerThreads:    *workerThreads,
 		Directory:        dir,
 		Endpoint:         ep,
 		VerifyClientSigs: true,

@@ -146,6 +146,8 @@ func All() []Experiment {
 			Paper: "decoupling execution from ordering is worth ~9.5% (Section 3)", Run: ablationExec},
 		{ID: "tcpbatch", Title: "Transport: batched vs per-envelope TCP frames (envelopes/s over localhost)",
 			Paper: "per-message sends put one syscall on every envelope; batch frames amortize it (cf. Section 4.1 output-threads)", Run: tcpbatch},
+		{ID: "workerscale", Title: "Worker lanes: throughput and per-lane busy time vs WorkerThreads (real pipeline)",
+			Paper: "the single worker-thread saturates at the backups (Figure 9); lock-striped instances let W lanes split consensus stepping so the worker stops being the lone saturated stage", Run: workerscale},
 	}
 }
 

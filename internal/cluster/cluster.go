@@ -39,6 +39,11 @@ type Options struct {
 	OutputThreads  int
 	ReplicaInboxes int
 	VerifyThreads  int
+	// WorkerThreads is W, the number of parallel worker lanes stepping
+	// the consensus engine (default 1, the paper's baseline; see
+	// replica.Config.WorkerThreads). Zyzzyva replicas always run a
+	// single lane regardless of this knob.
+	WorkerThreads int
 	// Crypto selects the signature configuration (default: the paper's
 	// recommended CMAC + ED25519 combination).
 	Crypto crypto.Config
@@ -102,6 +107,9 @@ func (o *Options) fill() error {
 	}
 	if o.VerifyThreads < 0 {
 		o.VerifyThreads = 0 // explicit inline-verify request
+	}
+	if o.WorkerThreads < 1 {
+		o.WorkerThreads = 1 // single worker lane, the paper's baseline
 	}
 	if o.Crypto.ReplicaScheme == 0 {
 		o.Crypto = crypto.Recommended()
@@ -192,6 +200,7 @@ func New(opts Options) (*Cluster, error) {
 			OutputThreads:      opts.OutputThreads,
 			ReplicaInboxes:     opts.ReplicaInboxes,
 			VerifyThreads:      opts.VerifyThreads,
+			WorkerThreads:      opts.WorkerThreads,
 			CheckpointInterval: opts.CheckpointInterval,
 			LedgerMode:         opts.LedgerMode,
 			Store:              st,

@@ -11,6 +11,9 @@
 package consensus
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"resilientdb/internal/types"
 )
 
@@ -71,9 +74,18 @@ func (CheckpointStable) isAction() {}
 func (ViewChanged) isAction()      {}
 func (Evidence) isAction()         {}
 
-// Engine is a replica-side consensus state machine. Engines are not safe
-// for concurrent use; exactly one goroutine (the worker-thread) or one
-// simulator event at a time may step them.
+// Engine is a replica-side consensus state machine.
+//
+// Stepping methods (OnMessage, Propose, OnExecuted, OnViewTimeout) are by
+// default not safe for concurrent use: exactly one goroutine (the
+// worker-thread) or one simulator event at a time may step them. Engines
+// that additionally implement ConcurrentStepper may be stepped from many
+// worker lanes at once. Drivers that cannot know which kind they hold wrap
+// the engine with Serialize.
+//
+// The read-only observers View, IsPrimary, and Stats are safe to call from
+// any goroutine at any time, without external locking: implementations
+// back them with atomics so observability never contends with consensus.
 type Engine interface {
 	// OnMessage applies a verified message from a peer. auth carries the
 	// authenticator bytes from the envelope so engines can retain commit
@@ -104,6 +116,78 @@ type Engine interface {
 	Stats() EngineStats
 }
 
+// ConcurrentStepper marks engines whose stepping methods are safe for
+// concurrent use by multiple worker lanes (Sections 4.4–4.5: independent
+// consensus instances may be processed out of order and in parallel).
+//
+// The contract: steps touching different sequence numbers may run fully in
+// parallel; steps touching the same sequence number and all control-plane
+// transitions (view changes, checkpoint garbage collection) are serialized
+// internally by the engine. Drivers remain responsible for routing traffic
+// sensibly — the replica runtime keys its worker lanes by sequence number
+// so one instance's messages stay on one lane.
+//
+// Engines with inherently ordered state do not implement this interface:
+// Zyzzyva's speculative history chain h_k = H(h_{k-1} || d_k) forces
+// sequential acceptance, so its engine is driven through Serialize on a
+// single lane regardless of the configured lane count.
+type ConcurrentStepper interface {
+	Engine
+
+	// ConcurrentStepping is a marker method documenting the contract
+	// above; it has no runtime behaviour.
+	ConcurrentStepping()
+}
+
+// Serialize returns an Engine that is safe to step from multiple
+// goroutines. Engines implementing ConcurrentStepper are returned as-is;
+// anything else is wrapped so that stepping methods run under a mutex.
+// The observers (View, IsPrimary, Stats) pass through without locking —
+// the Engine contract already requires them to be concurrency-safe.
+func Serialize(e Engine) Engine {
+	if _, ok := e.(ConcurrentStepper); ok {
+		return e
+	}
+	return &serialEngine{inner: e}
+}
+
+// serialEngine adapts a single-threaded engine to concurrent drivers by
+// serializing every stepping method behind one mutex.
+type serialEngine struct {
+	mu    sync.Mutex
+	inner Engine
+}
+
+func (s *serialEngine) OnMessage(from types.NodeID, msg types.Message, auth []byte) []Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.OnMessage(from, msg, auth)
+}
+
+func (s *serialEngine) Propose(reqs []types.ClientRequest) []Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Propose(reqs)
+}
+
+func (s *serialEngine) OnExecuted(seq types.SeqNum, stateDigest types.Digest) []Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.OnExecuted(seq, stateDigest)
+}
+
+func (s *serialEngine) OnViewTimeout() []Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.OnViewTimeout()
+}
+
+func (s *serialEngine) View() types.View { return s.inner.View() }
+func (s *serialEngine) IsPrimary() bool  { return s.inner.IsPrimary() }
+func (s *serialEngine) Stats() EngineStats {
+	return s.inner.Stats()
+}
+
 // EngineStats exposes engine counters for tests and monitoring.
 type EngineStats struct {
 	Proposed    uint64 // batches proposed (primary)
@@ -111,6 +195,29 @@ type EngineStats struct {
 	Checkpoints uint64 // stable checkpoints reached
 	ViewChanges uint64 // view changes completed
 	Dropped     uint64 // messages ignored (stale view, out of watermark…)
+}
+
+// AtomicEngineStats is the atomic counter set backing a lock-free
+// Engine.Stats implementation. Engines keep one and return Snapshot(), so
+// counters bumped mid-step are safe to read from any goroutine — the
+// Engine contract requires exactly that of Stats().
+type AtomicEngineStats struct {
+	Proposed    atomic.Uint64
+	Executed    atomic.Uint64
+	Checkpoints atomic.Uint64
+	ViewChanges atomic.Uint64
+	Dropped     atomic.Uint64
+}
+
+// Snapshot returns the counters as a plain EngineStats value.
+func (s *AtomicEngineStats) Snapshot() EngineStats {
+	return EngineStats{
+		Proposed:    s.Proposed.Load(),
+		Executed:    s.Executed.Load(),
+		Checkpoints: s.Checkpoints.Load(),
+		ViewChanges: s.ViewChanges.Load(),
+		Dropped:     s.Dropped.Load(),
+	}
 }
 
 // Quorum2f returns the prepare quorum: 2f when n = 3f+1, generalized to

@@ -10,11 +10,27 @@
 // digest of its predecessor — 2f matching prepares already pin the order —
 // which is exactly what makes the fabric's parallel pipeline sound.
 // In-order execution is restored downstream by the execution layer.
+//
+// # Concurrency
+//
+// The engine implements consensus.ConcurrentStepper: independent
+// instances may be stepped from many worker lanes at once. Internally the
+// state splits into a small single-lock control core — view, watermarks,
+// checkpoint votes, view-change state — and the per-sequence instance
+// table, which is lock-striped by sequence number. Per-sequence message
+// steps (pre-prepare, prepare, commit) take the control lock in read mode
+// plus one stripe lock, so steps for different sequence numbers run fully
+// in parallel; control transitions (proposals, checkpoint stabilization,
+// view changes) take the control lock in write mode, which excludes every
+// in-flight step. Observers (View, IsPrimary, Stats) read atomic mirrors
+// and never contend with consensus.
 package pbft
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"resilientdb/internal/consensus"
 	"resilientdb/internal/types"
@@ -72,11 +88,42 @@ func newInstance() *instance {
 	}
 }
 
-// Engine is a PBFT replica state machine. It is not safe for concurrent
-// use; see the consensus package documentation.
+// numStripes shards the instance table; with a watermark window of 4096
+// open instances, 64 stripes keep the expected lock collision rate between
+// two lanes stepping different sequence numbers under 2%.
+const numStripes = 64 // must be a power of two
+
+// stripe owns the instances whose sequence number hashes to it. The stripe
+// lock only ever nests inside the control lock (in either mode), and no
+// two stripe locks are ever held at once.
+type stripe struct {
+	mu        sync.Mutex
+	instances map[types.SeqNum]*instance
+}
+
+// inst returns the instance for seq, creating it if needed. The caller
+// holds the stripe lock.
+func (s *stripe) inst(seq types.SeqNum) *instance {
+	in, ok := s.instances[seq]
+	if !ok {
+		in = newInstance()
+		s.instances[seq] = in
+	}
+	return in
+}
+
+// Engine is a PBFT replica state machine, safe for concurrent stepping of
+// independent instances; see the package comment for the locking design.
 type Engine struct {
-	cfg  Config
-	f    int
+	cfg Config
+	f   int
+
+	// mu is the control lock. Per-sequence steps hold it in read mode and
+	// additionally lock the stripe owning their sequence number; control
+	// transitions hold it in write mode, excluding every in-flight step.
+	// Everything from here to `stripes` is control-core state: written
+	// only under mu (write), readable under either mode.
+	mu   sync.RWMutex
 	view types.View
 
 	nextSeq  types.SeqNum // last proposed sequence number (primary)
@@ -90,8 +137,6 @@ type Engine struct {
 	executedSeq  types.SeqNum
 	quorumStable types.SeqNum
 
-	instances map[types.SeqNum]*instance
-
 	// Checkpoint votes: seq → digest → voters.
 	checkpoints map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool
 
@@ -100,10 +145,20 @@ type Engine struct {
 	votedView    types.View
 	viewChanges  map[types.View]map[types.ReplicaID]*types.ViewChange
 
-	stats consensus.EngineStats
+	// stripes is the lock-striped per-sequence instance table.
+	stripes [numStripes]stripe
+
+	// Lock-free observer mirrors, refreshed under the write lock whenever
+	// the canonical fields change.
+	viewA    atomic.Uint64
+	primaryA atomic.Bool
+
+	// stats are atomic so Stats() never takes a lock (observability must
+	// not contend with consensus).
+	stats consensus.AtomicEngineStats
 }
 
-var _ consensus.Engine = (*Engine)(nil)
+var _ consensus.ConcurrentStepper = (*Engine)(nil)
 
 // New creates a PBFT engine.
 func New(cfg Config) (*Engine, error) {
@@ -114,44 +169,72 @@ func New(cfg Config) (*Engine, error) {
 	if int(cfg.ID) >= cfg.N {
 		return nil, fmt.Errorf("pbft: replica id %d out of range for n=%d", cfg.ID, cfg.N)
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:         cfg,
 		f:           consensus.MaxFaults(cfg.N),
-		instances:   make(map[types.SeqNum]*instance),
 		checkpoints: make(map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool),
 		viewChanges: make(map[types.View]map[types.ReplicaID]*types.ViewChange),
-	}, nil
+	}
+	for i := range e.stripes {
+		e.stripes[i].instances = make(map[types.SeqNum]*instance)
+	}
+	e.primaryA.Store(consensus.PrimaryOf(0, cfg.N) == cfg.ID)
+	return e, nil
 }
 
-// View implements consensus.Engine.
-func (e *Engine) View() types.View { return e.view }
+// ConcurrentStepping implements consensus.ConcurrentStepper.
+func (e *Engine) ConcurrentStepping() {}
 
-// IsPrimary implements consensus.Engine.
-func (e *Engine) IsPrimary() bool {
+// View implements consensus.Engine; it is lock-free.
+func (e *Engine) View() types.View { return types.View(e.viewA.Load()) }
+
+// IsPrimary implements consensus.Engine; it is lock-free.
+func (e *Engine) IsPrimary() bool { return e.primaryA.Load() }
+
+// isPrimaryLocked is the canonical primary check used inside locked
+// sections (the atomic mirror may lag by a step during transitions).
+func (e *Engine) isPrimaryLocked() bool {
 	return consensus.PrimaryOf(e.view, e.cfg.N) == e.cfg.ID && !e.inViewChange
 }
 
-// Stats implements consensus.Engine.
-func (e *Engine) Stats() consensus.EngineStats { return e.stats }
+// refreshMirrors republishes the lock-free observer mirrors; the caller
+// holds the write lock.
+func (e *Engine) refreshMirrors() {
+	e.viewA.Store(uint64(e.view))
+	e.primaryA.Store(e.isPrimaryLocked())
+}
+
+// Stats implements consensus.Engine; it is lock-free.
+func (e *Engine) Stats() consensus.EngineStats { return e.stats.Snapshot() }
 
 // LowWatermark returns the last stable checkpoint sequence number.
-func (e *Engine) LowWatermark() types.SeqNum { return e.lowWater }
+func (e *Engine) LowWatermark() types.SeqNum {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lowWater
+}
 
 // OpenInstances returns the number of live consensus instances; tests use
 // it to verify checkpoint garbage collection.
-func (e *Engine) OpenInstances() int { return len(e.instances) }
+func (e *Engine) OpenInstances() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		n += len(s.instances)
+		s.mu.Unlock()
+	}
+	return n
+}
 
 func (e *Engine) inWindow(seq types.SeqNum) bool {
 	return seq > e.lowWater && uint64(seq) <= uint64(e.lowWater)+e.cfg.WatermarkWindow
 }
 
-func (e *Engine) inst(seq types.SeqNum) *instance {
-	in, ok := e.instances[seq]
-	if !ok {
-		in = newInstance()
-		e.instances[seq] = in
-	}
-	return in
+func (e *Engine) stripeFor(seq types.SeqNum) *stripe {
+	return &e.stripes[uint64(seq)&(numStripes-1)]
 }
 
 // Propose implements consensus.Engine. It assigns the next sequence number
@@ -159,7 +242,9 @@ func (e *Engine) inst(seq types.SeqNum) *instance {
 // effects means the engine refused (not primary, mid view change, or
 // window full) and the caller should retry later.
 func (e *Engine) Propose(reqs []types.ClientRequest) []consensus.Action {
-	if !e.IsPrimary() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.isPrimaryLocked() {
 		return nil
 	}
 	seq := e.nextSeq + 1
@@ -167,7 +252,7 @@ func (e *Engine) Propose(reqs []types.ClientRequest) []consensus.Action {
 		return nil
 	}
 	e.nextSeq = seq
-	e.stats.Proposed++
+	e.stats.Proposed.Add(1)
 
 	pp := &types.PrePrepare{
 		View:     e.view,
@@ -175,61 +260,84 @@ func (e *Engine) Propose(reqs []types.ClientRequest) []consensus.Action {
 		Digest:   types.BatchDigest(reqs),
 		Requests: reqs,
 	}
-	in := e.inst(seq)
+	s := e.stripeFor(seq)
+	s.mu.Lock()
+	in := s.inst(seq)
 	in.view = e.view
 	in.digest = pp.Digest
 	in.havePP = true
 	in.requests = reqs
+	s.mu.Unlock()
 	return []consensus.Action{consensus.Broadcast{Msg: pp}}
 }
 
-// OnMessage implements consensus.Engine.
+// OnMessage implements consensus.Engine. Per-sequence traffic
+// (pre-prepare, prepare, commit) steps under the read lock so independent
+// instances proceed in parallel; checkpoint and view-change traffic
+// mutates the control core and steps exclusively.
 func (e *Engine) OnMessage(from types.NodeID, msg types.Message, auth []byte) []consensus.Action {
 	if !from.IsReplica() {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	rep := from.Replica()
 	switch m := msg.(type) {
 	case *types.PrePrepare:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
 		return e.onPrePrepare(rep, m)
 	case *types.Prepare:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
 		return e.onPrepare(rep, m)
 	case *types.Commit:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
 		return e.onCommit(rep, m, auth)
 	case *types.Checkpoint:
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		return e.onCheckpoint(rep, m)
 	case *types.ViewChange:
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		return e.onViewChange(rep, m)
 	case *types.NewView:
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		return e.onNewView(rep, m)
 	default:
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 }
 
+// onPrePrepare runs with the control lock held in at least read mode (the
+// new-view path re-enters it under the write lock).
 func (e *Engine) onPrePrepare(from types.ReplicaID, m *types.PrePrepare) []consensus.Action {
 	if m.View != e.view || e.inViewChange || !e.inWindow(m.Seq) {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	if from != consensus.PrimaryOf(e.view, e.cfg.N) {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return []consensus.Action{consensus.Evidence{
 			Culprit: from,
 			Detail:  fmt.Sprintf("pre-prepare for view %d from non-primary %d", m.View, from),
 		}}
 	}
 	if e.cfg.VerifyDigests && len(m.Requests) > 0 && types.BatchDigest(m.Requests) != m.Digest {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return []consensus.Action{consensus.Evidence{
 			Culprit: from,
 			Detail:  fmt.Sprintf("pre-prepare digest mismatch at seq %d", m.Seq),
 		}}
 	}
 
-	in := e.inst(m.Seq)
+	s := e.stripeFor(m.Seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := s.inst(m.Seq)
 	if in.havePP {
 		if in.digest != m.Digest {
 			// The primary proposed two different batches for one sequence
@@ -239,7 +347,7 @@ func (e *Engine) onPrePrepare(from types.ReplicaID, m *types.PrePrepare) []conse
 				Detail:  fmt.Sprintf("equivocating pre-prepares at seq %d", m.Seq),
 			}}
 		}
-		e.stats.Dropped++ // duplicate
+		e.stats.Dropped.Add(1) // duplicate
 		return nil
 	}
 	in.view = m.View
@@ -252,13 +360,15 @@ func (e *Engine) onPrePrepare(from types.ReplicaID, m *types.PrePrepare) []conse
 	if e.cfg.ID != consensus.PrimaryOf(e.view, e.cfg.N) {
 		// Backups vote; the primary's pre-prepare stands as its prepare.
 		p := &types.Prepare{View: m.View, Seq: m.Seq, Digest: m.Digest, Replica: e.cfg.ID}
-		e.recordPrepare(in, e.cfg.ID, m.Digest)
+		recordPrepare(in, e.cfg.ID, m.Digest)
 		acts = append(acts, consensus.Broadcast{Msg: p})
 	}
 	return append(acts, e.advance(m.Seq, in)...)
 }
 
-func (e *Engine) recordPrepare(in *instance, from types.ReplicaID, d types.Digest) {
+// recordPrepare adds a prepare vote; the caller holds the instance's
+// stripe lock.
+func recordPrepare(in *instance, from types.ReplicaID, d types.Digest) {
 	voters, ok := in.prepares[d]
 	if !ok {
 		voters = make(map[types.ReplicaID]bool)
@@ -269,28 +379,34 @@ func (e *Engine) recordPrepare(in *instance, from types.ReplicaID, d types.Diges
 
 func (e *Engine) onPrepare(from types.ReplicaID, m *types.Prepare) []consensus.Action {
 	if m.View != e.view || e.inViewChange || !e.inWindow(m.Seq) {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	if m.Replica != from {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
-	in := e.inst(m.Seq)
-	e.recordPrepare(in, from, m.Digest)
+	s := e.stripeFor(m.Seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := s.inst(m.Seq)
+	recordPrepare(in, from, m.Digest)
 	return e.advance(m.Seq, in)
 }
 
 func (e *Engine) onCommit(from types.ReplicaID, m *types.Commit, auth []byte) []consensus.Action {
 	if m.View != e.view || e.inViewChange || !e.inWindow(m.Seq) {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	if m.Replica != from {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
-	in := e.inst(m.Seq)
+	s := e.stripeFor(m.Seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := s.inst(m.Seq)
 	voters, ok := in.commits[m.Digest]
 	if !ok {
 		voters = make(map[types.ReplicaID][]byte)
@@ -303,7 +419,8 @@ func (e *Engine) onCommit(from types.ReplicaID, m *types.Commit, auth []byte) []
 }
 
 // advance fires the prepared→commit and committed→execute transitions of
-// an instance whenever new state makes them possible.
+// an instance whenever new state makes them possible. The caller holds the
+// instance's stripe lock.
 func (e *Engine) advance(seq types.SeqNum, in *instance) []consensus.Action {
 	var acts []consensus.Action
 	if !in.havePP {
@@ -326,7 +443,7 @@ func (e *Engine) advance(seq types.SeqNum, in *instance) []consensus.Action {
 	if in.sentCommit && !in.released && len(in.commits[in.digest]) >= consensus.Quorum2f1(e.cfg.N) {
 		in.committed = true
 		in.released = true
-		e.stats.Executed++
+		e.stats.Executed.Add(1)
 		acts = append(acts, consensus.Execute{
 			Seq:      seq,
 			View:     in.view,
@@ -358,6 +475,8 @@ func commitProof(in *instance) []types.CommitSig {
 // OnExecuted implements consensus.Engine: after every Δ-th batch the
 // replica broadcasts a checkpoint carrying its state digest.
 func (e *Engine) OnExecuted(seq types.SeqNum, stateDigest types.Digest) []consensus.Action {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if seq > e.executedSeq {
 		e.executedSeq = seq
 	}
@@ -371,7 +490,7 @@ func (e *Engine) OnExecuted(seq types.SeqNum, stateDigest types.Digest) []consen
 
 func (e *Engine) onCheckpoint(from types.ReplicaID, m *types.Checkpoint) []consensus.Action {
 	if m.Replica != from {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	return e.recordCheckpoint(from, m)
@@ -403,7 +522,8 @@ func (e *Engine) recordCheckpoint(from types.ReplicaID, m *types.Checkpoint) []c
 
 // advanceLowWater moves the low watermark to the newest quorum-stable
 // checkpoint this replica has itself executed, and garbage collects
-// everything at or below it (Section 4.7).
+// everything at or below it (Section 4.7). The caller holds the write
+// lock.
 func (e *Engine) advanceLowWater() []consensus.Action {
 	target := e.quorumStable
 	if executedCk := types.SeqNum(uint64(e.executedSeq) / e.cfg.CheckpointInterval * e.cfg.CheckpointInterval); executedCk < target {
@@ -414,11 +534,16 @@ func (e *Engine) advanceLowWater() []consensus.Action {
 		return nil
 	}
 	e.lowWater = target
-	e.stats.Checkpoints++
-	for seq := range e.instances {
-		if seq <= target {
-			delete(e.instances, seq)
+	e.stats.Checkpoints.Add(1)
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for seq := range s.instances {
+			if seq <= target {
+				delete(s.instances, seq)
+			}
 		}
+		s.mu.Unlock()
 	}
 	for seq := range e.checkpoints {
 		if seq <= target {
@@ -437,6 +562,8 @@ func (e *Engine) advanceLowWater() []consensus.Action {
 // OnViewTimeout implements consensus.Engine: abandon the current view and
 // vote to move to the next.
 func (e *Engine) OnViewTimeout() []consensus.Action {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	target := e.view + 1
 	if e.votedView >= target {
 		target = e.votedView + 1
@@ -444,9 +571,11 @@ func (e *Engine) OnViewTimeout() []consensus.Action {
 	return e.startViewChange(target)
 }
 
+// startViewChange runs under the write lock.
 func (e *Engine) startViewChange(target types.View) []consensus.Action {
 	e.inViewChange = true
 	e.votedView = target
+	e.refreshMirrors() // a primary mid view change stops leading
 	vc := &types.ViewChange{
 		NewView:   target,
 		StableSeq: e.lowWater,
@@ -458,21 +587,27 @@ func (e *Engine) startViewChange(target types.View) []consensus.Action {
 }
 
 // preparedProofs collects, for every instance prepared beyond the stable
-// checkpoint, the pre-prepare metadata and its 2f prepare votes.
+// checkpoint, the pre-prepare metadata and its 2f prepare votes. It runs
+// under the write lock.
 func (e *Engine) preparedProofs() []types.PreparedProof {
 	var proofs []types.PreparedProof
-	for seq, in := range e.instances {
-		if !in.havePP || len(in.prepares[in.digest]) < consensus.Quorum2f(e.cfg.N) {
-			continue
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for seq, in := range s.instances {
+			if !in.havePP || len(in.prepares[in.digest]) < consensus.Quorum2f(e.cfg.N) {
+				continue
+			}
+			var votes []types.Prepare
+			for id := range in.prepares[in.digest] {
+				votes = append(votes, types.Prepare{View: in.view, Seq: seq, Digest: in.digest, Replica: id})
+			}
+			sort.Slice(votes, func(i, j int) bool { return votes[i].Replica < votes[j].Replica })
+			proofs = append(proofs, types.PreparedProof{
+				View: in.view, Seq: seq, Digest: in.digest, Prepares: votes,
+			})
 		}
-		var votes []types.Prepare
-		for id := range in.prepares[in.digest] {
-			votes = append(votes, types.Prepare{View: in.view, Seq: seq, Digest: in.digest, Replica: id})
-		}
-		sort.Slice(votes, func(i, j int) bool { return votes[i].Replica < votes[j].Replica })
-		proofs = append(proofs, types.PreparedProof{
-			View: in.view, Seq: seq, Digest: in.digest, Prepares: votes,
-		})
+		s.mu.Unlock()
 	}
 	sort.Slice(proofs, func(i, j int) bool { return proofs[i].Seq < proofs[j].Seq })
 	return proofs
@@ -480,12 +615,13 @@ func (e *Engine) preparedProofs() []types.PreparedProof {
 
 func (e *Engine) onViewChange(from types.ReplicaID, m *types.ViewChange) []consensus.Action {
 	if m.Replica != from || m.NewView <= e.view {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	return e.recordViewChange(from, m)
 }
 
+// recordViewChange runs under the write lock.
 func (e *Engine) recordViewChange(from types.ReplicaID, m *types.ViewChange) []consensus.Action {
 	votes, ok := e.viewChanges[m.NewView]
 	if !ok {
@@ -516,7 +652,8 @@ func (e *Engine) recordViewChange(from types.ReplicaID, m *types.ViewChange) []c
 
 // buildNewView assembles the proof of the view change plus re-proposals
 // for every batch that prepared anywhere beyond the stable checkpoint.
-// Gaps are filled with null requests so sequence numbers stay dense.
+// Gaps are filled with null requests so sequence numbers stay dense. It
+// runs under the write lock.
 func (e *Engine) buildNewView(v types.View, votes map[types.ReplicaID]*types.ViewChange) *types.NewView {
 	var vcs []types.ViewChange
 	maxStable := types.SeqNum(0)
@@ -555,9 +692,12 @@ func (e *Engine) buildNewView(v types.View, votes map[types.ReplicaID]*types.Vie
 			pp.Digest = c.digest
 			// Attach the payload when this replica has it cached so
 			// backups missing the original pre-prepare can still execute.
-			if in, ok := e.instances[seq]; ok && in.havePP && in.digest == c.digest {
+			s := e.stripeFor(seq)
+			s.mu.Lock()
+			if in, ok := s.instances[seq]; ok && in.havePP && in.digest == c.digest {
 				pp.Requests = in.requests
 			}
+			s.mu.Unlock()
 		}
 		pps = append(pps, pp)
 	}
@@ -566,11 +706,11 @@ func (e *Engine) buildNewView(v types.View, votes map[types.ReplicaID]*types.Vie
 
 func (e *Engine) onNewView(from types.ReplicaID, m *types.NewView) []consensus.Action {
 	if m.View <= e.view || from != consensus.PrimaryOf(m.View, e.cfg.N) {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	if len(m.ViewChanges) < consensus.Quorum2f1(e.cfg.N) {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return []consensus.Action{consensus.Evidence{
 			Culprit: from,
 			Detail:  fmt.Sprintf("new-view for %d with %d < quorum view-changes", m.View, len(m.ViewChanges)),
@@ -580,7 +720,7 @@ func (e *Engine) onNewView(from types.ReplicaID, m *types.NewView) []consensus.A
 	for i := range m.ViewChanges {
 		vc := &m.ViewChanges[i]
 		if vc.NewView != m.View || seen[vc.Replica] {
-			e.stats.Dropped++
+			e.stats.Dropped.Add(1)
 			return nil
 		}
 		seen[vc.Replica] = true
@@ -595,16 +735,22 @@ func (e *Engine) onNewView(from types.ReplicaID, m *types.NewView) []consensus.A
 }
 
 // enterNewView installs the new view and resets per-view state. The new
-// primary also installs its own re-proposals.
+// primary also installs its own re-proposals. It runs under the write
+// lock.
 func (e *Engine) enterNewView(nv *types.NewView) []consensus.Action {
 	e.view = nv.View
 	e.inViewChange = false
-	e.stats.ViewChanges++
+	e.stats.ViewChanges.Add(1)
 	// Instances from older views are superseded by the re-proposals.
-	for seq, in := range e.instances {
-		if in.view < nv.View && !in.released {
-			delete(e.instances, seq)
+	for i := range e.stripes {
+		s := &e.stripes[i]
+		s.mu.Lock()
+		for seq, in := range s.instances {
+			if in.view < nv.View && !in.released {
+				delete(s.instances, seq)
+			}
 		}
+		s.mu.Unlock()
 	}
 	delete(e.viewChanges, nv.View)
 
@@ -616,12 +762,15 @@ func (e *Engine) enterNewView(nv *types.NewView) []consensus.Action {
 			if pp.Seq > maxSeq {
 				maxSeq = pp.Seq
 			}
-			in := e.inst(pp.Seq)
+			s := e.stripeFor(pp.Seq)
+			s.mu.Lock()
+			in := s.inst(pp.Seq)
 			in.view = nv.View
 			in.digest = pp.Digest
 			in.havePP = true
 			in.isNull = pp.Digest == types.Digest{}
 			in.requests = pp.Requests
+			s.mu.Unlock()
 		}
 		if e.nextSeq < maxSeq {
 			e.nextSeq = maxSeq
@@ -630,5 +779,6 @@ func (e *Engine) enterNewView(nv *types.NewView) []consensus.Action {
 			e.nextSeq = e.lowWater
 		}
 	}
+	e.refreshMirrors()
 	return acts
 }

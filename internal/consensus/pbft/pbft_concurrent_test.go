@@ -1,0 +1,202 @@
+package pbft
+
+import (
+	"sync"
+	"testing"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/types"
+)
+
+// TestImplementsConcurrentStepper pins the engine's concurrency contract:
+// the replica runtime keys its worker-lane fan-out on this interface.
+func TestImplementsConcurrentStepper(t *testing.T) {
+	e, err := New(Config{ID: 0, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := interface{}(e).(consensus.ConcurrentStepper); !ok {
+		t.Fatal("pbft.Engine must implement consensus.ConcurrentStepper")
+	}
+	if consensus.Serialize(e) != consensus.Engine(e) {
+		t.Fatal("Serialize must return a concurrent-steppable engine unwrapped")
+	}
+}
+
+// TestConcurrentStepping drives a backup engine from many goroutines at
+// once — each owning a disjoint set of sequence numbers, exactly like the
+// replica's worker lanes — while checkpoint traffic and OnExecuted
+// notifications run concurrently. Under -race this exercises the control
+// core / stripe-lock split; functionally it checks that every instance
+// commits exactly once with the digest the primary proposed.
+func TestConcurrentStepping(t *testing.T) {
+	const (
+		k     = 240 // batches
+		lanes = 8
+	)
+	primary, err := New(Config{ID: 0, N: 4, CheckpointInterval: 16, WatermarkWindow: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup, err := New(Config{ID: 1, N: 4, CheckpointInterval: 16, WatermarkWindow: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary proposes k batches; capture the pre-prepares.
+	pps := make([]*types.PrePrepare, 0, k)
+	for i := 0; i < k; i++ {
+		req := types.ClientRequest{Client: 1, FirstSeq: uint64(i + 1)}
+		acts := primary.Propose([]types.ClientRequest{req})
+		if len(acts) != 1 {
+			t.Fatalf("propose %d: got %d actions", i, len(acts))
+		}
+		pp := acts[0].(consensus.Broadcast).Msg.(*types.PrePrepare)
+		pps = append(pps, pp)
+	}
+
+	// Quorum-stable checkpoints need matching votes from 2f+1 replicas;
+	// the execution layer below reports a test-fixed digest, so votes
+	// from replicas 2 and 3 agree with it.
+	ckDigest := types.Digest{42}
+
+	// The execution layer: instances commit out of order across the
+	// lanes, but OnExecuted must be reported in sequence order (that is
+	// the replica's execute-thread contract — out-of-order reports would
+	// let a checkpoint garbage-collect instances that never ran). It runs
+	// concurrently with the stepping lanes, so the write-locked
+	// checkpoint paths race against the read-locked per-instance paths.
+	executed := make(map[types.SeqNum]types.Digest)
+	execC := make(chan consensus.Execute, k)
+	var execWg sync.WaitGroup
+	execWg.Add(1)
+	go func() {
+		defer execWg.Done()
+		pending := make(map[types.SeqNum]consensus.Execute)
+		next := types.SeqNum(1)
+		for ex := range execC {
+			if _, dup := executed[ex.Seq]; dup {
+				t.Errorf("seq %d released twice", ex.Seq)
+				return
+			}
+			executed[ex.Seq] = ex.Digest
+			pending[ex.Seq] = ex
+			for {
+				cur, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				backup.OnExecuted(cur.Seq, ckDigest)
+				if uint64(cur.Seq)%16 == 0 {
+					for _, rep := range []types.ReplicaID{2, 3} {
+						cp := &types.Checkpoint{Seq: cur.Seq, StateDigest: ckDigest, Replica: rep}
+						backup.OnMessage(types.ReplicaNode(rep), cp, nil)
+					}
+				}
+				next++
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := lane; i < k; i += lanes {
+				pp := pps[i]
+				seq := pp.Seq
+				var acts []consensus.Action
+				acts = append(acts, backup.OnMessage(types.ReplicaNode(0), pp, nil)...)
+				for _, rep := range []types.ReplicaID{2, 3} {
+					p := &types.Prepare{View: pp.View, Seq: seq, Digest: pp.Digest, Replica: rep}
+					acts = append(acts, backup.OnMessage(types.ReplicaNode(rep), p, nil)...)
+				}
+				for _, rep := range []types.ReplicaID{0, 2, 3} {
+					c := &types.Commit{View: pp.View, Seq: seq, Digest: pp.Digest, Replica: rep}
+					acts = append(acts, backup.OnMessage(types.ReplicaNode(rep), c, nil)...)
+				}
+				for _, a := range acts {
+					if ex, ok := a.(consensus.Execute); ok {
+						execC <- ex
+					}
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	close(execC)
+	execWg.Wait()
+
+	if len(executed) != k {
+		t.Fatalf("executed %d of %d instances", len(executed), k)
+	}
+	for i, pp := range pps {
+		d, ok := executed[pp.Seq]
+		if !ok {
+			t.Fatalf("seq %d never executed", pp.Seq)
+		}
+		if d != pp.Digest {
+			t.Fatalf("seq %d executed digest mismatch (batch %d)", pp.Seq, i)
+		}
+	}
+	if got := backup.Stats().Executed; got != k {
+		t.Fatalf("stats.Executed = %d, want %d", got, k)
+	}
+	// Checkpoints stabilized concurrently; everything at or below the low
+	// watermark must be garbage collected.
+	if lw := backup.LowWatermark(); lw == 0 {
+		t.Fatal("no checkpoint stabilized under concurrent stepping")
+	}
+	if open := backup.OpenInstances(); open >= k {
+		t.Fatalf("garbage collection missed: %d instances still open", open)
+	}
+}
+
+// TestConcurrentViewChange races a view change against in-flight prepare
+// traffic: stale-view messages may land before or after the transition,
+// but the engine must end in the new view with a consistent primary
+// mirror, and under -race the write-locked view-change path must be clean
+// against read-locked stepping.
+func TestConcurrentViewChange(t *testing.T) {
+	// Replica 1 is the primary of view 1: once it collects 2f+1
+	// view-change votes it builds the NewView itself and enters the view.
+	e, err := New(Config{ID: 1, N: 4, WatermarkWindow: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	// Prepare/commit chatter for many sequence numbers in view 0.
+	for lane := 0; lane < 4; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for s := 1 + lane; s <= 200; s += 4 {
+				p := &types.Prepare{View: 0, Seq: types.SeqNum(s), Digest: types.Digest{1}, Replica: 2}
+				e.OnMessage(types.ReplicaNode(2), p, nil)
+			}
+		}(lane)
+	}
+	// Concurrently: our own timeout plus view-change votes from peers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.OnViewTimeout()
+		for _, rep := range []types.ReplicaID{0, 2, 3} {
+			vc := &types.ViewChange{NewView: 1, Replica: rep}
+			e.OnMessage(types.ReplicaNode(rep), vc, nil)
+		}
+	}()
+	wg.Wait()
+
+	if got := e.View(); got != 1 {
+		t.Fatalf("view = %d, want 1 after quorum view change", got)
+	}
+	if !e.IsPrimary() {
+		t.Fatal("replica 1 must lead view 1")
+	}
+	if e.Stats().ViewChanges == 0 {
+		t.Fatal("view change not counted")
+	}
+}

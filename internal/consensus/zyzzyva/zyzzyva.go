@@ -49,8 +49,19 @@ func (c *Config) fill() {
 	}
 }
 
-// Engine is a Zyzzyva replica state machine. It is not safe for
-// concurrent use.
+// Engine is a Zyzzyva replica state machine.
+//
+// Unlike PBFT, the engine's stepping methods are NOT safe for concurrent
+// use and it deliberately does not implement
+// consensus.ConcurrentStepper: the speculative history chain
+// h_k = H(h_{k-1} || d_k) makes every acceptance depend on its
+// predecessor, so there are no independent instances to stripe. Drivers
+// with parallel worker lanes must route all Zyzzyva traffic through one
+// lane behind consensus.Serialize — the replica runtime does exactly
+// that, and the enginetest harnesses exercise the engine single-stepped.
+// The observers View, IsPrimary (the view never changes; the Zyzzyva
+// view-change machinery is out of scope) and Stats (atomic counters) are
+// safe from any goroutine.
 type Engine struct {
 	cfg  Config
 	f    int
@@ -76,7 +87,9 @@ type Engine struct {
 
 	checkpoints map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool
 
-	stats consensus.EngineStats
+	// stats are atomic so Stats() is safe from any goroutine while the
+	// (serialized) stepping methods run.
+	stats consensus.AtomicEngineStats
 }
 
 var _ consensus.Engine = (*Engine)(nil)
@@ -104,8 +117,8 @@ func (e *Engine) View() types.View { return e.view }
 // IsPrimary implements consensus.Engine.
 func (e *Engine) IsPrimary() bool { return consensus.PrimaryOf(e.view, e.cfg.N) == e.cfg.ID }
 
-// Stats implements consensus.Engine.
-func (e *Engine) Stats() consensus.EngineStats { return e.stats }
+// Stats implements consensus.Engine; it is lock-free.
+func (e *Engine) Stats() consensus.EngineStats { return e.stats.Snapshot() }
 
 // History returns the current history hash; tests use it to check that
 // replicas converge on identical histories.
@@ -126,7 +139,7 @@ func (e *Engine) Propose(reqs []types.ClientRequest) []consensus.Action {
 	}
 	seq := e.nextSeq + 1
 	e.nextSeq = seq
-	e.stats.Proposed++
+	e.stats.Proposed.Add(1)
 	digest := types.BatchDigest(reqs)
 	or := &types.OrderedRequest{
 		View:     e.view,
@@ -157,7 +170,7 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message, _ []byte) []con
 	switch m := msg.(type) {
 	case *types.OrderedRequest:
 		if !from.IsReplica() || from.Replica() != consensus.PrimaryOf(e.view, e.cfg.N) {
-			e.stats.Dropped++
+			e.stats.Dropped.Add(1)
 			return nil
 		}
 		return e.onOrderedRequest(m)
@@ -165,12 +178,12 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message, _ []byte) []con
 		return e.onCommitCert(m)
 	case *types.Checkpoint:
 		if !from.IsReplica() {
-			e.stats.Dropped++
+			e.stats.Dropped.Add(1)
 			return nil
 		}
 		return e.recordCheckpoint(from.Replica(), m)
 	default:
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 }
@@ -179,11 +192,11 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message, _ []byte) []con
 // out-of-order arrivals are buffered until the hole fills.
 func (e *Engine) onOrderedRequest(m *types.OrderedRequest) []consensus.Action {
 	if m.View != e.view || m.Seq <= e.lowWater {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	if uint64(m.Seq) > uint64(e.lowWater)+e.cfg.MaxSpeculationDepth {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	if m.Seq != e.nextExec+1 {
@@ -211,7 +224,7 @@ func (e *Engine) onOrderedRequest(m *types.OrderedRequest) []consensus.Action {
 func (e *Engine) accept(m *types.OrderedRequest) []consensus.Action {
 	want := crypto.HashChain(e.historyAt(m.Seq-1), m.Digest)
 	if m.History != want {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return []consensus.Action{consensus.Evidence{
 			Culprit: consensus.PrimaryOf(e.view, e.cfg.N),
 			Detail:  fmt.Sprintf("history divergence at seq %d", m.Seq),
@@ -220,7 +233,7 @@ func (e *Engine) accept(m *types.OrderedRequest) []consensus.Action {
 	e.history = m.History
 	e.nextExec = m.Seq
 	e.histories[m.Seq] = m.History
-	e.stats.Executed++
+	e.stats.Executed.Add(1)
 	return []consensus.Action{consensus.Execute{
 		Seq:         m.Seq,
 		View:        m.View,
@@ -239,13 +252,13 @@ func (e *Engine) onCommitCert(m *types.CommitCert) []consensus.Action {
 		// Either already checkpointed away (safe to acknowledge: the
 		// checkpoint proves 2f+1 replicas agreed) or not yet executed.
 		if m.Seq > e.lowWater {
-			e.stats.Dropped++
+			e.stats.Dropped.Add(1)
 			return nil
 		}
 		h = m.History
 	}
 	if h != m.History {
-		e.stats.Dropped++
+		e.stats.Dropped.Add(1)
 		return nil
 	}
 	return []consensus.Action{consensus.Send{
@@ -309,7 +322,7 @@ func (e *Engine) advanceLowWater() []consensus.Action {
 		return nil
 	}
 	e.lowWater = target
-	e.stats.Checkpoints++
+	e.stats.Checkpoints.Add(1)
 	for seq := range e.histories {
 		if seq < target { // keep the digest at the checkpoint itself
 			delete(e.histories, seq)
@@ -331,6 +344,6 @@ func (e *Engine) advanceLowWater() []consensus.Action {
 // OnViewTimeout implements consensus.Engine. Zyzzyva's view change is out
 // of scope (see the package comment); the engine only counts the stall.
 func (e *Engine) OnViewTimeout() []consensus.Action {
-	e.stats.Dropped++
+	e.stats.Dropped.Add(1)
 	return nil
 }

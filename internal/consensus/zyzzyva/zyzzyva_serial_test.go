@@ -1,0 +1,56 @@
+package zyzzyva
+
+import (
+	"testing"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/consensus/enginetest"
+	"resilientdb/internal/types"
+)
+
+// TestNotConcurrentStepper pins the single-lane contract: Zyzzyva's
+// history chain is inherently ordered, so the engine must NOT advertise
+// concurrent stepping — the replica runtime keys its lane fan-out on
+// exactly this check and would otherwise race the history hash.
+func TestNotConcurrentStepper(t *testing.T) {
+	e, err := New(Config{ID: 0, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := interface{}(e).(consensus.ConcurrentStepper); ok {
+		t.Fatal("zyzzyva.Engine must not implement ConcurrentStepper (speculative history is ordered)")
+	}
+	if consensus.Serialize(e) == consensus.Engine(e) {
+		t.Fatal("Serialize must wrap the zyzzyva engine")
+	}
+}
+
+// TestSerializedEngineDrivesCluster runs the standard enginetest flow with
+// every engine behind consensus.Serialize — the exact shape the replica
+// runtime uses — and checks histories still converge.
+func TestSerializedEngineDrivesCluster(t *testing.T) {
+	n := 4
+	engines := make([]consensus.Engine, n)
+	raw := make([]*Engine, n)
+	for i := 0; i < n; i++ {
+		e, err := New(Config{ID: types.ReplicaID(i), N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[i] = e
+		engines[i] = consensus.Serialize(e)
+	}
+	c := enginetest.NewCluster(engines)
+	for s := uint64(1); s <= 20; s++ {
+		c.Propose(0, []types.ClientRequest{enginetest.MakeRequest(1, s)})
+	}
+	c.Run(10000)
+	for i := 1; i < n; i++ {
+		if raw[i].History() != raw[0].History() {
+			t.Fatalf("replica %d history diverged behind Serialize", i)
+		}
+	}
+	if len(c.Executed[0]) != 20 {
+		t.Fatalf("executed %d batches, want 20", len(c.Executed[0]))
+	}
+}

@@ -1,0 +1,148 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPopWaitImmediateItem(t *testing.T) {
+	q := NewMPMC[int](8)
+	q.Push(41)
+	v, ok := q.PopWait(time.Second)
+	if !ok || v != 41 {
+		t.Fatalf("PopWait = (%d, %v), want (41, true)", v, ok)
+	}
+}
+
+func TestPopWaitTimeout(t *testing.T) {
+	q := NewMPMC[int](8)
+	start := time.Now()
+	_, ok := q.PopWait(20 * time.Millisecond)
+	if ok {
+		t.Fatal("PopWait returned an item from an empty queue")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("PopWait returned after %v, before the 20ms deadline", elapsed)
+	}
+}
+
+func TestPopWaitNonPositiveTimeoutIsTryPop(t *testing.T) {
+	q := NewMPMC[int](8)
+	start := time.Now()
+	if _, ok := q.PopWait(0); ok {
+		t.Fatal("PopWait(0) returned an item from an empty queue")
+	}
+	if _, ok := q.PopWait(-time.Second); ok {
+		t.Fatal("PopWait(<0) returned an item from an empty queue")
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("non-positive timeout blocked for %v", elapsed)
+	}
+}
+
+func TestPopWaitWokenByPush(t *testing.T) {
+	q := NewMPMC[int](8)
+	done := make(chan int, 1)
+	go func() {
+		v, ok := q.PopWait(5 * time.Second)
+		if !ok {
+			done <- -1
+			return
+		}
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	q.Push(7)
+	select {
+	case v := <-done:
+		if v != 7 {
+			t.Fatalf("parked consumer got %d, want 7", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push never woke the parked consumer")
+	}
+}
+
+func TestCloseWakesAllParkedConsumers(t *testing.T) {
+	q := NewMPMC[int](8)
+	const waiters = 6
+	var wg sync.WaitGroup
+	var woke atomic.Int32
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(popWait bool) {
+			defer wg.Done()
+			var ok bool
+			if popWait {
+				_, ok = q.PopWait(30 * time.Second)
+			} else {
+				_, ok = q.Pop()
+			}
+			if !ok {
+				woke.Add(1)
+			}
+		}(i%2 == 0)
+	}
+	time.Sleep(20 * time.Millisecond) // let everyone park
+	q.Close()
+	doneC := make(chan struct{})
+	go func() { wg.Wait(); close(doneC) }()
+	select {
+	case <-doneC:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left consumers parked (wake cascade broken)")
+	}
+	if got := woke.Load(); got != waiters {
+		t.Fatalf("%d of %d consumers observed the close", got, waiters)
+	}
+}
+
+// TestPopWaitConcurrentHandoff hammers parked consumers with bursty
+// producers: every pushed item must come out exactly once even though the
+// single wake token is shared by all waiters.
+func TestPopWaitConcurrentHandoff(t *testing.T) {
+	q := NewMPMC[uint32](64)
+	const producers, consumers, perProducer = 4, 4, 2000
+	var got sync.Map
+	var received atomic.Int64
+	var wg sync.WaitGroup
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.PopWait(100 * time.Millisecond)
+				if !ok {
+					if q.Len() == 0 && received.Load() == producers*perProducer {
+						return
+					}
+					continue
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("value %d delivered twice", v)
+					return
+				}
+				received.Add(1)
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(uint32(p*perProducer + i))
+				if i%64 == 0 {
+					time.Sleep(time.Microsecond) // force park/wake cycles
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if received.Load() != producers*perProducer {
+		t.Fatalf("received %d of %d items", received.Load(), producers*perProducer)
+	}
+}

@@ -51,6 +51,12 @@ type cell[T any] struct {
 // MPMC is a bounded lock-free multi-producer/multi-consumer FIFO ring.
 // It is the "lock-free common queue" placed between the input-thread and
 // the batch-threads at the primary (Section 4.3).
+//
+// Pushes and non-blocking pops stay lock-free. Blocking consumers (Pop,
+// PopWait) park on a wake channel instead of spinning: a pusher that
+// observes registered waiters deposits a wake token, and a woken consumer
+// that takes an item re-arms the token for the next waiter (a cascade),
+// so idle batch-threads burn no CPU while loaded ones never sleep.
 type MPMC[T any] struct {
 	mask    uint64
 	cells   []cell[T]
@@ -58,6 +64,13 @@ type MPMC[T any] struct {
 	deqPos  atomic.Uint64
 	closed  atomic.Bool
 	sleepNS int64
+
+	// waiters counts consumers parked (or about to park) in Pop/PopWait;
+	// pushers only touch the wake channel when it is non-zero.
+	waiters atomic.Int32
+	// wakeC carries at most one wake token. A token means "state changed:
+	// recheck" — consumers treat it as a hint, never as an item claim.
+	wakeC chan struct{}
 }
 
 // NewMPMC returns an MPMC ring holding at least capacity items (rounded up
@@ -67,11 +80,33 @@ func NewMPMC[T any](capacity int) *MPMC[T] {
 	for n < capacity {
 		n <<= 1
 	}
-	q := &MPMC[T]{mask: uint64(n - 1), cells: make([]cell[T], n), sleepNS: int64(50 * time.Microsecond)}
+	q := &MPMC[T]{
+		mask:    uint64(n - 1),
+		cells:   make([]cell[T], n),
+		sleepNS: int64(50 * time.Microsecond),
+		wakeC:   make(chan struct{}, 1),
+	}
 	for i := range q.cells {
 		q.cells[i].seq.Store(uint64(i))
 	}
 	return q
+}
+
+// wake deposits the wake token if the slot is free.
+func (q *MPMC[T]) wake() {
+	select {
+	case q.wakeC <- struct{}{}:
+	default:
+	}
+}
+
+// wakeNext re-arms the wake token when more work (or the closed state)
+// remains for other parked consumers — the cascade that replaces a
+// broadcast.
+func (q *MPMC[T]) wakeNext() {
+	if q.waiters.Load() > 0 && (q.Len() > 0 || q.closed.Load()) {
+		q.wake()
+	}
 }
 
 // TryPush implements Queue.
@@ -88,6 +123,9 @@ func (q *MPMC[T]) TryPush(v T) bool {
 			if q.enqPos.CompareAndSwap(pos, pos+1) {
 				c.val = v
 				c.seq.Store(pos + 1)
+				if q.waiters.Load() > 0 {
+					q.wake()
+				}
 				return true
 			}
 			pos = q.enqPos.Load()
@@ -136,26 +174,81 @@ func (q *MPMC[T]) Push(v T) bool {
 	}
 }
 
-// Pop implements Queue with a spin-then-sleep backoff.
+// Pop implements Queue: it blocks by parking on the wake channel (after a
+// brief spin) rather than sleep-polling, so an idle consumer costs
+// nothing until a pusher or Close wakes it.
 func (q *MPMC[T]) Pop() (T, bool) {
-	for spin := 0; ; spin++ {
+	// Fast path: brief spin covers the loaded case without parking.
+	for spin := 0; spin < 8; spin++ {
 		if v, ok := q.TryPop(); ok {
 			return v, true
 		}
 		if q.closed.Load() {
-			// Drain race: one more attempt after observing closed.
-			if v, ok := q.TryPop(); ok {
-				return v, true
-			}
-			var zero T
-			return zero, false
+			v, ok := q.TryPop() // drain race: final attempt
+			return v, ok
 		}
-		backoff(spin, q.sleepNS)
+		runtime.Gosched()
+	}
+	q.waiters.Add(1)
+	defer q.waiters.Add(-1)
+	for {
+		// Recheck after registering as a waiter: a pusher that missed the
+		// registration left no token, but its item is already visible.
+		if v, ok := q.TryPop(); ok {
+			q.wakeNext()
+			return v, true
+		}
+		if q.closed.Load() {
+			q.wakeNext() // cascade the close to other waiters
+			v, ok := q.TryPop()
+			return v, ok
+		}
+		<-q.wakeC
 	}
 }
 
-// Close implements Queue.
-func (q *MPMC[T]) Close() { q.closed.Store(true) }
+// PopWait dequeues, blocking up to timeout for an item to arrive. A
+// non-positive timeout degenerates to TryPop. It reports false on
+// timeout and when the queue is closed and drained — either way the
+// caller's deadline semantics hold: it never blocks past timeout.
+func (q *MPMC[T]) PopWait(timeout time.Duration) (T, bool) {
+	if v, ok := q.TryPop(); ok {
+		return v, true
+	}
+	var zero T
+	if timeout <= 0 {
+		return zero, false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	q.waiters.Add(1)
+	defer q.waiters.Add(-1)
+	for {
+		if v, ok := q.TryPop(); ok {
+			q.wakeNext()
+			return v, true
+		}
+		if q.closed.Load() {
+			q.wakeNext()
+			v, ok := q.TryPop()
+			return v, ok
+		}
+		select {
+		case <-q.wakeC:
+			// State changed (or a stale token): loop and recheck.
+		case <-t.C:
+			v, ok := q.TryPop()
+			return v, ok
+		}
+	}
+}
+
+// Close implements Queue. It wakes parked consumers; each one cascades
+// the token onward until all have observed the closed state.
+func (q *MPMC[T]) Close() {
+	q.closed.Store(true)
+	q.wake()
+}
 
 // Len implements Queue.
 func (q *MPMC[T]) Len() int {

@@ -10,8 +10,11 @@
 //     from a shared lock-free queue, verifying client signatures, building
 //     batches with a single digest, signing and proposing them
 //     (Section 4.3);
-//   - one worker-thread driving the consensus engine over prepare/commit
-//     traffic (Section 4.3–4.4);
+//   - WorkerThreads worker lanes driving the consensus engine over
+//     prepare/commit traffic (Sections 4.3–4.4): lane 0 owns control
+//     traffic, further lanes step independent consensus instances in
+//     parallel, routed by sequence number (Section 4.5's out-of-order
+//     processing, now multi-threaded);
 //   - one execute-thread draining the in-order execution queue
 //     (txn % QC slots, Section 4.6), applying transactions to the store,
 //     appending blocks to the ledger, and answering clients;
@@ -86,6 +89,17 @@ type Config struct {
 	ExecuteThreads int
 	// OutputThreads is the number of transmitting threads (default 2).
 	OutputThreads int
+	// WorkerThreads is W: the number of parallel worker lanes stepping
+	// the consensus engine (default 1, the paper's baseline single
+	// worker-thread). With W > 1, sequence-carrying consensus messages
+	// (pre-prepares, prepares, commits) are routed to lane seq mod W so
+	// independent instances step in parallel on the lock-striped engine;
+	// control traffic — client requests in 0B mode, view changes,
+	// new-views, commit certificates — stays on lane 0 to preserve its
+	// ordering. Engines that are not safe for concurrent stepping
+	// (Zyzzyva's speculative history is inherently ordered) are
+	// serialized behind a single lane regardless of W.
+	WorkerThreads int
 	// VerifyThreads is V: the number of parallel signature-verification
 	// workers fed by the input-threads. With V > 0 peer envelopes are
 	// authenticated in a crypto.VerifyPool before they reach the
@@ -142,6 +156,12 @@ func (c *Config) fill() error {
 	}
 	if c.VerifyThreads < 0 {
 		return fmt.Errorf("replica: negative VerifyThreads")
+	}
+	if c.WorkerThreads < 0 {
+		return fmt.Errorf("replica: negative WorkerThreads")
+	}
+	if c.WorkerThreads == 0 {
+		c.WorkerThreads = 1
 	}
 	if c.BatchSize < 1 {
 		c.BatchSize = 100
@@ -207,14 +227,23 @@ func (s Stage) String() string {
 	}
 }
 
-// Stats is a snapshot of replica counters.
+// Stats is a snapshot of replica counters. Taking a snapshot is lock-free
+// end to end — every counter (including the engine's) is an atomic — so
+// observability never contends with consensus.
 type Stats struct {
 	TxnsExecuted    uint64
 	BatchesExecuted uint64
 	BatchesProposed uint64
 	MsgsIn          uint64
 	MsgsOut         uint64
-	AuthFailures    uint64
+	// AuthFailures counts envelopes whose authenticator failed
+	// verification and client requests with bad signatures — the real
+	// "someone is forging traffic" signal.
+	AuthFailures uint64
+	// DecodeFailures counts malformed messages that failed body decoding
+	// or arrived with an unexpected type. Kept separate from
+	// AuthFailures so garbage traffic cannot hide real auth attacks.
+	DecodeFailures uint64
 	// NetDrops is the endpoint's count of inbound envelopes discarded
 	// because their inbox was full — the previously silent overload
 	// signal.
@@ -223,16 +252,29 @@ type Stats struct {
 	View         types.View
 	LedgerHeight uint64
 	// BusyNS is cumulative busy time per stage, the runtime analogue of
-	// the Figure 9 saturation measurement.
+	// the Figure 9 saturation measurement. The worker entry aggregates
+	// all lanes; WorkerLaneBusyNS has the per-lane split.
 	BusyNS [stageCount]uint64
+	// WorkerLanes is the number of worker lanes actually running (1 for
+	// engines that require serialized stepping, regardless of the
+	// configured WorkerThreads).
+	WorkerLanes int
+	// WorkerLaneBusyNS is cumulative busy time per worker lane; with
+	// WorkerThreads > 1 it shows how consensus stepping spreads across
+	// lanes (the Figure 9 saturation measurement, per lane).
+	WorkerLaneBusyNS []uint64
 }
 
-// workItem is the union flowing into the worker queue: either an envelope
-// from a peer or (in 0B mode) a client request to batch. verified records
+// workItem is the union flowing into the worker lanes: either a decoded
+// peer message or (in 0B mode) a client request to batch. The input/verify
+// stage decodes the envelope body before routing — decoding is what makes
+// sequence-based lane routing possible, and it takes that cost off the
+// worker lanes — so msg is always non-nil when env is. verified records
 // that the envelope's authenticator already passed the verify stage, so
 // the worker must not spend time re-checking it.
 type workItem struct {
 	env      *types.Envelope
+	msg      types.Message
 	req      *types.ClientRequest
 	verified bool
 }
@@ -252,19 +294,41 @@ type execItem struct {
 
 // Replica is a runnable pipelined replica.
 type Replica struct {
-	cfg    Config
+	cfg Config
+	// engine is safe for concurrent stepping: either a natively
+	// concurrent engine (consensus.ConcurrentStepper, e.g. the
+	// lock-striped PBFT engine) or a single-threaded engine behind
+	// consensus.Serialize. The replica never takes a lock of its own
+	// around engine calls.
 	engine consensus.Engine
-	engMu  sync.Mutex
-	auth   crypto.Authenticator
+	// lanes is the number of worker lanes actually running: WorkerThreads
+	// for concurrent-steppable engines, 1 otherwise.
+	lanes int
+	auth  crypto.Authenticator
 
 	ledger *ledger.Ledger
 	store  store.Store
 
 	batchQ *queue.MPMC[*types.ClientRequest]
-	workQ  chan workItem
+	// workQs are the worker lanes. Sequence-carrying consensus messages
+	// go to lane seq mod lanes; control traffic stays on lane 0.
+	workQs []chan workItem
 	ckptQ  chan workItem
 	outQs  []chan *types.Envelope
 	execIn *queue.InOrder[execItem]
+
+	// Output shutdown guard: enqueueOut holds outMu in read mode while
+	// touching outQs; Stop takes it in write mode to mark the queues
+	// closed before closing them, so late producers (e.g. the watchdog)
+	// drop their envelopes instead of panicking on a closed channel.
+	outMu     sync.RWMutex
+	outClosed bool
+
+	// progressC wakes batch-threads parked on a full watermark window (or
+	// the DisableOutOfOrder gate); it is signalled on every executed
+	// batch and stable checkpoint. Capacity one: a lost signal only
+	// delays a waiter until its fallback timer fires.
+	progressC chan struct{}
 
 	// Verify stage (nil / empty when VerifyThreads == 0).
 	verifyPool *crypto.VerifyPool
@@ -310,7 +374,9 @@ type Replica struct {
 	msgsIn          atomic.Uint64
 	msgsOut         atomic.Uint64
 	authFailures    atomic.Uint64
+	decodeFailures  atomic.Uint64
 	busyNS          [stageCount]atomic.Uint64
+	laneBusyNS      []atomic.Uint64
 }
 
 // New creates a replica; call Start to launch the pipeline.
@@ -348,23 +414,35 @@ func New(cfg Config) (*Replica, error) {
 	if st == nil {
 		st = store.NewMemStore(1 << 16)
 	}
+	// Engines that cannot step concurrently (no ConcurrentStepper) are
+	// serialized and driven by a single lane regardless of WorkerThreads.
+	lanes := cfg.WorkerThreads
+	if _, ok := engine.(consensus.ConcurrentStepper); !ok {
+		lanes = 1
+	}
 	genesis := crypto.Hash256([]byte(fmt.Sprintf("genesis-primary-%d", consensus.PrimaryOf(0, cfg.N))))
 	r := &Replica{
-		cfg:      cfg,
-		engine:   engine,
-		auth:     cfg.Directory.NodeAuth(types.ReplicaNode(cfg.ID)),
-		ledger:   ledger.New(cfg.LedgerMode, genesis, consensus.Quorum2f1(cfg.N)),
-		store:    st,
-		batchQ:   queue.NewMPMC[*types.ClientRequest](1 << 14),
-		workQ:    make(chan workItem, 1<<13),
-		ckptQ:    make(chan workItem, 1<<10),
-		execIn:   queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, 1),
-		lastExec: make(map[types.ClientID]uint64),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		engine:    consensus.Serialize(engine),
+		lanes:     lanes,
+		auth:      cfg.Directory.NodeAuth(types.ReplicaNode(cfg.ID)),
+		ledger:    ledger.New(cfg.LedgerMode, genesis, consensus.Quorum2f1(cfg.N)),
+		store:     st,
+		batchQ:    queue.NewMPMC[*types.ClientRequest](1 << 14),
+		ckptQ:     make(chan workItem, 1<<10),
+		execIn:    queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, 1),
+		lastExec:  make(map[types.ClientID]uint64),
+		stop:      make(chan struct{}),
+		progressC: make(chan struct{}, 1),
 		reqPool: pool.New[types.ClientRequest](nil, func(cr *types.ClientRequest) {
 			*cr = types.ClientRequest{}
 		}, 1024, 1<<16),
 	}
+	r.workQs = make([]chan workItem, lanes)
+	for i := range r.workQs {
+		r.workQs[i] = make(chan workItem, 1<<13)
+	}
+	r.laneBusyNS = make([]atomic.Uint64, lanes)
 	r.inlinePending = make(map[uint64]consensus.Execute)
 	r.inlineNext = 1
 	r.outQs = make([]chan *types.Envelope, cfg.OutputThreads)
@@ -385,19 +463,20 @@ func (r *Replica) Store() store.Store { return r.store }
 // ID returns the replica identifier.
 func (r *Replica) ID() types.ReplicaID { return r.cfg.ID }
 
-// IsPrimary reports whether this replica currently leads.
+// IsPrimary reports whether this replica currently leads. It is
+// lock-free (the engine's observers are atomic-backed).
 func (r *Replica) IsPrimary() bool {
-	r.engMu.Lock()
-	defer r.engMu.Unlock()
 	return r.engine.IsPrimary()
 }
 
-// Stats returns a snapshot of the replica's counters.
+// WorkerLanes returns the number of worker lanes actually running.
+func (r *Replica) WorkerLanes() int { return r.lanes }
+
+// Stats returns a snapshot of the replica's counters. It takes no locks —
+// engine observers and every replica counter are atomics — so polling
+// stats never contends with consensus.
 func (r *Replica) Stats() Stats {
-	r.engMu.Lock()
-	view := r.engine.View()
 	es := r.engine.Stats()
-	r.engMu.Unlock()
 	s := Stats{
 		TxnsExecuted:    r.txnsExecuted.Load(),
 		BatchesExecuted: r.batchesExecuted.Load(),
@@ -405,13 +484,19 @@ func (r *Replica) Stats() Stats {
 		MsgsIn:          r.msgsIn.Load(),
 		MsgsOut:         r.msgsOut.Load(),
 		AuthFailures:    r.authFailures.Load(),
+		DecodeFailures:  r.decodeFailures.Load(),
 		NetDrops:        r.cfg.Endpoint.Drops(),
 		Checkpoints:     es.Checkpoints,
-		View:            view,
+		View:            r.engine.View(),
 		LedgerHeight:    r.ledger.Height(),
+		WorkerLanes:     r.lanes,
 	}
 	for i := range s.BusyNS {
 		s.BusyNS[i] = r.busyNS[i].Load()
+	}
+	s.WorkerLaneBusyNS = make([]uint64, r.lanes)
+	for i := range s.WorkerLaneBusyNS {
+		s.WorkerLaneBusyNS[i] = r.laneBusyNS[i].Load()
 	}
 	return s
 }
@@ -419,6 +504,15 @@ func (r *Replica) Stats() Stats {
 func (r *Replica) addBusy(stage Stage, d time.Duration) {
 	if d > 0 {
 		r.busyNS[stage].Add(uint64(d))
+	}
+}
+
+// addLaneBusy attributes worker time both to the aggregate worker stage
+// and to the lane that spent it.
+func (r *Replica) addLaneBusy(lane int, d time.Duration) {
+	if d > 0 {
+		r.busyNS[StageWorker].Add(uint64(d))
+		r.laneBusyNS[lane].Add(uint64(d))
 	}
 }
 
@@ -457,8 +551,15 @@ func (r *Replica) Start() {
 		r.stage1Wg.Add(1)
 		go r.batchLoop()
 	}
+	// Worker lanes: lane 0 carries control traffic (and 0B batch
+	// assembly); the rest step sequence-routed consensus messages in
+	// parallel on the lock-striped engine.
 	r.stage1Wg.Add(1)
 	go r.workerLoop()
+	for lane := 1; lane < r.lanes; lane++ {
+		r.stage1Wg.Add(1)
+		go r.laneLoop(lane)
+	}
 	r.stage1Wg.Add(1)
 	go r.checkpointLoop()
 
@@ -494,13 +595,24 @@ func (r *Replica) Stop() {
 		}
 
 		r.batchQ.Close()
-		close(r.workQ)
+		for _, q := range r.workQs {
+			close(q)
+		}
 		close(r.ckptQ)
 		r.stage1Wg.Wait()
 
 		r.execIn.Close()
 		r.execWg.Wait()
 
+		// Mark the output queues closed before closing them: any producer
+		// still in flight (the watchdog, a late retransmission) observes
+		// outClosed under the read lock and drops its envelope instead of
+		// sending on a closed channel. The stop channel is already closed,
+		// so blocked senders have woken by the time the write lock is
+		// granted.
+		r.outMu.Lock()
+		r.outClosed = true
+		r.outMu.Unlock()
 		for _, q := range r.outQs {
 			close(q)
 		}

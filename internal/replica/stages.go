@@ -27,7 +27,7 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 		case types.MsgClientRequest:
 			msg, err := types.DecodeBody(env.Type, env.Body)
 			if err != nil {
-				r.authFailures.Add(1)
+				r.decodeFailures.Add(1)
 				break
 			}
 			req, ok := msg.(*types.ClientRequest)
@@ -38,8 +38,9 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 				if r.cfg.BatchThreads > 0 {
 					r.batchQ.Push(req)
 				} else {
+					// 0B mode: batch assembly lives on lane 0.
 					select {
-					case r.workQ <- workItem{req: req}:
+					case r.workQs[0] <- workItem{req: req}:
 					case <-r.stop:
 					}
 				}
@@ -53,12 +54,11 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 				pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
 				break
 			}
-			select {
-			case r.workQ <- workItem{env: env}:
-			case <-r.stop:
-			}
+			r.route(env, false)
 		default:
-			r.authFailures.Add(1)
+			// An unexpected type on the client inbox is malformed traffic,
+			// not an authentication failure.
+			r.decodeFailures.Add(1)
 		}
 		r.addBusy(StageInput, time.Since(t0))
 	}
@@ -85,17 +85,72 @@ func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope, pend chan<- ver
 	}
 }
 
-// route hands an envelope to the stage that owns its type: checkpoint
-// traffic to the checkpoint-thread, everything else to the worker-thread.
+// route decodes an envelope and hands it to the stage that owns it:
+// checkpoint traffic to the checkpoint-thread, sequence-carrying consensus
+// messages to the worker lane owning their sequence number, and control
+// traffic to lane 0. Decoding here — on the input/verify stage, off the
+// worker lanes — is what makes sequence-based routing possible at all;
+// malformed bodies are counted as DecodeFailures and dropped before they
+// can cost a worker lane anything. With VerifyThreads == 0 the body is
+// decoded before its authenticator is checked (the auth check stays on
+// the worker lane, the paper's cost assignment); that gives unverified
+// peers pre-auth parsing on the input stage, but DecodeBody is
+// bounds-checked and O(body bytes) — the same order as the MAC check the
+// envelope must pay anyway.
 func (r *Replica) route(env *types.Envelope, verified bool) {
-	q := r.workQ
+	msg, err := types.DecodeBody(env.Type, env.Body)
+	if err != nil {
+		r.decodeFailures.Add(1)
+		return
+	}
+	q := r.workQs[r.laneOf(msg)]
 	if env.Type == types.MsgCheckpoint {
 		q = r.ckptQ
 	}
 	select {
-	case q <- workItem{env: env, verified: verified}:
+	case q <- workItem{env: env, msg: msg, verified: verified}:
 	case <-r.stop:
 	}
+}
+
+// laneOf returns the worker lane for a decoded message. Independent
+// consensus instances of the current view spread across lanes by sequence
+// number; everything else stays on lane 0:
+//
+//   - messages without a natural instance — view changes, new-views,
+//     Zyzzyva commit certificates — so control traffic keeps a single
+//     ordered lane;
+//   - messages for a view other than the engine's current one. A NewView
+//     routes to lane 0, and the new primary's first pre-prepares of view
+//     v+1 follow it from the same inbox; sending them to a seq lane
+//     would let them overtake the NewView still queued on lane 0 and be
+//     dropped as wrong-view — a permanent hole, since pre-prepares are
+//     not retransmitted. Pinning other-view traffic to lane 0 preserves
+//     the per-sender FIFO through the view transition (the engine's view
+//     read is an atomic, so this check is free).
+func (r *Replica) laneOf(msg types.Message) int {
+	if r.lanes == 1 {
+		return 0
+	}
+	var view types.View
+	var seq types.SeqNum
+	switch m := msg.(type) {
+	case *types.PrePrepare:
+		view, seq = m.View, m.Seq
+	case *types.Prepare:
+		view, seq = m.View, m.Seq
+	case *types.Commit:
+		view, seq = m.View, m.Seq
+	case *types.OrderedRequest:
+		// Unreachable in practice: Zyzzyva engines run a single lane.
+		view, seq = m.View, m.Seq
+	default:
+		return 0
+	}
+	if view != r.engine.View() {
+		return 0
+	}
+	return int(uint64(seq) % uint64(r.lanes))
 }
 
 // verifyForwardLoop is one inbox's forwarder: it awaits verification
@@ -123,7 +178,9 @@ func (r *Replica) isPrimaryHint() bool {
 
 // batchLoop is one batch-thread: it drains the shared lock-free queue,
 // assembles up to BatchSize transactions (flushing after BatchLinger),
-// verifies client signatures, and proposes the batch.
+// verifies client signatures, and proposes the batch. Waiting for the
+// first request of a batch and lingering for stragglers both park on the
+// queue's blocking API — an idle batch-thread burns no CPU.
 func (r *Replica) batchLoop() {
 	defer r.stage1Wg.Done()
 	for {
@@ -137,13 +194,9 @@ func (r *Replica) batchLoop() {
 		r.reqPool.Put(first)
 		deadline := t0.Add(r.cfg.BatchLinger)
 		for txns < r.cfg.BatchSize {
-			next, ok := r.batchQ.TryPop()
+			next, ok := r.batchQ.PopWait(time.Until(deadline))
 			if !ok {
-				if time.Now().After(deadline) {
-					break
-				}
-				time.Sleep(50 * time.Microsecond)
-				continue
+				break // linger expired or queue closed: flush what we have
 			}
 			reqs = append(reqs, *next)
 			txns += len(next.Txns)
@@ -178,21 +231,15 @@ func (r *Replica) propose(reqs []types.ClientRequest) {
 		if r.cfg.DisableOutOfOrder {
 			// Ablation: strictly one consensus instance at a time.
 			for r.inflight.Load() > 0 {
-				select {
-				case <-r.stop:
+				if !r.awaitProgress() {
 					return
-				default:
-					time.Sleep(20 * time.Microsecond)
 				}
 			}
 		}
-		r.engMu.Lock()
 		if !r.engine.IsPrimary() {
-			r.engMu.Unlock()
 			return // lost the primary role; clients will retransmit
 		}
 		acts := r.engine.Propose(reqs)
-		r.engMu.Unlock()
 		if acts != nil {
 			if r.cfg.DisableOutOfOrder {
 				r.inflight.Add(1)
@@ -200,20 +247,44 @@ func (r *Replica) propose(reqs []types.ClientRequest) {
 			r.handleActions(acts)
 			return
 		}
-		// Watermark window full: wait for execution to catch up.
-		select {
-		case <-r.stop:
+		// Watermark window full (or the primary role was lost between the
+		// check and the call): park until execution catches up.
+		if !r.awaitProgress() {
 			return
-		default:
-			time.Sleep(100 * time.Microsecond)
 		}
+	}
+}
+
+// awaitProgress parks the calling batch-thread until the pipeline makes
+// progress (a batch executes or a checkpoint stabilizes) or a fallback
+// timer fires — the capacity-one progress channel may swallow a signal
+// under contention, so waiters never rely on it alone. It reports false
+// when the replica is stopping.
+func (r *Replica) awaitProgress() bool {
+	t := time.NewTimer(2 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-r.stop:
+		return false
+	case <-r.progressC:
+		return true
+	case <-t.C:
+		return true
+	}
+}
+
+// signalProgress wakes one parked batch-thread; it never blocks.
+func (r *Replica) signalProgress() {
+	select {
+	case r.progressC <- struct{}{}:
+	default:
 	}
 }
 
 // ---- Worker stage (Sections 4.3–4.4) ----
 
-// workerLoop drives the consensus engine: it verifies and decodes peer
-// messages, applies them, and (in 0B mode) also assembles batches.
+// workerLoop is lane 0: it drives the consensus engine over control and
+// lane-0 consensus traffic and (in 0B mode) also assembles batches.
 func (r *Replica) workerLoop() {
 	defer r.stage1Wg.Done()
 	var pend []types.ClientRequest
@@ -231,7 +302,7 @@ func (r *Replica) workerLoop() {
 
 	for {
 		select {
-		case item, ok := <-r.workQ:
+		case item, ok := <-r.workQs[0]:
 			if !ok {
 				flush()
 				return
@@ -246,37 +317,46 @@ func (r *Replica) workerLoop() {
 					lingerC = time.After(r.cfg.BatchLinger)
 				}
 			} else {
-				r.processEnvelope(item.env, item.verified)
+				r.processItem(item)
 			}
-			r.addBusy(StageWorker, time.Since(t0))
+			r.addLaneBusy(0, time.Since(t0))
 		case <-lingerC:
 			t0 := time.Now()
 			flush()
-			r.addBusy(StageWorker, time.Since(t0))
+			r.addLaneBusy(0, time.Since(t0))
 		}
 	}
 }
 
-// processEnvelope authenticates, decodes, and applies one peer message.
-// With VerifyThreads == 0 signature verification happens here, on the
-// worker-thread, exactly where the paper assigns it (Section 4.3); when
-// the verify stage already authenticated the envelope (verified true) it
-// is not checked again.
-func (r *Replica) processEnvelope(env *types.Envelope, verified bool) {
-	if !verified {
+// laneLoop is one worker lane beyond lane 0: it steps the engine over the
+// consensus messages whose sequence numbers route here. Only
+// sequence-carrying traffic ever lands on these lanes.
+func (r *Replica) laneLoop(lane int) {
+	defer r.stage1Wg.Done()
+	for item := range r.workQs[lane] {
+		t0 := time.Now()
+		r.processItem(item)
+		r.addLaneBusy(lane, time.Since(t0))
+	}
+}
+
+// processItem authenticates and applies one decoded peer message (the
+// input/verify stage already decoded it). With VerifyThreads == 0
+// signature verification happens here, on the worker lane, exactly where
+// the paper assigns it (Section 4.3); when the verify stage already
+// authenticated the envelope (verified true) it is not checked again.
+func (r *Replica) processItem(item workItem) {
+	env := item.env
+	if !item.verified {
 		if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
 			r.authFailures.Add(1)
 			return
 		}
 	}
-	msg, err := types.DecodeBody(env.Type, env.Body)
-	if err != nil {
-		r.authFailures.Add(1)
-		return
-	}
-	// Batch digest verification for proposals (the hashing cost lands on
-	// the worker-thread at backups).
-	switch m := msg.(type) {
+	// Batch digest verification for proposals: the hashing cost lands on
+	// the worker lanes at backups, where seq-based routing spreads it
+	// across all W lanes.
+	switch m := item.msg.(type) {
 	case *types.PrePrepare:
 		if len(m.Requests) > 0 && types.BatchDigest(m.Requests) != m.Digest {
 			r.authFailures.Add(1)
@@ -288,9 +368,7 @@ func (r *Replica) processEnvelope(env *types.Envelope, verified bool) {
 			return
 		}
 	}
-	r.engMu.Lock()
-	acts := r.engine.OnMessage(env.From, msg, env.Auth)
-	r.engMu.Unlock()
+	acts := r.engine.OnMessage(env.From, item.msg, env.Auth)
 	r.handleActions(acts)
 }
 
@@ -300,15 +378,16 @@ func (r *Replica) checkpointLoop() {
 	defer r.stage1Wg.Done()
 	for item := range r.ckptQ {
 		t0 := time.Now()
-		r.processEnvelope(item.env, item.verified)
+		r.processItem(item)
 		r.addBusy(StageCheckpoint, time.Since(t0))
 	}
 }
 
 // ---- Action dispatch ----
 
-// handleActions interprets engine outputs. It must be called without
-// engMu held.
+// handleActions interprets engine outputs. It may be called from any
+// lane, the checkpoint-thread, the execute-thread, or the watchdog; every
+// path it touches is safe for concurrent use.
 func (r *Replica) handleActions(acts []consensus.Action) {
 	for _, a := range acts {
 		switch act := a.(type) {
@@ -324,6 +403,9 @@ func (r *Replica) handleActions(acts []consensus.Action) {
 			}
 		case consensus.CheckpointStable:
 			r.ledger.Prune(uint64(act.Seq))
+			// A stable checkpoint advances the watermark window; wake any
+			// batch-thread parked on a full window.
+			r.signalProgress()
 		case consensus.ViewChanged:
 			r.notPrimary.Store(consensus.PrimaryOf(act.View, r.cfg.N) != r.cfg.ID)
 		case consensus.Evidence:
@@ -399,9 +481,7 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 		return
 	}
 
-	r.engMu.Lock()
 	ckActs := r.engine.OnExecuted(act.Seq, r.ledger.StateDigest())
-	r.engMu.Unlock()
 	r.handleActions(ckActs)
 
 	// Respond to every client in the batch.
@@ -440,6 +520,7 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 	}
 	r.pendingHint.Store(false)
 	r.lastProgress.Store(time.Now().UnixNano())
+	r.signalProgress()
 }
 
 // responseDigest derives the deterministic execution result all correct
@@ -512,14 +593,18 @@ func (r *Replica) sendTo(to types.NodeID, msg types.Message) {
 
 // enqueueOut places an envelope on the output queue owned by the
 // destination's output-thread (Section 4.1: clients and replicas are
-// partitioned across output-threads).
+// partitioned across output-threads). The read lock pairs with Stop's
+// write-locked close: once outClosed is set the envelope is dropped —
+// correct, since the peer is gone or we are shutting down — and a send
+// already blocked on a full queue is released by the stop channel, which
+// Stop closes before it requests the write lock.
 func (r *Replica) enqueueOut(env *types.Envelope) {
 	idx := int(uint32(env.To)) % len(r.outQs)
-	defer func() {
-		// A concurrent Stop may close the queue; dropping the message is
-		// correct (the peer is gone or we are shutting down).
-		_ = recover()
-	}()
+	r.outMu.RLock()
+	defer r.outMu.RUnlock()
+	if r.outClosed {
+		return
+	}
 	select {
 	case r.outQs[idx] <- env:
 		r.msgsOut.Add(1)
@@ -554,9 +639,7 @@ func (r *Replica) watchdogLoop() {
 			if idle < r.cfg.ViewTimeout {
 				continue
 			}
-			r.engMu.Lock()
 			acts := r.engine.OnViewTimeout()
-			r.engMu.Unlock()
 			r.handleActions(acts)
 			r.lastProgress.Store(time.Now().UnixNano()) // back off
 		}
