@@ -20,6 +20,12 @@
 // the consensus worker lanes from 1 to -worker-threads in powers of two,
 // reporting throughput and per-lane busy time (the runtime analogue of
 // Figure 9's thread-saturation measurement).
+//
+// The execshards experiment also runs the real pipeline: it sweeps the
+// execution shards from 1 to -execute-shards in powers of two under an
+// execution-heavy Zipfian write load, reporting throughput plus the
+// per-shard busy split (the evidence that write-set partitioning spreads
+// the last serialized pipeline stage).
 package main
 
 import (
@@ -44,12 +50,16 @@ func run() int {
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "tcpbatch: max envelopes per TCP batch frame")
 	netLinger := flag.Duration("net-linger", 0, "tcpbatch: partial-batch flush delay (0 flushes when the queue drains)")
 	workerThreads := flag.Int("worker-threads", 4, "workerscale: largest worker-lane count in the sweep")
+	execShards := flag.Int("execute-shards", 4, "execshards: largest execution-shard count in the sweep")
 	flag.Parse()
 
 	bench.TCPTuning.BatchMax = *netBatch
 	bench.TCPTuning.Linger = *netLinger
 	if *workerThreads >= 1 {
 		bench.WorkerTuning.MaxThreads = *workerThreads
+	}
+	if *execShards >= 1 {
+		bench.ExecTuning.MaxShards = *execShards
 	}
 
 	if *list {

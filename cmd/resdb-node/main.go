@@ -4,7 +4,11 @@
 // -peers list; key material is derived deterministically from the seed
 // (see internal/crypto), standing in for out-of-band provisioning.
 //
-// The hot-path knobs:
+// The hot-path knobs. The foldable-stage flags (-batch-threads,
+// -verify-threads, -execute-shards) follow the cluster-wide convention:
+// 0 = the paper's default, -1 = explicitly disabled (fold the stage into
+// the worker lanes). -worker-threads is a plain lane count — there is
+// always at least one worker lane, so it has no disabled form:
 //
 //   - -net-batch N: coalesce up to N outbound envelopes per peer into one
 //     TCP batch frame (one write syscall for the batch); 1 restores
@@ -12,13 +16,21 @@
 //   - -net-linger D: hold a partial batch up to D waiting for more
 //     envelopes; 0 (default) flushes as soon as the outbound queue
 //     drains, so idle connections pay no latency.
+//   - -batch-threads B: assemble and propose batches on B batch-threads
+//     at the primary; -1 folds batch assembly into worker lane 0 (the
+//     paper's 0B configuration).
 //   - -verify-threads V: verify peer signatures on V parallel workers
-//     between the input-threads and the worker lanes; 0 verifies inline
-//     on the worker lanes.
+//     between the input-threads and the worker lanes; -1 verifies inline
+//     on the worker lanes (the paper's baseline assignment).
 //   - -worker-threads W: step the consensus engine on W parallel worker
 //     lanes routed by sequence number (control traffic stays on lane 0);
 //     1 restores the paper's single worker-thread. Zyzzyva always runs a
 //     single lane (its speculative history is inherently ordered).
+//   - -execute-shards E: apply committed batches on E parallel execution
+//     shards, each owning a hash partition of the key space (write-set
+//     partitioning keeps parallel execution deterministic; a per-batch
+//     barrier preserves batch order). 0 (default) runs the paper's single
+//     execute-thread; -1 folds execution into the worker lanes (0E).
 //
 // Example 4-replica deployment on one machine:
 //
@@ -48,6 +60,19 @@ func main() {
 	os.Exit(run())
 }
 
+// knob maps the cluster-wide flag convention (0 = default, -1 =
+// explicitly disabled) onto the raw thread/shard count replica.Config
+// takes (where 0 folds the stage into the worker).
+func knob(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
 func run() int {
 	id := flag.Int("id", 0, "replica identifier (0..n-1)")
 	n := flag.Int("n", 4, "number of replicas")
@@ -55,9 +80,9 @@ func run() int {
 	peers := flag.String("peers", "", "comma-separated replica addresses, index = id")
 	protoName := flag.String("protocol", "pbft", "pbft | zyzzyva")
 	batch := flag.Int("batch", 100, "transactions per consensus batch")
-	batchThreads := flag.Int("batch-threads", 2, "batch-threads (0 folds into worker)")
-	execThreads := flag.Int("execute-threads", 1, "execute-threads (0 or 1)")
-	verifyThreads := flag.Int("verify-threads", 2, "parallel signature-verification workers (0 verifies on the worker lanes)")
+	batchThreads := flag.Int("batch-threads", 0, "batch-threads B (0 = default 2, -1 folds batching into the worker lanes)")
+	execShards := flag.Int("execute-shards", 0, "execution shards E (0 = default single execute-thread, -1 folds execution into the worker lanes, E > 1 = parallel write-set-partitioned shards)")
+	verifyThreads := flag.Int("verify-threads", 0, "parallel signature-verification workers (0 = default 2, -1 verifies inline on the worker lanes)")
 	workerThreads := flag.Int("worker-threads", 1, "parallel consensus worker lanes (1 = the paper's single worker-thread)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "how long a partial TCP batch waits for more envelopes before flushing (0 flushes when the queue drains)")
@@ -112,9 +137,9 @@ func run() int {
 		N:                *n,
 		Protocol:         proto,
 		BatchSize:        *batch,
-		BatchThreads:     *batchThreads,
-		ExecuteThreads:   *execThreads,
-		VerifyThreads:    *verifyThreads,
+		BatchThreads:     knob(*batchThreads, 2),
+		ExecuteThreads:   knob(*execShards, 1),
+		VerifyThreads:    knob(*verifyThreads, 2),
 		WorkerThreads:    *workerThreads,
 		Directory:        dir,
 		Endpoint:         ep,

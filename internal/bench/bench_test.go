@@ -9,7 +9,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
-		"tcpbatch", "workerscale"}
+		"tcpbatch", "workerscale", "execshards"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -101,6 +101,31 @@ func TestShapeWorkerScale(t *testing.T) {
 	if !(s4 < 0.9*s1 || t4 > 1.3*t1) {
 		t.Fatalf("W=4 neither spread the worker load (share %.3f vs %.3f) nor scaled throughput (%.0f vs %.0f)",
 			s4, s1, t4, t1)
+	}
+}
+
+// TestShapeExecShards checks the execshards invariants rather than exact
+// numbers: sharded execution must never collapse throughput, and under
+// the Zipfian write load every shard must do real work (the partition
+// spreads the hot keys).
+func TestShapeExecShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := execshards(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := out.Metrics["execshards_tput_e1"]
+	t4 := out.Metrics["execshards_tput_e4"]
+	if t1 <= 0 || t4 <= 0 {
+		t.Fatalf("no throughput recorded: e1=%.0f e4=%.0f", t1, t4)
+	}
+	if t4 < 0.5*t1 {
+		t.Fatalf("E=4 collapsed throughput: %.0f vs %.0f at E=1", t4, t1)
+	}
+	if out.Metrics["execshards_min_shard_busy_ns_e4"] <= 0 {
+		t.Fatal("an idle execution shard at E=4: the write-set partition is not spreading work")
 	}
 }
 

@@ -34,6 +34,10 @@ type Options struct {
 	// 2 output-threads, 2 replica input-threads, plus 2 verify-threads
 	// (the parallel-crypto refinement of Section 4.2). Pass -1 to request
 	// the folded 0B / 0E / inline-verify configurations explicitly.
+	// ExecuteThreads is E, the execution shard count: values above 1 run
+	// the execute stage as E write-set-partitioned shard workers behind
+	// the in-order coordinator (deterministic — see
+	// replica.Config.ExecuteThreads).
 	BatchThreads   int
 	ExecuteThreads int
 	OutputThreads  int

@@ -174,6 +174,54 @@ func TestClusterThreadConfigs(t *testing.T) {
 	}
 }
 
+// TestClusterExecuteShards runs the full pipeline with write-set
+// partitioned execution (E=4) under a skewed multi-op load: the cluster
+// must stay live, agree across replicas — every replica's store must be
+// byte-identical once they reach the same height, the cross-replica form
+// of the determinism guarantee — and every shard must do work.
+func TestClusterExecuteShards(t *testing.T) {
+	opts := smallOpts()
+	opts.ExecuteThreads = 4
+	opts.Workload.OpsPerTxn = 4
+	c, res := runCluster(t, opts, 1200*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatalf("no transactions completed: %s", res)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+	target := c.Replica(0).Ledger().Height()
+	if got := c.WaitForHeight(target, 5*time.Second, nil); got < target {
+		t.Fatalf("backups stuck at height %d < %d", got, target)
+	}
+	for i := 0; i < opts.N; i++ {
+		s := c.Replica(i).Stats()
+		if s.ExecShards != 4 || len(s.ExecShardBusyNS) != 4 {
+			t.Fatalf("replica %d runs %d shards (%v), want 4", i, s.ExecShards, s.ExecShardBusyNS)
+		}
+		for sh, ns := range s.ExecShardBusyNS {
+			if ns == 0 {
+				t.Fatalf("replica %d shard %d never did work: %v", i, sh, s.ExecShardBusyNS)
+			}
+		}
+	}
+	// Byte-identical stores across replicas.
+	ref := c.Replica(0).Store()
+	for i := 1; i < opts.N; i++ {
+		st := c.Replica(i).Store()
+		for key := uint64(0); key < opts.Workload.Records; key++ {
+			want, errW := ref.Get(key)
+			got, errG := st.Get(key)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("replica %d key %d presence mismatch: %v vs %v", i, key, errG, errW)
+			}
+			if errW == nil && string(got) != string(want) {
+				t.Fatalf("replica %d key %d = %q, replica 0 has %q", i, key, got, want)
+			}
+		}
+	}
+}
+
 func TestClusterBursts(t *testing.T) {
 	opts := smallOpts()
 	opts.Burst = 5 // client-side batching: five txns per request

@@ -176,6 +176,81 @@ func TestRange(t *testing.T) {
 	}
 }
 
+// TestRangeBoundaries pins Range's edge behaviour: from 0 starts at the
+// genesis block, from beyond the head visits nothing, and after pruning a
+// from inside the pruned prefix silently starts at the retained base
+// (pruned blocks are gone, not an error).
+func TestRangeBoundaries(t *testing.T) {
+	l := New(HashChain, genesisSeed(), 3)
+	appendN(t, l, 6)
+
+	var heights []uint64
+	l.Range(0, func(b types.Block) bool {
+		heights = append(heights, b.Height)
+		return true
+	})
+	if len(heights) != 7 || heights[0] != 0 || heights[6] != 6 {
+		t.Fatalf("Range(0) visited %v, want genesis through head", heights)
+	}
+
+	visited := false
+	l.Range(7, func(types.Block) bool { visited = true; return true })
+	if visited {
+		t.Fatal("Range beyond the head visited a block")
+	}
+
+	l.Prune(4)
+	heights = nil
+	l.Range(1, func(b types.Block) bool {
+		heights = append(heights, b.Height)
+		return true
+	})
+	if len(heights) != 3 || heights[0] != 4 || heights[2] != 6 {
+		t.Fatalf("Range(1) after Prune(4) visited %v, want [4 5 6]", heights)
+	}
+
+	// Early stop on the very first retained block.
+	n := 0
+	l.Range(0, func(types.Block) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range visited %d blocks after fn returned false", n)
+	}
+}
+
+// TestBlocksSinceBoundaries pins BlocksSince's edges: after 0 returns the
+// whole retained chain minus genesis, after ≥ head returns nil, and a
+// lagging replica asking from inside the pruned prefix gets only the
+// retained suffix — the caller must detect the gap, BlocksSince does not.
+func TestBlocksSinceBoundaries(t *testing.T) {
+	l := New(HashChain, genesisSeed(), 3)
+	appendN(t, l, 6)
+
+	got := l.BlocksSince(0)
+	if len(got) != 6 || got[0].Height != 1 || got[5].Height != 6 {
+		t.Fatalf("BlocksSince(0) = %d blocks [%v..], want 1..6", len(got), got[0].Height)
+	}
+	if got := l.BlocksSince(6); got != nil {
+		t.Fatalf("BlocksSince(head) = %+v, want nil", got)
+	}
+	if got := l.BlocksSince(99); got != nil {
+		t.Fatalf("BlocksSince beyond head = %+v, want nil", got)
+	}
+
+	l.Prune(4)
+	got = l.BlocksSince(1)
+	if len(got) != 3 || got[0].Height != 4 {
+		t.Fatalf("BlocksSince(1) after Prune(4) = %d blocks starting at %d, want 3 starting at 4",
+			len(got), got[0].Height)
+	}
+	// The boundary just below the base behaves like the base itself.
+	if got := l.BlocksSince(3); len(got) != 3 {
+		t.Fatalf("BlocksSince(base-1) = %d blocks, want 3", len(got))
+	}
+	if got := l.BlocksSince(4); len(got) != 2 || got[0].Height != 5 {
+		t.Fatalf("BlocksSince(base) = %+v, want [5 6]", got)
+	}
+}
+
 func TestStateDigestTracksHead(t *testing.T) {
 	l := New(HashChain, genesisSeed(), 3)
 	d0 := l.StateDigest()

@@ -1,0 +1,212 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/store"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+const shardTestRecords = 4096
+
+// newShardReplica builds and starts a backup replica with E execution
+// shards whose execute stage can be driven directly through execIn.
+func newShardReplica(t *testing.T, execThreads int) *Replica {
+	t.Helper()
+	dir, err := crypto.NewDirectory(crypto.NoSig(), [32]byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInproc()
+	r, err := New(Config{
+		ID:             1, // backup: the batch stage stays idle
+		N:              4,
+		Protocol:       PBFT,
+		ExecuteThreads: execThreads,
+		LedgerMode:     ledger.HashChain,
+		Store:          store.NewMemStore(shardTestRecords),
+		Directory:      dir,
+		Endpoint:       net.Endpoint(types.ReplicaNode(1), 3, 1<<10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r
+}
+
+// shardTestBatches builds a deterministic committed-batch history: several
+// Zipfian clients with multi-op transactions, plus one request duplicated
+// across batches so the dedup path runs under both execution modes.
+func shardTestBatches(t *testing.T, batches int) []consensus.Execute {
+	t.Helper()
+	wcfg := workload.Config{
+		Records:      shardTestRecords,
+		OpsPerTxn:    4,
+		ValueSize:    64,
+		Distribution: workload.Zipf,
+		Seed:         7,
+	}
+	const clients = 4
+	wls := make([]*workload.Workload, clients)
+	for c := range wls {
+		wl, err := workload.New(wcfg, int64(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls[c] = wl
+	}
+	var dup types.ClientRequest
+	acts := make([]consensus.Execute, batches)
+	for b := 0; b < batches; b++ {
+		reqs := make([]types.ClientRequest, 0, clients+1)
+		for c := 0; c < clients; c++ {
+			reqs = append(reqs, wls[c].NextRequest(types.ClientID(c), uint64(b*2+1), 2))
+		}
+		if b == 1 {
+			dup = reqs[0]
+		}
+		if b == 2 {
+			// Re-delivered request (e.g. re-proposed after a view change):
+			// execution must skip it, identically under every E.
+			reqs = append(reqs, dup)
+		}
+		acts[b] = consensus.Execute{
+			Seq:      types.SeqNum(b + 1),
+			Digest:   types.BatchDigest(reqs),
+			Requests: reqs,
+		}
+	}
+	return acts
+}
+
+func waitBatches(t *testing.T, r *Replica, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.Stats().BatchesExecuted >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("executed %d batches, want %d", r.Stats().BatchesExecuted, want)
+}
+
+// storeDigest hashes every live record in key order; byte-identical store
+// state yields identical digests.
+func storeDigest(t *testing.T, st store.Store) types.Digest {
+	t.Helper()
+	var buf bytes.Buffer
+	var hdr [12]byte
+	for k := uint64(0); k < shardTestRecords; k++ {
+		v, err := st.Get(k)
+		if errors.Is(err, store.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.BigEndian.PutUint64(hdr[:8], k)
+		binary.BigEndian.PutUint32(hdr[8:], uint32(len(v)))
+		buf.Write(hdr[:])
+		buf.Write(v)
+	}
+	return crypto.Hash256(buf.Bytes())
+}
+
+// TestExecShardDeterminism is the acceptance check for write-set
+// partitioned execution: the same committed batches produce byte-identical
+// ledger digests and store state under E=1 (serial) and E=4 (sharded),
+// and under a Zipfian write load every shard does work.
+func TestExecShardDeterminism(t *testing.T) {
+	const batches = 32
+	acts := shardTestBatches(t, batches)
+
+	serial := newShardReplica(t, 1)
+	sharded := newShardReplica(t, 4)
+	for _, act := range acts {
+		serial.execIn.Offer(uint64(act.Seq), execItem{act: act})
+		sharded.execIn.Offer(uint64(act.Seq), execItem{act: act})
+	}
+	waitBatches(t, serial, batches)
+	waitBatches(t, sharded, batches)
+
+	if got, want := sharded.Ledger().StateDigest(), serial.Ledger().StateDigest(); got != want {
+		t.Fatalf("ledger head digest diverged: E=4 %x vs E=1 %x", got[:8], want[:8])
+	}
+	ss, sh := serial.Stats(), sharded.Stats()
+	if ss.TxnsExecuted != sh.TxnsExecuted {
+		t.Fatalf("txns executed diverged: E=1 %d vs E=4 %d", ss.TxnsExecuted, sh.TxnsExecuted)
+	}
+	if got, want := storeDigest(t, sharded.Store()), storeDigest(t, serial.Store()); got != want {
+		t.Fatalf("store state diverged: E=4 %x vs E=1 %x", got[:8], want[:8])
+	}
+
+	if ss.ExecShards != 0 || len(ss.ExecShardBusyNS) != 0 {
+		t.Fatalf("serial replica reports shards: %d (%v)", ss.ExecShards, ss.ExecShardBusyNS)
+	}
+	if sh.ExecShards != 4 || len(sh.ExecShardBusyNS) != 4 {
+		t.Fatalf("sharded replica reports %d shards (%v)", sh.ExecShards, sh.ExecShardBusyNS)
+	}
+	for i, ns := range sh.ExecShardBusyNS {
+		if ns == 0 {
+			t.Fatalf("shard %d never did work: %v", i, sh.ExecShardBusyNS)
+		}
+	}
+}
+
+// TestExecShardDiskStoreFallback: a store without the batched apply path
+// (DiskStore stays serialized, the Section 5.7 contrast) must still
+// execute correctly through the shard workers' per-op fallback.
+func TestExecShardDiskStoreFallback(t *testing.T) {
+	dir, err := crypto.NewDirectory(crypto.NoSig(), [32]byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := store.OpenDisk(t.TempDir()+"/records.log", store.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInproc()
+	r, err := New(Config{
+		ID:             1,
+		N:              4,
+		Protocol:       PBFT,
+		ExecuteThreads: 4,
+		LedgerMode:     ledger.HashChain,
+		Store:          disk,
+		Directory:      dir,
+		Endpoint:       net.Endpoint(types.ReplicaNode(1), 3, 1<<10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+
+	const batches = 4
+	acts := shardTestBatches(t, batches)
+	for _, act := range acts {
+		r.execIn.Offer(uint64(act.Seq), execItem{act: act})
+	}
+	waitBatches(t, r, batches)
+
+	serial := newShardReplica(t, 1)
+	for _, act := range acts {
+		serial.execIn.Offer(uint64(act.Seq), execItem{act: act})
+	}
+	waitBatches(t, serial, batches)
+	if got, want := storeDigest(t, disk), storeDigest(t, serial.Store()); got != want {
+		t.Fatalf("disk-backed sharded state diverged: %x vs %x", got[:8], want[:8])
+	}
+}

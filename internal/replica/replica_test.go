@@ -35,7 +35,8 @@ func TestConfigValidation(t *testing.T) {
 		{"too few replicas", func(c *Config) { c.N = 3 }, "n ≥ 4"},
 		{"id out of range", func(c *Config) { c.ID = 9 }, "out of range"},
 		{"bad protocol", func(c *Config) { c.Protocol = 0 }, "protocol"},
-		{"multi execute threads", func(c *Config) { c.ExecuteThreads = 2 }, "ExecuteThreads"},
+		{"sharded execute accepted", func(c *Config) { c.ExecuteThreads = 4 }, ""},
+		{"negative execute threads", func(c *Config) { c.ExecuteThreads = -1 }, "ExecuteThreads"},
 		{"negative batch threads", func(c *Config) { c.BatchThreads = -1 }, "BatchThreads"},
 		{"missing directory", func(c *Config) { c.Directory = nil }, "Directory"},
 		{"missing endpoint", func(c *Config) { c.Endpoint = nil }, "Endpoint"},

@@ -1,11 +1,14 @@
 package replica
 
 import (
+	"sync"
 	"time"
 
 	"resilientdb/internal/consensus"
 	"resilientdb/internal/crypto"
+	"resilientdb/internal/store"
 	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
 )
 
 // ---- Input stage (Section 4.1) ----
@@ -450,10 +453,24 @@ func (r *Replica) executeLoop() {
 	}
 }
 
-// executeBatch applies one committed batch: transactions hit the store,
-// the block joins the ledger, the engine learns about the execution
-// (driving checkpoints), and every client gets its response.
+// executeBatch applies one committed batch: transactions hit the store —
+// serially on the coordinator, or hash-partitioned by key across the
+// execution shards (ExecuteThreads > 1) — the block joins the ledger, the
+// engine learns about the execution (driving checkpoints), and every
+// client gets its response.
+//
+// The sharded path is deterministic: per-client dedup runs on the
+// coordinator before fan-out, one key always maps to the same shard
+// (workload.ShardOf), each shard applies its partition in batch order, and
+// the barrier below keeps whole batches ordered. So the store contents,
+// ledger, and checkpoint digests are byte-identical to serial execution.
 func (r *Replica) executeBatch(act consensus.Execute) {
+	sharded := r.execShards > 1
+	if sharded {
+		for i := range r.execParts {
+			r.execParts[i] = r.execParts[i][:0]
+		}
+	}
 	txnCount := uint32(0)
 	for i := range act.Requests {
 		req := &act.Requests[i]
@@ -466,13 +483,33 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 			}
 			for k := range txn.Ops {
 				// Write-only YCSB-style application (Section 5.1).
-				_ = r.store.Put(txn.Ops[k].Key, txn.Ops[k].Value)
+				if sharded {
+					sh := workload.ShardOf(txn.Ops[k].Key, r.execShards)
+					r.execParts[sh] = append(r.execParts[sh],
+						store.KV{Key: txn.Ops[k].Key, Value: txn.Ops[k].Value})
+				} else {
+					_ = r.store.Put(txn.Ops[k].Key, txn.Ops[k].Value)
+				}
 			}
 			if txn.ClientSeq > last {
 				last = txn.ClientSeq
 			}
 		}
 		r.lastExec[req.Client] = last
+	}
+	if sharded {
+		// Fan the partitions out and wait: the per-batch barrier is what
+		// preserves batch-order semantics (batch k+1 never starts before
+		// batch k finished).
+		var done sync.WaitGroup
+		for sh := range r.execParts {
+			if len(r.execParts[sh]) == 0 {
+				continue
+			}
+			done.Add(1)
+			r.shardQs[sh] <- execShardJob{kvs: r.execParts[sh], done: &done}
+		}
+		done.Wait()
 	}
 
 	if _, err := r.ledger.Append(act.Seq, act.View, act.Digest, act.Proof, txnCount); err != nil {
@@ -521,6 +558,30 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 	r.pendingHint.Store(false)
 	r.lastProgress.Store(time.Now().UnixNano())
 	r.signalProgress()
+}
+
+// execShardLoop is one execution shard worker: it applies its write
+// partition of each committed batch to the store and signals the batch
+// barrier. MemStore's batched apply path (store.Batcher) pays the
+// liveness check once per partition; stores without it — DiskStore, whose
+// blocking serialized API is the Section 5.7 contrast — fall back to
+// per-op Puts serialized by the store itself.
+func (r *Replica) execShardLoop(shard int) {
+	defer r.shardWg.Done()
+	for job := range r.shardQs[shard] {
+		t0 := time.Now()
+		if r.execBatch != nil {
+			_ = r.execBatch.PutMany(job.kvs)
+		} else {
+			for i := range job.kvs {
+				_ = r.store.Put(job.kvs[i].Key, job.kvs[i].Value)
+			}
+		}
+		if d := time.Since(t0); d > 0 {
+			r.shardBusyNS[shard].Add(uint64(d))
+		}
+		job.done.Done()
+	}
 }
 
 // responseDigest derives the deterministic execution result all correct

@@ -71,7 +71,11 @@ type Config struct {
 	// Cores per replica machine (Section 5.9 varies 1..8).
 	Cores int
 	// Pipeline shape: BatchThreads/ExecuteThreads accept -1 for the
-	// folded 0B/0E configurations; 0 selects the defaults (2B, 1E).
+	// folded 0B/0E configurations; 0 selects the defaults (2B, 1E). The
+	// simulator models at most one dedicated execute-thread: values above
+	// 1 (the runnable replica's write-set-partitioned execution shards)
+	// behave as 1E here — use the execshards bench experiment, which runs
+	// the real pipeline, to observe shard-parallel execution.
 	BatchThreads        int
 	ExecuteThreads      int
 	OutputThreads       int

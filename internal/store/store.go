@@ -34,10 +34,31 @@ type Store interface {
 	Close() error
 }
 
+// KV is one write in a batch handed to a Batcher.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// Batcher is an optional Store capability: PutMany applies a whole write
+// partition with a single liveness check instead of one per Put. Execution
+// shard workers apply their key partitions through it concurrently —
+// callers must guarantee the partitions are key-disjoint, which is what
+// makes the result order-independent across callers. MemStore implements
+// it; DiskStore deliberately does not, so the off-memory store keeps its
+// blocking, fully serialized API (the Section 5.7 contrast) and sharded
+// execution degrades to serialized Puts against it.
+type Batcher interface {
+	// PutMany applies every write in kvs in order. Distinct concurrent
+	// calls must cover disjoint key sets.
+	PutMany(kvs []KV) error
+}
+
 // Compile-time interface compliance checks.
 var (
-	_ Store = (*MemStore)(nil)
-	_ Store = (*DiskStore)(nil)
+	_ Store   = (*MemStore)(nil)
+	_ Store   = (*DiskStore)(nil)
+	_ Batcher = (*MemStore)(nil)
 )
 
 // memShards splits the key space to keep lock contention negligible even
@@ -86,6 +107,29 @@ func (s *MemStore) Put(key uint64, value []byte) error {
 	sh.mu.Lock()
 	sh.m[key] = cp
 	sh.mu.Unlock()
+	return nil
+}
+
+// PutMany implements Batcher: it pays the closed-store check once for the
+// whole partition, then applies the writes in order. Concurrent callers
+// are safe — the per-shard locks serialize same-shard collisions — and
+// with key-disjoint partitions the final contents are independent of how
+// callers interleave.
+func (s *MemStore) PutMany(kvs []KV) error {
+	s.mu.RLock()
+	if s.dead {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.mu.RUnlock()
+	for i := range kvs {
+		cp := make([]byte, len(kvs[i].Value))
+		copy(cp, kvs[i].Value)
+		sh := s.shard(kvs[i].Key)
+		sh.mu.Lock()
+		sh.m[kvs[i].Key] = cp
+		sh.mu.Unlock()
+	}
 	return nil
 }
 

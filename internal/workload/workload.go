@@ -184,6 +184,45 @@ func InitTable(st store.Store, cfg Config) error {
 	return nil
 }
 
+// ---- Write-set partitioning ----
+//
+// The workload is write-only over a keyed record table (Section 5.1), so a
+// transaction's write-set is exactly the keys of its operations and is
+// known before execution. That makes conflict-free parallel execution
+// possible: hash-partition the key space into E execution shards, give
+// every shard worker only the operations whose keys it owns, and two
+// workers can never write the same record. Within one shard, operations
+// apply in batch order, so the final state is byte-identical to serial
+// execution regardless of E.
+
+// shardMix is the multiplicative hash spreading keys across execution
+// shards. It must be a fixed constant: every replica must agree on the
+// partition, and a replica must agree with itself across restarts.
+const shardMix = 0x9E3779B97F4A7C15
+
+// ShardOf maps a record key to one of shards execution shards. The hash
+// decorrelates the shard from the Zipfian popularity scramble and from
+// MemStore's internal shard hash, so hot keys spread across execution
+// shards instead of clustering on one.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(((key * shardMix) >> 32) % uint64(shards))
+}
+
+// WriteSet returns the keys txn writes, in operation order — the
+// write-set whose ShardOf partition the execute stage applies (the
+// replica partitions txn.Ops inline to keep the values alongside the
+// keys). Exposed for tests and tooling that predict shard placement.
+func WriteSet(txn *types.Transaction) []uint64 {
+	keys := make([]uint64, len(txn.Ops))
+	for i := range txn.Ops {
+		keys[i] = txn.Ops[i].Key
+	}
+	return keys
+}
+
 // ---- Key generators ----
 
 // UniformGen draws keys uniformly.

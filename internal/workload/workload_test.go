@@ -213,6 +213,70 @@ func TestZipfianTheta(t *testing.T) {
 	}
 }
 
+func TestShardOfStableAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		for key := uint64(0); key < 10_000; key++ {
+			sh := ShardOf(key, shards)
+			if sh < 0 || sh >= shards {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", key, shards, sh)
+			}
+			if sh != ShardOf(key, shards) {
+				t.Fatalf("ShardOf(%d, %d) not stable", key, shards)
+			}
+		}
+	}
+	if ShardOf(42, 0) != 0 || ShardOf(42, 1) != 0 || ShardOf(42, -3) != 0 {
+		t.Fatal("ShardOf must collapse to shard 0 for shards ≤ 1")
+	}
+}
+
+// TestShardOfSpreadsZipfianWrites: the point of the partition hash is that
+// a skewed workload still keeps every execution shard busy — the hot keys
+// must not cluster on one shard.
+func TestShardOfSpreadsZipfianWrites(t *testing.T) {
+	w, err := New(Config{Records: 4096, OpsPerTxn: 4, ValueSize: 8,
+		Distribution: Zipf, Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	counts := make([]int, shards)
+	total := 0
+	for i := 0; i < 500; i++ {
+		txn := w.NextTransaction(1, uint64(i+1))
+		for _, key := range WriteSet(&txn) {
+			counts[ShardOf(key, shards)]++
+			total++
+		}
+	}
+	for sh, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d got no writes: %v", sh, counts)
+		}
+		if c > total/2 {
+			t.Fatalf("shard %d got %d of %d writes — hot keys clustered", sh, c, total)
+		}
+	}
+}
+
+func TestWriteSetMatchesOps(t *testing.T) {
+	w, err := New(Config{Records: 100, OpsPerTxn: 3, ValueSize: 4,
+		Distribution: Uniform, Seed: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := w.NextTransaction(7, 1)
+	keys := WriteSet(&txn)
+	if len(keys) != len(txn.Ops) {
+		t.Fatalf("WriteSet has %d keys for %d ops", len(keys), len(txn.Ops))
+	}
+	for i := range keys {
+		if keys[i] != txn.Ops[i].Key {
+			t.Fatalf("WriteSet[%d] = %d, want %d", i, keys[i], txn.Ops[i].Key)
+		}
+	}
+}
+
 func BenchmarkZipfianNext(b *testing.B) {
 	g := NewZipfian(rand.New(rand.NewSource(1)), 600_000, 0.99)
 	b.ResetTimer()

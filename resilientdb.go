@@ -9,7 +9,8 @@
 //   - A runnable fabric: NewCluster builds an n-replica deployment (PBFT
 //     or Zyzzyva) with closed-loop YCSB clients, either in-process or over
 //     TCP, running the full Figure 6 pipeline — input-threads,
-//     batch-threads, worker, in-order execute-thread, checkpoint-thread,
+//     batch-threads, worker lanes, the in-order execute stage (optionally
+//     fanned across write-set-partitioned shards), checkpoint-thread,
 //     output-threads — with real ED25519/RSA/AES-CMAC authentication, an
 //     in-memory or disk-backed store, and a blockchain ledger.
 //

@@ -1,0 +1,43 @@
+#!/bin/sh
+# check-doc-drift.sh — fail if any command-line flag registered in
+# cmd/*/main.go is missing from the docs/ARCHITECTURE.md knob reference.
+#
+# The knob reference only stays trustworthy if it cannot silently rot:
+# every `flag.Type("name", ...)` registration must appear in the docs as
+# a backticked `-name` cell. Run from the repository root (CI does).
+set -eu
+
+cd "$(dirname "$0")/.."
+docs=docs/ARCHITECTURE.md
+
+if [ ! -f "$docs" ]; then
+    echo "doc drift: $docs does not exist" >&2
+    exit 1
+fi
+
+# Both registration forms: flag.Int("name", ...) and
+# flag.IntVar(&x, "name", ...).
+flags=$({
+    grep -ohE 'flag\.[A-Za-z0-9]+\("[a-zA-Z0-9-]+"' cmd/*/main.go \
+        | sed -E 's/.*\("([^"]+)"$/\1/'
+    grep -ohE 'flag\.[A-Za-z0-9]+Var\([^,]+,[[:space:]]*"[a-zA-Z0-9-]+"' cmd/*/main.go \
+        | sed -E 's/.*"([^"]+)"$/\1/'
+} | sort -u)
+
+if [ -z "$flags" ]; then
+    echo "doc drift: extracted no flags from cmd/*/main.go — the extraction regex has rotted" >&2
+    exit 1
+fi
+
+status=0
+for f in $flags; do
+    if ! grep -q -- "\`-$f\`" "$docs"; then
+        echo "doc drift: flag -$f (cmd/*/main.go) is not documented in $docs" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "doc drift: add the missing flags to the knob reference in $docs" >&2
+fi
+exit $status
