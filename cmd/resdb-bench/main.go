@@ -26,6 +26,13 @@
 // execution-heavy Zipfian write load, reporting throughput plus the
 // per-shard busy split (the evidence that write-set partitioning spreads
 // the last serialized pipeline stage).
+//
+// The diskpipe experiment runs the real pipeline over the three store
+// backends — MemStore, the serial fsync-per-Put DiskStore (the
+// Section 5.7 off-memory contrast), and the sharded group-commit
+// DiskStore with cross-batch execution pipelining — reporting throughput,
+// fsync counts, and fsync-stall time. -store-shards, -store-sync, and
+// -exec-pipeline-depth tune the sharded row.
 package main
 
 import (
@@ -51,6 +58,9 @@ func run() int {
 	netLinger := flag.Duration("net-linger", 0, "tcpbatch: partial-batch flush delay (0 flushes when the queue drains)")
 	workerThreads := flag.Int("worker-threads", 4, "workerscale: largest worker-lane count in the sweep")
 	execShards := flag.Int("execute-shards", 4, "execshards: largest execution-shard count in the sweep")
+	storeShards := flag.Int("store-shards", 0, "diskpipe: append logs for the sharded store (0 aligns with the execution shards)")
+	storeSync := flag.Duration("store-sync", bench.DiskTuning.Sync, "diskpipe: fsync policy (group-commit linger for the sharded store; the serial store fsyncs every Put; 0 disables fsync on both disk rows, isolating the blocking-API cost)")
+	execDepth := flag.Int("exec-pipeline-depth", bench.DiskTuning.Depth, "diskpipe: cross-batch execution pipelining depth for the sharded-store row")
 	flag.Parse()
 
 	bench.TCPTuning.BatchMax = *netBatch
@@ -60,6 +70,15 @@ func run() int {
 	}
 	if *execShards >= 1 {
 		bench.ExecTuning.MaxShards = *execShards
+	}
+	bench.DiskTuning.Shards = *storeShards
+	if *storeSync >= 0 {
+		// 0 is meaningful (no fsync: the pure blocking-API §5.7 shape),
+		// so only negative values fall back to the default linger.
+		bench.DiskTuning.Sync = *storeSync
+	}
+	if *execDepth >= 1 {
+		bench.DiskTuning.Depth = *execDepth
 	}
 
 	if *list {

@@ -28,9 +28,29 @@
 //     single lane (its speculative history is inherently ordered).
 //   - -execute-shards E: apply committed batches on E parallel execution
 //     shards, each owning a hash partition of the key space (write-set
-//     partitioning keeps parallel execution deterministic; a per-batch
-//     barrier preserves batch order). 0 (default) runs the paper's single
-//     execute-thread; -1 folds execution into the worker lanes (0E).
+//     partitioning keeps parallel execution deterministic; in-order batch
+//     retirement preserves batch order). 0 (default) runs the paper's
+//     single execute-thread; -1 folds execution into the worker lanes
+//     (0E).
+//   - -exec-pipeline-depth P: with E > 1, let up to P committed batches
+//     be in flight across the execution shards at once (cross-batch
+//     pipelining; per-shard FIFO keeps conflicting key partitions in
+//     batch order, and ledger appends stay strictly sequential). 1
+//     (default) is the strict per-batch barrier.
+//   - -store-backend mem|disk|sharded: the record store. mem (default)
+//     is the paper's recommended in-memory table; disk is the blocking
+//     serial store of the Section 5.7 off-memory experiment; sharded is
+//     the group-commit store — one append log per shard, recovered
+//     independently after a crash.
+//   - -store-dir D: root directory for the disk backends (default
+//     resdb-data/replica-<id>).
+//   - -store-shards S: append logs for the sharded backend; 0 (default)
+//     aligns S with the execution shard count so each execution shard
+//     streams its write partition to a private log.
+//   - -store-sync D: durability. 0 (default) never fsyncs; with D > 0
+//     the sharded backend group-commits on a D fsync linger (writers
+//     block until a covering fsync) and the serial disk backend fsyncs
+//     every Put.
 //
 // Example 4-replica deployment on one machine:
 //
@@ -46,12 +66,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"resilientdb/internal/crypto"
 	"resilientdb/internal/replica"
+	"resilientdb/internal/store"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
 )
@@ -73,6 +95,22 @@ func knob(v, def int) int {
 	return v
 }
 
+// buildStore constructs the record store selected by -store-backend via
+// the shared store.OpenBackend (the same constructor the in-process
+// cluster uses, so backend semantics cannot drift between deployments).
+func buildStore(backend, dir string, id, shards, execThreads int, syncLinger time.Duration) (store.Store, error) {
+	if dir == "" {
+		dir = filepath.Join("resdb-data", fmt.Sprintf("replica-%d", id))
+	}
+	return store.OpenBackend(store.BackendConfig{
+		Backend:    backend,
+		Dir:        dir,
+		Shards:     shards,
+		ExecShards: execThreads,
+		SyncLinger: syncLinger,
+	})
+}
+
 func run() int {
 	id := flag.Int("id", 0, "replica identifier (0..n-1)")
 	n := flag.Int("n", 4, "number of replicas")
@@ -82,6 +120,11 @@ func run() int {
 	batch := flag.Int("batch", 100, "transactions per consensus batch")
 	batchThreads := flag.Int("batch-threads", 0, "batch-threads B (0 = default 2, -1 folds batching into the worker lanes)")
 	execShards := flag.Int("execute-shards", 0, "execution shards E (0 = default single execute-thread, -1 folds execution into the worker lanes, E > 1 = parallel write-set-partitioned shards)")
+	execDepth := flag.Int("exec-pipeline-depth", 1, "cross-batch execution pipelining depth P (1 = strict per-batch barrier; P > 1 overlaps up to P batches across the execution shards)")
+	storeBackend := flag.String("store-backend", "mem", "record store: mem | disk (serial blocking log) | sharded (group-commit, one log per shard)")
+	storeDir := flag.String("store-dir", "", "root directory for disk-backed stores (default resdb-data/replica-<id>)")
+	storeShards := flag.Int("store-shards", 0, "append logs for the sharded store backend (0 aligns with the execution shard count)")
+	storeSync := flag.Duration("store-sync", 0, "fsync policy: 0 never fsyncs; >0 group-commits the sharded store on this linger (serial disk backend fsyncs every Put)")
 	verifyThreads := flag.Int("verify-threads", 0, "parallel signature-verification workers (0 = default 2, -1 verifies inline on the worker lanes)")
 	workerThreads := flag.Int("worker-threads", 1, "parallel consensus worker lanes (1 = the paper's single worker-thread)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
@@ -132,19 +175,29 @@ func run() int {
 		return 1
 	}
 
+	execThreads := knob(*execShards, 1)
+	st, err := buildStore(*storeBackend, *storeDir, *id, *storeShards, execThreads, *storeSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer st.Close()
+
 	rep, err := replica.New(replica.Config{
-		ID:               types.ReplicaID(*id),
-		N:                *n,
-		Protocol:         proto,
-		BatchSize:        *batch,
-		BatchThreads:     knob(*batchThreads, 2),
-		ExecuteThreads:   knob(*execShards, 1),
-		VerifyThreads:    knob(*verifyThreads, 2),
-		WorkerThreads:    *workerThreads,
-		Directory:        dir,
-		Endpoint:         ep,
-		VerifyClientSigs: true,
-		ViewTimeout:      2 * time.Second,
+		ID:                types.ReplicaID(*id),
+		N:                 *n,
+		Protocol:          proto,
+		BatchSize:         *batch,
+		BatchThreads:      knob(*batchThreads, 2),
+		ExecuteThreads:    execThreads,
+		ExecPipelineDepth: *execDepth,
+		VerifyThreads:     knob(*verifyThreads, 2),
+		WorkerThreads:     *workerThreads,
+		Store:             st,
+		Directory:         dir,
+		Endpoint:          ep,
+		VerifyClientSigs:  true,
+		ViewTimeout:       2 * time.Second,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -163,8 +216,9 @@ func run() int {
 		case <-stop:
 			rep.Stop()
 			s := rep.Stats()
-			fmt.Printf("final: txns=%d batches=%d height=%d view=%d drops=%d\n",
-				s.TxnsExecuted, s.BatchesExecuted, s.LedgerHeight, s.View, s.NetDrops)
+			fmt.Printf("final: txns=%d batches=%d height=%d view=%d drops=%d fsyncs=%d fsync-stall=%s\n",
+				s.TxnsExecuted, s.BatchesExecuted, s.LedgerHeight, s.View, s.NetDrops,
+				s.StoreFsyncs, time.Duration(s.StoreFsyncStallNS))
 			return 0
 		case <-tick.C:
 			s := rep.Stats()

@@ -9,7 +9,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
-		"tcpbatch", "workerscale", "execshards"}
+		"tcpbatch", "workerscale", "execshards", "diskpipe"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -126,6 +126,45 @@ func TestShapeExecShards(t *testing.T) {
 	}
 	if out.Metrics["execshards_min_shard_busy_ns_e4"] <= 0 {
 		t.Fatal("an idle execution shard at E=4: the write-set partition is not spreading work")
+	}
+}
+
+// TestShapeDiskPipe checks the diskpipe invariants rather than exact
+// numbers: the serial fsync-per-Put store must collapse under the load
+// (the Section 5.7 shape), and the sharded group-commit store must
+// measurably narrow that gap — faster than the serial store, with fewer
+// fsyncs per executed transaction.
+func TestShapeDiskPipe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := diskpipe(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := out.Metrics["diskpipe_tput_mem"]
+	disk := out.Metrics["diskpipe_tput_disk_serial"]
+	sharded := out.Metrics["diskpipe_tput_sharded_gc"]
+	if mem <= 0 || disk <= 0 || sharded <= 0 {
+		t.Fatalf("no throughput recorded: mem=%.0f disk=%.0f sharded=%.0f", mem, disk, sharded)
+	}
+	if disk >= mem {
+		t.Fatalf("serial disk store did not cost throughput: %.0f vs mem %.0f", disk, mem)
+	}
+	if sharded < 1.5*disk {
+		t.Fatalf("sharded group commit did not narrow the gap: %.0f vs serial disk %.0f", sharded, disk)
+	}
+	if out.Metrics["diskpipe_gap_closed_pct"] <= 0 {
+		t.Fatalf("gap closed = %.1f%%, want > 0", out.Metrics["diskpipe_gap_closed_pct"])
+	}
+	// Group commit's mechanism: fewer fsyncs per executed transaction.
+	diskRate := out.Metrics["diskpipe_fsyncs_disk_serial"] / disk
+	shardedRate := out.Metrics["diskpipe_fsyncs_sharded_gc"] / sharded
+	if out.Metrics["diskpipe_fsyncs_sharded_gc"] <= 0 {
+		t.Fatal("sharded store never fsynced: group commit is not running")
+	}
+	if shardedRate >= diskRate {
+		t.Fatalf("fsyncs per txn/s: sharded %.3f vs serial %.3f — no amortization", shardedRate, diskRate)
 	}
 }
 

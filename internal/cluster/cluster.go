@@ -3,6 +3,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -43,6 +45,11 @@ type Options struct {
 	OutputThreads  int
 	ReplicaInboxes int
 	VerifyThreads  int
+	// ExecPipelineDepth is the execute stage's cross-batch pipelining
+	// depth (default 1, the strict per-batch barrier; see
+	// replica.Config.ExecPipelineDepth). Only meaningful with
+	// ExecuteThreads > 1.
+	ExecPipelineDepth int
 	// WorkerThreads is W, the number of parallel worker lanes stepping
 	// the consensus engine (default 1, the paper's baseline; see
 	// replica.Config.WorkerThreads). Zyzzyva replicas always run a
@@ -63,9 +70,26 @@ type Options struct {
 	LedgerMode ledger.Mode
 	// DisableOutOfOrder serializes consensus (ablation).
 	DisableOutOfOrder bool
-	// StoreFactory builds each replica's record store; nil means fresh
-	// in-memory stores.
+	// StoreFactory builds each replica's record store; nil means the
+	// StoreBackend knobs below decide.
 	StoreFactory func(id types.ReplicaID) (store.Store, error)
+	// StoreBackend selects the record store when StoreFactory is nil:
+	// "mem" (default) keeps records in memory (the paper's recommended
+	// configuration, Section 6 "Memory Storage"); "disk" is the serial
+	// blocking DiskStore (the Section 5.7 off-memory contrast, fsync per
+	// Put when StoreSync > 0); "sharded" is the sharded group-commit
+	// DiskStore (one append log per shard, fsync linger StoreSync).
+	StoreBackend string
+	// StoreDir is the root directory for disk-backed stores; each replica
+	// gets a replica-<id> subdirectory. Empty means a fresh temp dir.
+	StoreDir string
+	// StoreShards is the sharded backend's log count; 0 aligns it with
+	// ExecuteThreads so each execution shard streams to a private log.
+	StoreShards int
+	// StoreSync enables durability on the disk backends: for "sharded" it
+	// is the group-commit fsync linger; for "disk" any positive value
+	// selects fsync-per-Put. 0 (default) never fsyncs.
+	StoreSync time.Duration
 	// Seed makes key material and workloads reproducible.
 	Seed int64
 	// PreloadTable loads the YCSB table into every store before starting.
@@ -115,6 +139,19 @@ func (o *Options) fill() error {
 	if o.WorkerThreads < 1 {
 		o.WorkerThreads = 1 // single worker lane, the paper's baseline
 	}
+	if o.ExecPipelineDepth < 1 {
+		o.ExecPipelineDepth = 1 // strict per-batch barrier, the baseline
+	}
+	switch o.StoreBackend {
+	case "":
+		o.StoreBackend = "mem"
+	case "mem", "disk", "sharded":
+	default:
+		return fmt.Errorf("cluster: unknown store backend %q (want mem|disk|sharded)", o.StoreBackend)
+	}
+	if o.StoreSync < 0 {
+		return fmt.Errorf("cluster: negative store sync linger %v", o.StoreSync)
+	}
 	if o.Crypto.ReplicaScheme == 0 {
 		o.Crypto = crypto.Recommended()
 	}
@@ -160,6 +197,55 @@ type Cluster struct {
 	replicas []*replica.Replica
 	clients  []*Client
 	clientEP []transport.Endpoint
+
+	// Stores the cluster built itself (StoreBackend path) are closed on
+	// Stop; externally provided stores (StoreFactory) are the caller's.
+	ownedStores []store.Store
+	// tmpStoreDir is the auto-created root for disk-backed stores when
+	// StoreDir was empty; removed on Stop.
+	tmpStoreDir string
+}
+
+// buildStore constructs one replica's record store from the StoreBackend
+// knobs (StoreFactory == nil path) via the shared store.OpenBackend.
+func (c *Cluster) buildStore(id types.ReplicaID) (store.Store, error) {
+	o := &c.opts
+	dir := ""
+	if o.StoreBackend == "disk" || o.StoreBackend == "sharded" {
+		root := o.StoreDir
+		if root == "" {
+			if c.tmpStoreDir == "" {
+				tmp, err := os.MkdirTemp("", "resdb-store-")
+				if err != nil {
+					return nil, fmt.Errorf("cluster: temp store dir: %w", err)
+				}
+				c.tmpStoreDir = tmp
+			}
+			root = c.tmpStoreDir
+		}
+		dir = filepath.Join(root, fmt.Sprintf("replica-%d", id))
+	}
+	return store.OpenBackend(store.BackendConfig{
+		Backend:     o.StoreBackend,
+		Dir:         dir,
+		Shards:      o.StoreShards,
+		ExecShards:  o.ExecuteThreads,
+		SyncLinger:  o.StoreSync,
+		MemSizeHint: int(o.Workload.Records),
+	})
+}
+
+// closeOwnedStores releases the stores the cluster built itself and the
+// auto-created store directory; Stop and failed New calls both use it.
+func (c *Cluster) closeOwnedStores() {
+	for _, st := range c.ownedStores {
+		_ = st.Close()
+	}
+	c.ownedStores = nil
+	if c.tmpStoreDir != "" {
+		_ = os.RemoveAll(c.tmpStoreDir)
+		c.tmpStoreDir = ""
+	}
 }
 
 // New builds a cluster; call Start before Run.
@@ -176,6 +262,14 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{opts: opts, net: transport.NewInproc(), dir: dir}
+	// A failed construction must not leak the stores (open fds, running
+	// group-commit goroutines) or the temp dir built for earlier replicas.
+	built := false
+	defer func() {
+		if !built {
+			c.closeOwnedStores()
+		}
+	}()
 
 	for i := 0; i < opts.N; i++ {
 		id := types.ReplicaID(i)
@@ -186,7 +280,11 @@ func New(opts Options) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: store for replica %d: %w", i, err)
 			}
 		} else {
-			st = store.NewMemStore(int(opts.Workload.Records))
+			st, err = c.buildStore(id)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: store for replica %d: %w", i, err)
+			}
+			c.ownedStores = append(c.ownedStores, st)
 		}
 		if opts.PreloadTable {
 			if err := workload.InitTable(st, opts.Workload); err != nil {
@@ -205,6 +303,7 @@ func New(opts Options) (*Cluster, error) {
 			ReplicaInboxes:     opts.ReplicaInboxes,
 			VerifyThreads:      opts.VerifyThreads,
 			WorkerThreads:      opts.WorkerThreads,
+			ExecPipelineDepth:  opts.ExecPipelineDepth,
 			CheckpointInterval: opts.CheckpointInterval,
 			LedgerMode:         opts.LedgerMode,
 			Store:              st,
@@ -247,6 +346,7 @@ func New(opts Options) (*Cluster, error) {
 		c.clients = append(c.clients, cl)
 		c.clientEP = append(c.clientEP, ep)
 	}
+	built = true
 	return c, nil
 }
 
@@ -372,7 +472,10 @@ func (c *Cluster) VerifyLedgers(live func(int) bool) error {
 	return nil
 }
 
-// Stop shuts down replicas and client endpoints.
+// Stop shuts down replicas and client endpoints, closes the stores the
+// cluster built itself (flushing any pending group commit), and removes
+// the auto-created store directory. Externally provided stores
+// (StoreFactory) are left to their owner.
 func (c *Cluster) Stop() {
 	for _, r := range c.replicas {
 		r.Stop()
@@ -380,4 +483,5 @@ func (c *Cluster) Stop() {
 	for _, ep := range c.clientEP {
 		ep.Close()
 	}
+	c.closeOwnedStores()
 }

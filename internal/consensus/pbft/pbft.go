@@ -16,12 +16,15 @@
 // The engine implements consensus.ConcurrentStepper: independent
 // instances may be stepped from many worker lanes at once. Internally the
 // state splits into a small single-lock control core — view, watermarks,
-// checkpoint votes, view-change state — and the per-sequence instance
-// table, which is lock-striped by sequence number. Per-sequence message
+// view-change state — plus two lock-striped side tables: the per-sequence
+// instance table and the checkpoint vote table. Per-sequence message
 // steps (pre-prepare, prepare, commit) take the control lock in read mode
 // plus one stripe lock, so steps for different sequence numbers run fully
-// in parallel; control transitions (proposals, checkpoint stabilization,
-// view changes) take the control lock in write mode, which excludes every
+// in parallel; checkpoint votes record under the read lock too, escalating
+// to the write lock only when a vote completes a quorum; proposals run
+// entirely under the read lock, reserving sequence numbers by CAS (the
+// Propose fast path). Control transitions (checkpoint stabilization, view
+// changes) take the control lock in write mode, which excludes every
 // in-flight step. Observers (View, IsPrimary, Stats) read atomic mirrors
 // and never contend with consensus.
 package pbft
@@ -112,6 +115,67 @@ func (s *stripe) inst(seq types.SeqNum) *instance {
 	return in
 }
 
+// ckptStripes shards the checkpoint vote table. Checkpoints are generated
+// every Δ batches, so few sequence numbers are ever live at once; a small
+// stripe count removes cross-checkpoint contention without bloat.
+const ckptStripes = 8 // must be a power of two
+
+// ckptTable is the checkpoint vote table (seq → digest → voters), striped
+// by sequence number under its own locks so vote recording runs off the
+// engine's control RWMutex. Lock order: a ckptTable stripe lock only ever
+// nests inside the control lock (in either mode) and is never held
+// together with an instance stripe lock.
+type ckptTable struct {
+	stripes [ckptStripes]struct {
+		mu    sync.Mutex
+		votes map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool
+	}
+}
+
+func (c *ckptTable) stripeFor(seq types.SeqNum) *struct {
+	mu    sync.Mutex
+	votes map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool
+} {
+	return &c.stripes[uint64(seq)&(ckptStripes-1)]
+}
+
+// record adds one checkpoint vote and returns the resulting voter count
+// for (seq, digest). Duplicate votes are idempotent.
+func (c *ckptTable) record(seq types.SeqNum, digest types.Digest, from types.ReplicaID) int {
+	s := c.stripeFor(seq)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.votes == nil {
+		s.votes = make(map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool)
+	}
+	bySeq, ok := s.votes[seq]
+	if !ok {
+		bySeq = make(map[types.Digest]map[types.ReplicaID]bool)
+		s.votes[seq] = bySeq
+	}
+	voters, ok := bySeq[digest]
+	if !ok {
+		voters = make(map[types.ReplicaID]bool)
+		bySeq[digest] = voters
+	}
+	voters[from] = true
+	return len(voters)
+}
+
+// prune garbage-collects votes at or below target.
+func (c *ckptTable) prune(target types.SeqNum) {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for seq := range s.votes {
+			if seq <= target {
+				delete(s.votes, seq)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Engine is a PBFT replica state machine, safe for concurrent stepping of
 // independent instances; see the package comment for the locking design.
 type Engine struct {
@@ -126,7 +190,13 @@ type Engine struct {
 	mu   sync.RWMutex
 	view types.View
 
-	nextSeq  types.SeqNum // last proposed sequence number (primary)
+	// nextSeq is the last proposed sequence number (primary). Unlike the
+	// rest of the control core it is an atomic: the Propose fast path
+	// reserves sequence numbers by CAS under the *read* lock, so
+	// batch-threads proposing concurrently never serialize on the control
+	// write lock. View transitions and watermark advances store it under
+	// the write lock, which excludes every CAS-ing reader.
+	nextSeq  atomic.Uint64
 	lowWater types.SeqNum // last locally-adopted stable checkpoint
 
 	// executedSeq is the highest locally executed sequence number;
@@ -137,8 +207,12 @@ type Engine struct {
 	executedSeq  types.SeqNum
 	quorumStable types.SeqNum
 
-	// Checkpoint votes: seq → digest → voters.
-	checkpoints map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool
+	// Checkpoint votes live in their own lock-striped table so that
+	// recording a vote — the common case: most checkpoint messages do not
+	// complete a quorum — runs under the control *read* lock, concurrent
+	// with instance stepping. Only a vote that completes a quorum
+	// escalates to the write lock to advance the watermark.
+	ckpts ckptTable
 
 	// View change state.
 	inViewChange bool
@@ -172,7 +246,6 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:         cfg,
 		f:           consensus.MaxFaults(cfg.N),
-		checkpoints: make(map[types.SeqNum]map[types.Digest]map[types.ReplicaID]bool),
 		viewChanges: make(map[types.View]map[types.ReplicaID]*types.ViewChange),
 	}
 	for i := range e.stripes {
@@ -241,17 +314,31 @@ func (e *Engine) stripeFor(seq types.SeqNum) *stripe {
 // to the batch and broadcasts the pre-prepare. A nil return with no side
 // effects means the engine refused (not primary, mid view change, or
 // window full) and the caller should retry later.
+//
+// This is the fast path off the control write lock: when view and
+// watermark state are unchanged — the steady state — the whole proposal
+// runs under the read lock, reserving the sequence number by CAS, so
+// concurrent batch-threads neither serialize on each other nor stall
+// every in-flight instance step the way a write-lock acquisition would.
+// View changes and watermark advances still exclude proposals entirely
+// (they hold the write lock while mutating nextSeq).
 func (e *Engine) Propose(reqs []types.ClientRequest) []consensus.Action {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if !e.isPrimaryLocked() {
 		return nil
 	}
-	seq := e.nextSeq + 1
-	if !e.inWindow(seq) {
-		return nil
+	var seq types.SeqNum
+	for {
+		cur := e.nextSeq.Load()
+		seq = types.SeqNum(cur + 1)
+		if !e.inWindow(seq) {
+			return nil
+		}
+		if e.nextSeq.CompareAndSwap(cur, cur+1) {
+			break // reserved; no return path below abandons the number
+		}
 	}
-	e.nextSeq = seq
 	e.stats.Proposed.Add(1)
 
 	pp := &types.PrePrepare{
@@ -295,8 +382,6 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message, auth []byte) []
 		defer e.mu.RUnlock()
 		return e.onCommit(rep, m, auth)
 	case *types.Checkpoint:
-		e.mu.Lock()
-		defer e.mu.Unlock()
 		return e.onCheckpoint(rep, m)
 	case *types.ViewChange:
 		e.mu.Lock()
@@ -488,30 +573,41 @@ func (e *Engine) OnExecuted(seq types.SeqNum, stateDigest types.Digest) []consen
 	return append([]consensus.Action{consensus.Broadcast{Msg: cp}}, acts...)
 }
 
+// onCheckpoint takes the locks itself: the common case — a vote that does
+// not complete a quorum — records under the control read lock plus a vote
+// stripe, fully concurrent with instance stepping and proposals. Only a
+// quorum-completing vote escalates to the write lock.
 func (e *Engine) onCheckpoint(from types.ReplicaID, m *types.Checkpoint) []consensus.Action {
 	if m.Replica != from {
 		e.stats.Dropped.Add(1)
 		return nil
 	}
+	e.mu.RLock()
+	stale := m.Seq <= e.lowWater
+	quorum := false
+	if !stale {
+		quorum = e.ckpts.record(m.Seq, m.StateDigest, from) >= consensus.Quorum2f1(e.cfg.N)
+	}
+	e.mu.RUnlock()
+	if stale || !quorum {
+		return nil // already stable, or not yet a quorum
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Re-recording under the write lock is idempotent; a concurrent
+	// stabilization of the same (or a newer) checkpoint makes the advance
+	// below a no-op.
 	return e.recordCheckpoint(from, m)
 }
 
+// recordCheckpoint runs under the write lock: record the vote and, on
+// quorum, advance the low watermark. OnExecuted (which already holds the
+// write lock for executedSeq) calls it directly for the local vote.
 func (e *Engine) recordCheckpoint(from types.ReplicaID, m *types.Checkpoint) []consensus.Action {
 	if m.Seq <= e.lowWater {
 		return nil // already stable
 	}
-	bySeq, ok := e.checkpoints[m.Seq]
-	if !ok {
-		bySeq = make(map[types.Digest]map[types.ReplicaID]bool)
-		e.checkpoints[m.Seq] = bySeq
-	}
-	voters, ok := bySeq[m.StateDigest]
-	if !ok {
-		voters = make(map[types.ReplicaID]bool)
-		bySeq[m.StateDigest] = voters
-	}
-	voters[from] = true
-	if len(voters) < consensus.Quorum2f1(e.cfg.N) {
+	if e.ckpts.record(m.Seq, m.StateDigest, from) < consensus.Quorum2f1(e.cfg.N) {
 		return nil
 	}
 	if m.Seq > e.quorumStable {
@@ -545,14 +641,10 @@ func (e *Engine) advanceLowWater() []consensus.Action {
 		}
 		s.mu.Unlock()
 	}
-	for seq := range e.checkpoints {
-		if seq <= target {
-			delete(e.checkpoints, seq)
-		}
-	}
-	if e.nextSeq < target {
+	e.ckpts.prune(target)
+	if types.SeqNum(e.nextSeq.Load()) < target {
 		// A lagging former primary must not re-propose old numbers.
-		e.nextSeq = target
+		e.nextSeq.Store(uint64(target))
 	}
 	return []consensus.Action{consensus.CheckpointStable{Seq: target}}
 }
@@ -772,11 +864,11 @@ func (e *Engine) enterNewView(nv *types.NewView) []consensus.Action {
 			in.requests = pp.Requests
 			s.mu.Unlock()
 		}
-		if e.nextSeq < maxSeq {
-			e.nextSeq = maxSeq
+		if types.SeqNum(e.nextSeq.Load()) < maxSeq {
+			e.nextSeq.Store(uint64(maxSeq))
 		}
-		if e.nextSeq < e.lowWater {
-			e.nextSeq = e.lowWater
+		if types.SeqNum(e.nextSeq.Load()) < e.lowWater {
+			e.nextSeq.Store(uint64(e.lowWater))
 		}
 	}
 	e.refreshMirrors()

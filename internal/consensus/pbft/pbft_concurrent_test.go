@@ -154,6 +154,136 @@ func TestConcurrentStepping(t *testing.T) {
 	}
 }
 
+// TestConcurrentCheckpointVotes hammers the striped checkpoint vote table
+// from many goroutines at once — every replica's votes for many
+// checkpoint sequences, interleaved with local OnExecuted reports and
+// prepare-step read-lock traffic. Under -race this exercises the
+// read-locked vote-recording fast path against the write-locked
+// stabilization escalation; functionally the low watermark must reach the
+// newest fully-voted checkpoint and the vote table must be pruned behind
+// it.
+func TestConcurrentCheckpointVotes(t *testing.T) {
+	const (
+		interval = 4
+		ckpts    = 50 // checkpoint sequences: 4, 8, ..., 200
+	)
+	e, err := New(Config{ID: 1, N: 4, CheckpointInterval: interval, WatermarkWindow: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := types.Digest{7}
+
+	var wg sync.WaitGroup
+	// Local execution reports, in order (the execute-thread contract).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 1; s <= ckpts*interval; s++ {
+			e.OnExecuted(types.SeqNum(s), digest)
+		}
+	}()
+	// Peer votes: one goroutine per replica, each voting on every
+	// checkpoint sequence; every (seq, digest) pair eventually has votes
+	// from replicas 0, 2, 3 plus the local OnExecuted vote.
+	for _, rep := range []types.ReplicaID{0, 2, 3} {
+		wg.Add(1)
+		go func(rep types.ReplicaID) {
+			defer wg.Done()
+			for c := 1; c <= ckpts; c++ {
+				cp := &types.Checkpoint{Seq: types.SeqNum(c * interval), StateDigest: digest, Replica: rep}
+				e.OnMessage(types.ReplicaNode(rep), cp, nil)
+			}
+		}(rep)
+	}
+	// Read-lock chatter: prepare steps for unrelated sequence numbers keep
+	// the control read lock hot while votes record and escalate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 1; s <= 200; s++ {
+			p := &types.Prepare{View: 0, Seq: types.SeqNum(s), Digest: types.Digest{1}, Replica: 2}
+			e.OnMessage(types.ReplicaNode(2), p, nil)
+		}
+	}()
+	wg.Wait()
+
+	if lw := e.LowWatermark(); lw != types.SeqNum(ckpts*interval) {
+		t.Fatalf("low watermark = %d, want %d", lw, ckpts*interval)
+	}
+	if got := e.Stats().Checkpoints; got == 0 {
+		t.Fatal("no checkpoint counted as stable")
+	}
+	// The vote table must be pruned behind the watermark: a late stale
+	// vote must neither resurrect state nor advance anything.
+	if acts := e.OnMessage(types.ReplicaNode(0), &types.Checkpoint{Seq: interval, StateDigest: digest, Replica: 0}, nil); len(acts) != 0 {
+		t.Fatalf("stale checkpoint vote produced %d actions", len(acts))
+	}
+}
+
+// TestConcurrentProposeFastPath drives Propose from several goroutines at
+// once — the multi-batch-thread primary — racing prepare/commit stepping
+// and checkpoint stabilization. The CAS fast path must hand out dense,
+// unique sequence numbers with no gaps (a reserved number is always
+// proposed) and no write-lock serialization.
+func TestConcurrentProposeFastPath(t *testing.T) {
+	const (
+		proposers = 4
+		perP      = 50
+	)
+	e, err := New(Config{ID: 0, N: 4, CheckpointInterval: 1 << 20, WatermarkWindow: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[types.SeqNum]types.Digest)
+	var wg sync.WaitGroup
+	for p := 0; p < proposers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				req := types.ClientRequest{Client: types.ClientID(p), FirstSeq: uint64(i + 1)}
+				acts := e.Propose([]types.ClientRequest{req})
+				if len(acts) != 1 {
+					t.Errorf("proposer %d: got %d actions", p, len(acts))
+					return
+				}
+				pp := acts[0].(consensus.Broadcast).Msg.(*types.PrePrepare)
+				mu.Lock()
+				if _, dup := seen[pp.Seq]; dup {
+					t.Errorf("sequence %d assigned twice", pp.Seq)
+				}
+				seen[pp.Seq] = pp.Digest
+				mu.Unlock()
+			}
+		}(p)
+	}
+	// Concurrent stepping on the same engine: prepares for already-created
+	// instances race the proposers' stripe writes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 1; s <= proposers*perP; s++ {
+			p := &types.Prepare{View: 0, Seq: types.SeqNum(s), Digest: types.Digest{9}, Replica: 2}
+			e.OnMessage(types.ReplicaNode(2), p, nil)
+		}
+	}()
+	wg.Wait()
+
+	if len(seen) != proposers*perP {
+		t.Fatalf("assigned %d distinct sequence numbers, want %d", len(seen), proposers*perP)
+	}
+	// Dense: exactly 1..proposers*perP, no holes from abandoned CAS wins.
+	for s := 1; s <= proposers*perP; s++ {
+		if _, ok := seen[types.SeqNum(s)]; !ok {
+			t.Fatalf("sequence %d never proposed (hole)", s)
+		}
+	}
+	if got := e.Stats().Proposed; got != proposers*perP {
+		t.Fatalf("stats.Proposed = %d, want %d", got, proposers*perP)
+	}
+}
+
 // TestConcurrentViewChange races a view change against in-flight prepare
 // traffic: stale-view messages may land before or after the transition,
 // but the engine must end in the new view with a consistent primary

@@ -84,6 +84,28 @@ func (o *InOrder[T]) Next() (uint64, T, bool) {
 	}
 }
 
+// TryNext is the non-blocking form of Next: it returns the item for the
+// next in-order sequence number if it has already been offered and
+// reports false otherwise. The pipelined execute coordinator polls it to
+// decide between staging new work and retiring in-flight work; like Next
+// it is safe for a single consumer interleaving both calls.
+func (o *InOrder[T]) TryNext() (uint64, T, bool) {
+	o.mu.Lock()
+	seq := o.next
+	slot := o.slots[seq%uint64(len(o.slots))]
+	o.mu.Unlock()
+	var zero T
+	select {
+	case v := <-slot:
+		o.mu.Lock()
+		o.next = seq + 1
+		o.mu.Unlock()
+		return seq, v, true
+	default:
+		return 0, zero, false
+	}
+}
+
 // NextSeq returns the sequence number Next will deliver.
 func (o *InOrder[T]) NextSeq() uint64 {
 	o.mu.Lock()

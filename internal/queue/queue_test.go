@@ -248,6 +248,37 @@ func TestInOrderRandomCompletionProperty(t *testing.T) {
 	}
 }
 
+// TestInOrderTryNext: the non-blocking poll must deliver only the next
+// in-order item — never an out-of-order one — and interleave correctly
+// with blocking Next calls from the same consumer.
+func TestInOrderTryNext(t *testing.T) {
+	o := NewInOrder[int](16, 0)
+	if _, _, ok := o.TryNext(); ok {
+		t.Fatal("TryNext on empty returned ok")
+	}
+	o.Offer(1, 10) // out of order: seq 0 not offered yet
+	if _, _, ok := o.TryNext(); ok {
+		t.Fatal("TryNext delivered out-of-order seq 1")
+	}
+	o.Offer(0, 0)
+	seq, v, ok := o.TryNext()
+	if !ok || seq != 0 || v != 0 {
+		t.Fatalf("TryNext = (%d,%d,%v), want (0,0,true)", seq, v, ok)
+	}
+	// Seq 1 is now the in-order head; blocking Next must pick it up.
+	seq, v, ok = o.Next()
+	if !ok || seq != 1 || v != 10 {
+		t.Fatalf("Next = (%d,%d,%v), want (1,10,true)", seq, v, ok)
+	}
+	if _, _, ok := o.TryNext(); ok {
+		t.Fatal("TryNext returned ok with nothing pending")
+	}
+	o.Close()
+	if _, _, ok := o.TryNext(); ok {
+		t.Fatal("TryNext returned ok after Close with empty slot")
+	}
+}
+
 func TestInOrderStartOffset(t *testing.T) {
 	o := NewInOrder[string](8, 100)
 	if o.NextSeq() != 100 {

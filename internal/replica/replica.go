@@ -19,9 +19,11 @@
 //     slots, Section 4.6): one coordinating execute-thread that, with
 //     ExecuteThreads E > 1, hash-partitions each committed batch's
 //     write-set across E shard workers applying their partitions to the
-//     store concurrently (a per-batch barrier keeps batch-order
-//     semantics), then appends the block to the ledger and answers
-//     clients;
+//     store concurrently, then retires batches strictly in order (ledger
+//     append, checkpoint digest, client responses). ExecPipelineDepth
+//     P > 1 relaxes the per-batch barrier into cross-batch pipelining:
+//     up to P batches in flight, with per-shard FIFO queues keeping
+//     conflicting key partitions in batch order;
 //   - one checkpoint-thread processing checkpoint traffic (Section 4.7);
 //   - OutputThreads output-threads transmitting signed envelopes
 //     (Section 4.1).
@@ -96,15 +98,28 @@ type Config struct {
 	// the execute stage keeps its single in-order coordinator but
 	// hash-partitions each committed batch's write-set by key across E
 	// shard workers that apply their partitions to the store concurrently.
-	// A per-batch barrier preserves batch-order semantics — batch k+1
-	// never starts before batch k finishes — and because one key always
-	// maps to the same shard and each shard applies its writes in batch
-	// order, the ledger, checkpoint digests, and final store state are
+	// Batches retire strictly in order (by default behind a per-batch
+	// barrier; see ExecPipelineDepth), and because one key always maps to
+	// the same shard and each shard applies its writes in batch order,
+	// the ledger, checkpoint digests, and final store state are
 	// byte-identical to serial execution. (The paper warns that arbitrary
 	// multi-threaded execution causes data conflicts, Section 6
 	// "Threading and Pipelining"; write-set partitioning is what makes
 	// E > 1 conflict-free here.)
 	ExecuteThreads int
+	// ExecPipelineDepth relaxes the execute stage's per-batch barrier into
+	// cross-batch pipelining (only meaningful with ExecuteThreads > 1;
+	// default 1, the strict barrier). With depth P > 1 the coordinator may
+	// fan out the write partitions of up to P committed batches before
+	// waiting on the oldest batch's barrier. Because each shard worker
+	// drains its queue in FIFO order and one key always maps to one shard,
+	// a later batch's partition for shard s queues behind an earlier
+	// batch's partition for the same shard — conflicting shards stay
+	// ordered — while shards the earlier batch did not touch start
+	// immediately. Ledger appends, checkpoint digests, and client
+	// responses are still emitted strictly in sequence order at retire
+	// time, so the result remains byte-identical to serial execution.
+	ExecPipelineDepth int
 	// OutputThreads is the number of transmitting threads (default 2).
 	OutputThreads int
 	// WorkerThreads is W: the number of parallel worker lanes stepping
@@ -171,6 +186,12 @@ func (c *Config) fill() error {
 	}
 	if c.BatchThreads < 0 {
 		return fmt.Errorf("replica: negative BatchThreads")
+	}
+	if c.ExecPipelineDepth < 0 {
+		return fmt.Errorf("replica: negative ExecPipelineDepth (1 is the strict per-batch barrier, P > 1 pipelines up to P batches across the execution shards)")
+	}
+	if c.ExecPipelineDepth == 0 {
+		c.ExecPipelineDepth = 1
 	}
 	if c.VerifyThreads < 0 {
 		return fmt.Errorf("replica: negative VerifyThreads")
@@ -291,6 +312,21 @@ type Stats struct {
 	// (partitioning plus the barrier wait), so shard busy vs coordinator
 	// wall time is the parallelism evidence on few-core machines.
 	ExecShardBusyNS []uint64
+	// ExecPipelineDepth is the effective cross-batch pipelining depth (1 =
+	// the strict per-batch barrier).
+	ExecPipelineDepth int
+	// StoreFsyncs and StoreFsyncStallNS surface the durable store's
+	// group-commit accounting (zero for stores without fsync, e.g.
+	// MemStore): how many fsyncs the store issued and how long writers
+	// cumulatively stalled waiting for one. The diskpipe bench reads these
+	// to show what group commit buys over per-op fsync.
+	StoreFsyncs       uint64
+	StoreFsyncStallNS uint64
+	// StoreWriteFailures counts execute-stage writes the store rejected
+	// (full disk, failed fsync, closed store). Any nonzero value means
+	// store state may have diverged from the ledger — the durable-store
+	// analogue of the evidence counter.
+	StoreWriteFailures uint64
 }
 
 // workItem is the union flowing into the worker lanes: either a decoded
@@ -321,12 +357,23 @@ type execItem struct {
 }
 
 // execShardJob is one shard's write partition of a committed batch. The
-// coordinator owns the kvs slice and reuses it next batch, which is safe
-// because done.Done() is the worker's last touch of the job and the
-// coordinator waits on done before rebuilding partitions.
+// kvs slice belongs to the batch's partition-buffer set, which is only
+// recycled (via partsFree) after the batch's barrier completed; done.Done
+// is the worker's last touch of the job, so the buffers are never rebuilt
+// while a worker still reads them.
 type execShardJob struct {
 	kvs  []store.KV
 	done *sync.WaitGroup
+}
+
+// inflightExec is one committed batch mid-pipeline: its write partitions
+// are fanned out to the shard workers, its barrier (done) not yet waited.
+// The coordinator retires in-flight batches strictly in sequence order.
+type inflightExec struct {
+	act      consensus.Execute
+	txnCount uint32
+	done     sync.WaitGroup
+	parts    [][]store.KV // owned partition buffers; recycled at retire
 }
 
 // Replica is a runnable pipelined replica.
@@ -348,14 +395,17 @@ type Replica struct {
 
 	// Execution sharding (ExecuteThreads > 1): execShards workers each
 	// own one hash partition of the key space; the coordinating
-	// execute-thread fans a batch's writes out over shardQs and waits on
-	// a per-batch barrier. execParts are the coordinator-owned partition
-	// buffers, reused across batches. execBatch caches whether the store
-	// supports the batched apply path.
+	// execute-thread fans a batch's writes out over shardQs and retires
+	// batches strictly in order. execDepth is the cross-batch pipelining
+	// depth (1 = strict per-batch barrier); partsFree recycles execDepth
+	// sets of coordinator-owned partition buffers, so a batch's buffers
+	// are only reused after its barrier completed. execBatch caches
+	// whether the store supports the batched apply path.
 	execShards int
+	execDepth  int
 	shardQs    []chan execShardJob
 	shardWg    sync.WaitGroup
-	execParts  [][]store.KV
+	partsFree  chan [][]store.KV
 	execBatch  store.Batcher
 
 	batchQ *queue.MPMC[*types.ClientRequest]
@@ -424,6 +474,7 @@ type Replica struct {
 	msgsOut         atomic.Uint64
 	authFailures    atomic.Uint64
 	decodeFailures  atomic.Uint64
+	storeFailures   atomic.Uint64
 	busyNS          [stageCount]atomic.Uint64
 	laneBusyNS      []atomic.Uint64
 	shardBusyNS     []atomic.Uint64
@@ -493,15 +544,23 @@ func New(cfg Config) (*Replica, error) {
 		r.workQs[i] = make(chan workItem, 1<<13)
 	}
 	r.laneBusyNS = make([]atomic.Uint64, lanes)
+	r.execDepth = 1
 	if cfg.ExecuteThreads > 1 {
 		r.execShards = cfg.ExecuteThreads
-		// Capacity 1 suffices: the per-batch barrier means a shard never
-		// has more than one outstanding job.
+		// Pipelining depth only exists for the sharded execute stage: with
+		// a serial executor there are no shard workers to overlap.
+		r.execDepth = cfg.ExecPipelineDepth
+		// A shard can hold one outstanding job per in-flight batch; sizing
+		// the queue to the depth keeps the coordinator from blocking on
+		// fan-out (blocking would only be backpressure, not a bug).
 		r.shardQs = make([]chan execShardJob, r.execShards)
 		for i := range r.shardQs {
-			r.shardQs[i] = make(chan execShardJob, 1)
+			r.shardQs[i] = make(chan execShardJob, r.execDepth)
 		}
-		r.execParts = make([][]store.KV, r.execShards)
+		r.partsFree = make(chan [][]store.KV, r.execDepth)
+		for i := 0; i < r.execDepth; i++ {
+			r.partsFree <- make([][]store.KV, r.execShards)
+		}
 		r.shardBusyNS = make([]atomic.Uint64, r.execShards)
 		if b, ok := st.(store.Batcher); ok {
 			r.execBatch = b
@@ -566,6 +625,13 @@ func (r *Replica) Stats() Stats {
 	s.ExecShardBusyNS = make([]uint64, r.execShards)
 	for i := range s.ExecShardBusyNS {
 		s.ExecShardBusyNS[i] = r.shardBusyNS[i].Load()
+	}
+	s.ExecPipelineDepth = r.execDepth
+	s.StoreWriteFailures = r.storeFailures.Load()
+	if ss, ok := r.store.(store.SyncStatser); ok {
+		sy := ss.SyncStats()
+		s.StoreFsyncs = sy.Fsyncs
+		s.StoreFsyncStallNS = sy.FsyncStallNS
 	}
 	return s
 }

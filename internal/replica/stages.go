@@ -1,7 +1,6 @@
 package replica
 
 import (
-	"sync"
 	"time"
 
 	"resilientdb/internal/consensus"
@@ -440,41 +439,101 @@ func (r *Replica) inlineExecute(act consensus.Execute) {
 
 // ---- Execute stage (Section 4.6) ----
 
+// executeLoop is the coordinating execute-thread. It drains the in-order
+// queue strictly by sequence number and, with ExecPipelineDepth P > 1,
+// keeps up to P committed batches in flight across the execution shards:
+// batch k+1's partitions are fanned out before batch k's barrier is
+// waited. Per-shard FIFO queues are the conflict mechanism — a later
+// batch's partition for shard s queues behind an earlier batch's job on
+// the same shard, so conflicting (same-shard) key partitions stay in
+// batch order, while shards the earlier batch left idle start on the new
+// batch immediately. Retirement (barrier wait, ledger append, checkpoint
+// digest, client responses) always happens in sequence order, which is
+// what keeps the ledger and checkpoint digests byte-identical to serial
+// execution.
 func (r *Replica) executeLoop() {
 	defer r.execWg.Done()
+	if r.execDepth <= 1 {
+		for {
+			_, item, ok := r.execIn.Next()
+			if !ok {
+				return
+			}
+			t0 := time.Now()
+			r.executeBatch(item.act)
+			r.addBusy(StageExecute, time.Since(t0))
+		}
+	}
+	var inflight []*inflightExec
+	retireOldest := func() {
+		b := inflight[0]
+		inflight = inflight[1:]
+		t0 := time.Now()
+		r.retireBatch(b)
+		r.addBusy(StageExecute, time.Since(t0))
+	}
 	for {
-		_, item, ok := r.execIn.Next()
-		if !ok {
-			return
+		var item execItem
+		if len(inflight) == 0 {
+			_, it, ok := r.execIn.Next()
+			if !ok {
+				break
+			}
+			item = it
+		} else if _, it, ok := r.execIn.TryNext(); ok {
+			item = it
+		} else {
+			// Nothing new is ready: retire the oldest in-flight batch
+			// rather than sitting on completed work — the overlap window
+			// only stays open while there is a backlog to overlap with.
+			// This is also what bounds response latency at depth > 1.
+			retireOldest()
+			continue
 		}
 		t0 := time.Now()
-		r.executeBatch(item.act)
+		inflight = append(inflight, r.stageBatch(item.act))
 		r.addBusy(StageExecute, time.Since(t0))
+		for len(inflight) >= r.execDepth {
+			retireOldest()
+		}
+	}
+	// Shutdown: drain the in-flight window so every accepted batch still
+	// reaches the ledger and its clients.
+	for len(inflight) > 0 {
+		retireOldest()
 	}
 }
 
-// executeBatch applies one committed batch: transactions hit the store —
-// serially on the coordinator, or hash-partitioned by key across the
-// execution shards (ExecuteThreads > 1) — the block joins the ledger, the
-// engine learns about the execution (driving checkpoints), and every
-// client gets its response.
+// executeBatch applies one committed batch with the strict per-batch
+// barrier: stage (dedup, partition, fan-out or serial apply) then retire
+// (barrier, ledger, checkpoint, responses) back to back. The 0E inline
+// path and the depth-1 execute-thread both use it.
 //
 // The sharded path is deterministic: per-client dedup runs on the
 // coordinator before fan-out, one key always maps to the same shard
 // (workload.ShardOf), each shard applies its partition in batch order, and
-// the barrier below keeps whole batches ordered. So the store contents,
+// in-order retirement keeps whole batches ordered. So the store contents,
 // ledger, and checkpoint digests are byte-identical to serial execution.
 func (r *Replica) executeBatch(act consensus.Execute) {
+	r.retireBatch(r.stageBatch(act))
+}
+
+// stageBatch runs the coordinator half of execution for one committed
+// batch: per-client dedup, write-set partitioning, and fan-out to the
+// shard workers (or, for serial execution, the store writes themselves).
+// It must be called in sequence order — dedup state advances here.
+func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
+	b := &inflightExec{act: act}
 	sharded := r.execShards > 1
 	if sharded {
-		for i := range r.execParts {
-			r.execParts[i] = r.execParts[i][:0]
+		b.parts = <-r.partsFree
+		for i := range b.parts {
+			b.parts[i] = b.parts[i][:0]
 		}
 	}
-	txnCount := uint32(0)
 	for i := range act.Requests {
 		req := &act.Requests[i]
-		txnCount += uint32(len(req.Txns))
+		b.txnCount += uint32(len(req.Txns))
 		last := r.lastExec[req.Client]
 		for j := range req.Txns {
 			txn := &req.Txns[j]
@@ -485,10 +544,13 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 				// Write-only YCSB-style application (Section 5.1).
 				if sharded {
 					sh := workload.ShardOf(txn.Ops[k].Key, r.execShards)
-					r.execParts[sh] = append(r.execParts[sh],
+					b.parts[sh] = append(b.parts[sh],
 						store.KV{Key: txn.Ops[k].Key, Value: txn.Ops[k].Value})
-				} else {
-					_ = r.store.Put(txn.Ops[k].Key, txn.Ops[k].Value)
+				} else if err := r.store.Put(txn.Ops[k].Key, txn.Ops[k].Value); err != nil {
+					// A durable store can fail (full disk, failed fsync);
+					// a silently lost write would diverge store state from
+					// the ledger, so make it loud.
+					r.storeFailures.Add(1)
 				}
 			}
 			if txn.ClientSeq > last {
@@ -498,21 +560,30 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 		r.lastExec[req.Client] = last
 	}
 	if sharded {
-		// Fan the partitions out and wait: the per-batch barrier is what
-		// preserves batch-order semantics (batch k+1 never starts before
-		// batch k finished).
-		var done sync.WaitGroup
-		for sh := range r.execParts {
-			if len(r.execParts[sh]) == 0 {
+		for sh := range b.parts {
+			if len(b.parts[sh]) == 0 {
 				continue
 			}
-			done.Add(1)
-			r.shardQs[sh] <- execShardJob{kvs: r.execParts[sh], done: &done}
+			b.done.Add(1)
+			r.shardQs[sh] <- execShardJob{kvs: b.parts[sh], done: &b.done}
 		}
-		done.Wait()
 	}
+	return b
+}
 
-	if _, err := r.ledger.Append(act.Seq, act.View, act.Digest, act.Proof, txnCount); err != nil {
+// retireBatch completes one staged batch in sequence order: wait for its
+// shard barrier, append the block, report the execution to the engine
+// (driving checkpoints), and answer every client in the batch.
+func (r *Replica) retireBatch(b *inflightExec) {
+	b.done.Wait()
+	if b.parts != nil {
+		// The workers are done with the partition buffers; recycle them.
+		r.partsFree <- b.parts
+		b.parts = nil
+	}
+	act := b.act
+
+	if _, err := r.ledger.Append(act.Seq, act.View, act.Digest, act.Proof, b.txnCount); err != nil {
 		// An append gap is a fatal pipeline bug; surface loudly in stats.
 		r.evidence.Add(1)
 		return
@@ -550,7 +621,7 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 		r.sendTo(types.ClientNode(req.Client), resp)
 	}
 
-	r.txnsExecuted.Add(uint64(txnCount))
+	r.txnsExecuted.Add(uint64(b.txnCount))
 	r.batchesExecuted.Add(1)
 	if r.cfg.DisableOutOfOrder {
 		r.inflight.Add(-1)
@@ -571,10 +642,16 @@ func (r *Replica) execShardLoop(shard int) {
 	for job := range r.shardQs[shard] {
 		t0 := time.Now()
 		if r.execBatch != nil {
-			_ = r.execBatch.PutMany(job.kvs)
+			if err := r.execBatch.PutMany(job.kvs); err != nil {
+				// Lost writes diverge store state from the ledger; count
+				// them loudly (StoreWriteFailures) instead of swallowing.
+				r.storeFailures.Add(1)
+			}
 		} else {
 			for i := range job.kvs {
-				_ = r.store.Put(job.kvs[i].Key, job.kvs[i].Value)
+				if err := r.store.Put(job.kvs[i].Key, job.kvs[i].Value); err != nil {
+					r.storeFailures.Add(1)
+				}
 			}
 		}
 		if d := time.Since(t0); d > 0 {

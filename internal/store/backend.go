@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// BackendConfig selects and parameterizes a record store. resdb-node and
+// the in-process cluster both build their stores through OpenBackend so
+// backend semantics — the fsync mapping, the shard-count alignment rule,
+// the on-disk layout — cannot drift between deployment styles.
+type BackendConfig struct {
+	// Backend is "mem" (default), "disk" (the serial blocking log, the
+	// Section 5.7 off-memory contrast), or "sharded" (the group-commit
+	// store, one append log per shard).
+	Backend string
+	// Dir is the directory for the disk backends (ignored by mem).
+	Dir string
+	// Shards is the sharded backend's append-log count; 0 aligns it with
+	// ExecShards so each execution shard streams to a private log.
+	Shards int
+	// ExecShards is the execution shard count Shards aligns to when 0.
+	ExecShards int
+	// SyncLinger selects durability: 0 never fsyncs; > 0 group-commits
+	// the sharded backend on this fsync linger and makes the serial disk
+	// backend fsync every Put.
+	SyncLinger time.Duration
+	// MemSizeHint sizes the in-memory store (0 means 1<<16 records).
+	MemSizeHint int
+}
+
+// OpenBackend builds the record store cfg describes.
+func OpenBackend(cfg BackendConfig) (Store, error) {
+	switch cfg.Backend {
+	case "", "mem":
+		hint := cfg.MemSizeHint
+		if hint <= 0 {
+			hint = 1 << 16
+		}
+		return NewMemStore(hint), nil
+	case "disk":
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating dir: %w", err)
+		}
+		return OpenDisk(filepath.Join(cfg.Dir, "records.log"), DiskOptions{
+			SyncEveryPut: cfg.SyncLinger > 0,
+		})
+	case "sharded":
+		shards := cfg.Shards
+		if shards == 0 {
+			shards = cfg.ExecShards
+		}
+		return OpenShardedDisk(cfg.Dir, ShardedDiskOptions{
+			Shards:     shards,
+			SyncLinger: cfg.SyncLinger,
+		})
+	default:
+		return nil, fmt.Errorf("store: unknown backend %q (want mem|disk|sharded)", cfg.Backend)
+	}
+}

@@ -1,0 +1,518 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedDiskStore is the pipelined off-memory store: one append log per
+// shard, keys partitioned by the canonical ShardOf hash, and durability
+// provided by per-shard group commit. It exists to show what the paper's
+// Section 5.7 off-memory penalty costs once the storage layer is given
+// the same treatment as every other stage — shard the serialized
+// resource, batch the expensive syscall:
+//
+//   - Writes to different shards never contend: each shard owns its own
+//     log file, lock, and fsync schedule, so the execute stage's shard
+//     workers (with an aligned shard count) stream their key partitions
+//     to private logs.
+//   - With SyncLinger > 0 a per-shard committer fsyncs at most once per
+//     linger window, covering every write appended before the sync
+//     (group commit): writers block until a covering fsync completes, so
+//     durability is real, but N writers in a window share one fsync
+//     instead of paying N.
+//
+// Each shard's log uses the DiskStore record format and the same
+// torn-tail recovery: a truncated final record is discarded on open,
+// independently per shard. A SHARDS meta file pins the shard count, since
+// reopening with a different count would look keys up in the wrong logs.
+type ShardedDiskStore struct {
+	shards []*diskLogShard
+	linger time.Duration
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	// fsync accounting (atomic: SyncStats must not take shard locks).
+	fsyncs  atomic.Uint64
+	stallNS atomic.Uint64
+}
+
+// diskLogShard is one append log plus its group-commit state.
+type diskLogShard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond // signalled when synced advances or the shard closes
+	f     *os.File
+	index map[uint64]recordRef
+	off   int64
+
+	// Group commit: appended counts append operations, synced the prefix
+	// of them covered by a completed fsync. A writer waits until synced
+	// reaches its own append; the committer advances synced once per
+	// linger window. syncErr is sticky — after a failed fsync the shard
+	// refuses further durable writes rather than lying about durability.
+	appended uint64
+	synced   uint64
+	syncErr  error
+	dirtyC   chan struct{} // capacity 1: wakes this shard's committer
+	closed   bool
+}
+
+// ShardedDiskOptions configures a ShardedDiskStore.
+type ShardedDiskOptions struct {
+	// Shards is the number of append logs. 0 means 4, or the persisted
+	// count when reopening an existing store. Opening an existing store
+	// with a conflicting non-zero count is an error.
+	Shards int
+	// SyncLinger selects durability: 0 never fsyncs (the DiskStore
+	// default — the Section 5.7 property under test is the blocking
+	// store API, not durability); > 0 group-commits with that fsync
+	// linger, so every Put/PutMany returns only after a covering fsync.
+	SyncLinger time.Duration
+}
+
+const shardMetaFile = "SHARDS"
+
+// OpenShardedDisk opens (or creates) a sharded store rooted at dir,
+// recovering each shard's log independently.
+func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, error) {
+	if opts.SyncLinger < 0 {
+		return nil, fmt.Errorf("store: negative sync linger %v", opts.SyncLinger)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating shard dir: %w", err)
+	}
+	n := opts.Shards
+	metaPath := filepath.Join(dir, shardMetaFile)
+	haveMeta := false
+	if raw, err := os.ReadFile(metaPath); err == nil {
+		persisted, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr != nil || persisted < 1 {
+			return nil, fmt.Errorf("store: corrupt shard meta %q", strings.TrimSpace(string(raw)))
+		}
+		if n == 0 {
+			n = persisted
+		} else if n != persisted {
+			return nil, fmt.Errorf("store: existing store has %d shards, requested %d", persisted, n)
+		}
+		haveMeta = true
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: reading shard meta: %w", err)
+	}
+	if n == 0 {
+		n = 4
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("store: need at least one shard, got %d", n)
+	}
+	// The meta is written exactly once, at creation, and durably (temp
+	// file + fsync + rename + directory fsync): a crash must never leave
+	// a store whose fsynced logs survive but whose shard count is gone or
+	// torn — reopening with a guessed count would look keys up in the
+	// wrong logs. An existing meta is never rewritten, so a crash mid-open
+	// cannot brick a healthy store either.
+	if !haveMeta {
+		if err := persistShardMeta(dir, metaPath, n); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &ShardedDiskStore{linger: opts.SyncLinger, stop: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i)), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: opening shard %d log: %w", i, err)
+		}
+		index, off, err := recoverLog(f)
+		if err != nil {
+			f.Close()
+			s.closeFiles()
+			return nil, fmt.Errorf("store: recovering shard %d: %w", i, err)
+		}
+		sh := &diskLogShard{f: f, index: index, off: off, dirtyC: make(chan struct{}, 1)}
+		sh.cond = sync.NewCond(&sh.mu)
+		s.shards = append(s.shards, sh)
+	}
+	if s.linger > 0 {
+		for _, sh := range s.shards {
+			s.wg.Add(1)
+			go s.commitLoop(sh)
+		}
+	}
+	return s, nil
+}
+
+// persistShardMeta durably records the shard count at store creation.
+func persistShardMeta(dir, metaPath string, n int) error {
+	tmp, err := os.CreateTemp(dir, ".shards-*")
+	if err != nil {
+		return fmt.Errorf("store: writing shard meta: %w", err)
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing shard meta: %w", err)
+	}
+	if _, err := tmp.WriteString(strconv.Itoa(n) + "\n"); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmp.Name(), metaPath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing shard meta: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // make the rename itself durable; best effort
+		d.Close()
+	}
+	return nil
+}
+
+// closeFiles releases already-opened shard files after a failed open.
+func (s *ShardedDiskStore) closeFiles() {
+	for _, sh := range s.shards {
+		sh.f.Close()
+	}
+}
+
+// Shards returns the shard (append log) count.
+func (s *ShardedDiskStore) Shards() int { return len(s.shards) }
+
+// shardFor returns the shard owning key.
+func (s *ShardedDiskStore) shardFor(key uint64) *diskLogShard {
+	return s.shards[ShardOf(key, len(s.shards))]
+}
+
+// appendLocked writes the records to the shard's log in order and updates
+// the index; the caller holds sh.mu. One contiguous buffer means one
+// write syscall per call regardless of record count.
+func (sh *diskLogShard) appendLocked(kvs []KV) error {
+	size := 0
+	for i := range kvs {
+		size += 12 + len(kvs[i].Value)
+	}
+	buf := make([]byte, size)
+	at := 0
+	for i := range kvs {
+		binary.BigEndian.PutUint64(buf[at:at+8], kvs[i].Key)
+		binary.BigEndian.PutUint32(buf[at+8:at+12], uint32(len(kvs[i].Value)))
+		copy(buf[at+12:], kvs[i].Value)
+		at += 12 + len(kvs[i].Value)
+	}
+	if _, err := sh.f.WriteAt(buf, sh.off); err != nil {
+		return fmt.Errorf("store: appending records: %w", err)
+	}
+	at = 0
+	for i := range kvs {
+		sh.index[kvs[i].Key] = recordRef{off: sh.off + int64(at) + 12, length: uint32(len(kvs[i].Value))}
+		at += 12 + len(kvs[i].Value)
+	}
+	sh.off += int64(size)
+	sh.appended++
+	return nil
+}
+
+// awaitSync blocks the caller until an fsync covering append operation
+// seq completes; it returns the shard's sticky sync error, or ErrClosed
+// when the store closed before the write became durable. The caller holds
+// sh.mu; stall time is reported to the store's counters.
+func (s *ShardedDiskStore) awaitSync(sh *diskLogShard, seq uint64) error {
+	select {
+	case sh.dirtyC <- struct{}{}:
+	default:
+	}
+	t0 := time.Now()
+	for sh.synced < seq && sh.syncErr == nil && !sh.closed {
+		sh.cond.Wait()
+	}
+	s.stallNS.Add(uint64(time.Since(t0)))
+	if sh.syncErr != nil {
+		return sh.syncErr
+	}
+	if sh.synced < seq {
+		return ErrClosed
+	}
+	return nil
+}
+
+// commitLoop is one shard's group committer: woken by the first dirty
+// write, it lingers to collect a group, fsyncs once, and releases every
+// writer the sync covered. Writes that land during the fsync re-arm it.
+func (s *ShardedDiskStore) commitLoop(sh *diskLogShard) {
+	defer s.wg.Done()
+	timer := time.NewTimer(s.linger)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-sh.dirtyC:
+		case <-s.stop:
+			return
+		}
+		// Linger: let more writers join the group before paying the fsync.
+		timer.Reset(s.linger)
+		select {
+		case <-timer.C:
+		case <-s.stop:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+
+		sh.mu.Lock()
+		target := sh.appended
+		covered := target == sh.synced
+		sh.mu.Unlock()
+		if covered {
+			// A writer armed dirtyC during a linger window whose fsync
+			// already covered it; nothing new to sync.
+			continue
+		}
+
+		err := sh.f.Sync() // outside the lock: appends may proceed meanwhile
+		s.fsyncs.Add(1)
+
+		sh.mu.Lock()
+		if err != nil {
+			sh.syncErr = fmt.Errorf("store: fsync: %w", err)
+		} else if target > sh.synced {
+			sh.synced = target
+		}
+		rearm := sh.appended > sh.synced && sh.syncErr == nil
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+		if rearm {
+			select {
+			case sh.dirtyC <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Put implements Store: append to the owning shard's log and, in group
+// commit mode, wait for a covering fsync.
+func (s *ShardedDiskStore) Put(key uint64, value []byte) error {
+	return s.putShard(s.shardFor(key), []KV{{Key: key, Value: value}})
+}
+
+func (s *ShardedDiskStore) putShard(sh *diskLogShard, kvs []KV) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	if sh.syncErr != nil {
+		return sh.syncErr
+	}
+	if err := sh.appendLocked(kvs); err != nil {
+		return err
+	}
+	if s.linger > 0 {
+		return s.awaitSync(sh, sh.appended)
+	}
+	return nil
+}
+
+// PutMany implements Batcher: writes are grouped by owning shard, each
+// group appended with a single write syscall, and in group commit mode
+// the caller waits once per touched shard. When the caller's partition
+// was built with the same ShardOf shard count — the aligned execute-shard
+// configuration — the whole batch lands in one log. Distinct concurrent
+// callers must cover disjoint key sets (the Batcher contract); same-shard
+// appends from different callers are serialized by the shard lock.
+func (s *ShardedDiskStore) PutMany(kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	// Common case first: every key in one shard (aligned partitions).
+	first := ShardOf(kvs[0].Key, len(s.shards))
+	aligned := true
+	for i := 1; i < len(kvs); i++ {
+		if ShardOf(kvs[i].Key, len(s.shards)) != first {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		return s.putShard(s.shards[first], kvs)
+	}
+	// Mixed partition: group records by shard, preserving order per shard.
+	groups := make([][]KV, len(s.shards))
+	for i := range kvs {
+		sh := ShardOf(kvs[i].Key, len(s.shards))
+		groups[sh] = append(groups[sh], kvs[i])
+	}
+	// Append to every touched shard first — arming each shard's committer
+	// as we go — and only then wait for the covering fsyncs, so the group
+	// commits of different shards overlap instead of paying one full
+	// linger+fsync per shard in sequence.
+	type pendingSync struct {
+		sh  *diskLogShard
+		seq uint64
+	}
+	var waits []pendingSync
+	for idx, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			return ErrClosed
+		}
+		if sh.syncErr != nil {
+			err := sh.syncErr
+			sh.mu.Unlock()
+			return err
+		}
+		if err := sh.appendLocked(g); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		if s.linger > 0 {
+			select {
+			case sh.dirtyC <- struct{}{}:
+			default:
+			}
+			waits = append(waits, pendingSync{sh: sh, seq: sh.appended})
+		}
+		sh.mu.Unlock()
+	}
+	for _, w := range waits {
+		w.sh.mu.Lock()
+		err := s.awaitSync(w.sh, w.seq)
+		w.sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get implements Store, reading the value bytes back from the owning
+// shard's log.
+func (s *ShardedDiskStore) Get(key uint64) ([]byte, error) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil, ErrClosed
+	}
+	ref, ok := sh.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	out := make([]byte, ref.length)
+	if _, err := sh.f.ReadAt(out, ref.off); err != nil {
+		return nil, fmt.Errorf("store: reading record: %w", err)
+	}
+	return out, nil
+}
+
+// Len implements Store.
+func (s *ShardedDiskStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.index)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SyncStats implements SyncStatser.
+func (s *ShardedDiskStore) SyncStats() SyncStats {
+	return SyncStats{Fsyncs: s.fsyncs.Load(), FsyncStallNS: s.stallNS.Load()}
+}
+
+// Close implements Store. Pending group-commit writes are made durable
+// with one final fsync per dirty shard before waiters are released, so a
+// clean shutdown never loses an acknowledged-in-flight write.
+func (s *ShardedDiskStore) Close() error {
+	var firstErr error
+	s.closing.Do(func() {
+		close(s.stop)
+		s.wg.Wait() // committers are gone; shard state is ours to finalize
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if s.linger > 0 && sh.synced < sh.appended && sh.syncErr == nil {
+				if err := sh.f.Sync(); err != nil {
+					sh.syncErr = fmt.Errorf("store: final fsync: %w", err)
+				} else {
+					sh.synced = sh.appended
+				}
+				s.fsyncs.Add(1)
+			}
+			sh.closed = true
+			if err := sh.f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("store: closing shard log: %w", err)
+			}
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// recoverLog scans a record log, rebuilding the key index and truncating
+// a torn tail (a final record whose header or value bytes are
+// incomplete). It returns the index and the append offset. Shared by
+// DiskStore and ShardedDiskStore so both repair crashes identically.
+func recoverLog(f *os.File) (map[uint64]recordRef, int64, error) {
+	index := make(map[uint64]recordRef)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("stat log: %w", err)
+	}
+	size := fi.Size() // invariant during the scan (only the final Truncate shrinks it)
+	var hdr [12]byte
+	off := int64(0)
+	for {
+		_, err := f.ReadAt(hdr[:], off)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn header: discard the tail.
+			if terr := f.Truncate(off); terr != nil {
+				return nil, 0, fmt.Errorf("truncating torn log: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("scanning log: %w", err)
+		}
+		key := binary.BigEndian.Uint64(hdr[:8])
+		vlen := binary.BigEndian.Uint32(hdr[8:])
+		end := off + 12 + int64(vlen)
+		if end > size {
+			// Torn value: discard the tail.
+			if terr := f.Truncate(off); terr != nil {
+				return nil, 0, fmt.Errorf("truncating torn log: %w", terr)
+			}
+			break
+		}
+		index[key] = recordRef{off: off + 12, length: vlen}
+		off = end
+	}
+	return index, off, nil
+}

@@ -3,9 +3,10 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DiskStore is the off-memory storage used by the Section 5.7 experiment.
@@ -30,6 +31,10 @@ type DiskStore struct {
 	off    int64
 	sync   bool
 	closed bool
+
+	// fsync accounting (atomic: SyncStats must not take the store lock).
+	fsyncs  atomic.Uint64
+	stallNS atomic.Uint64
 }
 
 type recordRef struct {
@@ -62,41 +67,13 @@ func OpenDisk(path string, opts DiskOptions) (*DiskStore, error) {
 
 // recover scans the log, rebuilding the key index. A truncated final
 // record (torn write) is discarded by truncating the log at its start.
+// The scan itself is shared with ShardedDiskStore (recoverLog).
 func (s *DiskStore) recover() error {
-	var hdr [12]byte
-	off := int64(0)
-	for {
-		_, err := s.f.ReadAt(hdr[:], off)
-		if err == io.EOF {
-			break
-		}
-		if err == io.ErrUnexpectedEOF {
-			// Torn header: discard the tail.
-			if terr := s.f.Truncate(off); terr != nil {
-				return fmt.Errorf("store: truncating torn log: %w", terr)
-			}
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("store: scanning log: %w", err)
-		}
-		key := binary.BigEndian.Uint64(hdr[:8])
-		vlen := binary.BigEndian.Uint32(hdr[8:])
-		end := off + 12 + int64(vlen)
-		fi, err := s.f.Stat()
-		if err != nil {
-			return fmt.Errorf("store: stat log: %w", err)
-		}
-		if end > fi.Size() {
-			// Torn value: discard the tail.
-			if terr := s.f.Truncate(off); terr != nil {
-				return fmt.Errorf("store: truncating torn log: %w", terr)
-			}
-			break
-		}
-		s.index[key] = recordRef{off: off + 12, length: vlen}
-		off = end
+	index, off, err := recoverLog(s.f)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
+	s.index = index
 	s.off = off
 	return nil
 }
@@ -117,9 +94,12 @@ func (s *DiskStore) Put(key uint64, value []byte) error {
 		return fmt.Errorf("store: appending record: %w", err)
 	}
 	if s.sync {
+		t0 := time.Now()
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: fsync: %w", err)
 		}
+		s.fsyncs.Add(1)
+		s.stallNS.Add(uint64(time.Since(t0)))
 	}
 	s.index[key] = recordRef{off: s.off + 12, length: uint32(len(value))}
 	s.off += int64(len(buf))
@@ -142,6 +122,12 @@ func (s *DiskStore) Get(key uint64) ([]byte, error) {
 		return nil, fmt.Errorf("store: reading record: %w", err)
 	}
 	return out, nil
+}
+
+// SyncStats implements SyncStatser. In per-op sync mode the writer is the
+// one syncing, so stall time equals total fsync time.
+func (s *DiskStore) SyncStats() SyncStats {
+	return SyncStats{Fsyncs: s.fsyncs.Load(), FsyncStallNS: s.stallNS.Load()}
 }
 
 // Len implements Store.

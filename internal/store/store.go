@@ -8,6 +8,13 @@
 // conclusion (Section 6, "Memory Storage") is that replicas can keep
 // records in memory because at most f replicas fail; DiskStore exists to
 // measure what that choice is worth.
+//
+// A third implementation, ShardedDiskStore, is the middle the paper did
+// not build: a durable store engineered like every other pipeline stage —
+// one append log per shard (partitioned by the same ShardOf hash the
+// execute stage uses) and group-commit fsync, so durability stops being
+// the serialized tail of the pipeline. The diskpipe bench quantifies how
+// much of the Section 5.7 penalty this wins back.
 package store
 
 import (
@@ -44,22 +51,70 @@ type KV struct {
 // partition with a single liveness check instead of one per Put. Execution
 // shard workers apply their key partitions through it concurrently —
 // callers must guarantee the partitions are key-disjoint, which is what
-// makes the result order-independent across callers. MemStore implements
-// it; DiskStore deliberately does not, so the off-memory store keeps its
-// blocking, fully serialized API (the Section 5.7 contrast) and sharded
-// execution degrades to serialized Puts against it.
+// makes the result order-independent across callers. MemStore and
+// ShardedDiskStore implement it (the sharded store additionally streams
+// an aligned partition to a single append log with one write syscall and
+// one group-commit wait); DiskStore deliberately does not, so the naive
+// off-memory store keeps its blocking, fully serialized API (the
+// Section 5.7 contrast) and sharded execution degrades to serialized
+// Puts against it.
 type Batcher interface {
 	// PutMany applies every write in kvs in order. Distinct concurrent
 	// calls must cover disjoint key sets.
 	PutMany(kvs []KV) error
 }
 
+// SyncStats reports a durable store's group-commit behaviour: how many
+// fsyncs it issued and how long writers cumulatively stalled waiting for
+// one. The replica surfaces these in its Stats so the diskpipe bench can
+// show what group commit buys over per-op fsync.
+type SyncStats struct {
+	// Fsyncs is the number of fsync calls issued.
+	Fsyncs uint64
+	// FsyncStallNS is the cumulative time writers spent blocked waiting
+	// for an fsync to cover their writes (for per-op sync stores this is
+	// simply the total fsync time, since the writer is the one syncing).
+	FsyncStallNS uint64
+}
+
+// SyncStatser is an optional Store capability: durable stores report
+// their fsync accounting through it. MemStore has nothing to report and
+// does not implement it.
+type SyncStatser interface {
+	SyncStats() SyncStats
+}
+
 // Compile-time interface compliance checks.
 var (
-	_ Store   = (*MemStore)(nil)
-	_ Store   = (*DiskStore)(nil)
-	_ Batcher = (*MemStore)(nil)
+	_ Store       = (*MemStore)(nil)
+	_ Store       = (*DiskStore)(nil)
+	_ Store       = (*ShardedDiskStore)(nil)
+	_ Batcher     = (*MemStore)(nil)
+	_ Batcher     = (*ShardedDiskStore)(nil)
+	_ SyncStatser = (*DiskStore)(nil)
+	_ SyncStatser = (*ShardedDiskStore)(nil)
 )
+
+// shardMix is the multiplicative hash spreading record keys across
+// shards. It must be a fixed constant — every replica must agree on the
+// partition, and a replica must agree with itself across restarts — and
+// it is shared by the execution layer (workload.ShardOf delegates here)
+// so that with equal shard counts each execution shard streams its whole
+// partition to exactly one store shard.
+const shardMix = 0x9E3779B97F4A7C15
+
+// ShardOf maps a record key to one of shards partitions. It is the
+// canonical write-set partition hash: the execute stage partitions batch
+// write-sets with it and ShardedDiskStore picks append logs with it. The
+// hash decorrelates the shard from the Zipfian popularity scramble and
+// from MemStore's internal shard hash, so hot keys spread across shards
+// instead of clustering on one.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(((key * shardMix) >> 32) % uint64(shards))
+}
 
 // memShards splits the key space to keep lock contention negligible even
 // with several execution threads.
