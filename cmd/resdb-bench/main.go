@@ -33,6 +33,13 @@
 // DiskStore with cross-batch execution pipelining — reporting throughput,
 // fsync counts, and fsync-stall time. -store-shards, -store-sync, and
 // -exec-pipeline-depth tune the sharded row.
+//
+// The compaction experiment measures the sharded store's log garbage
+// collection: an overwrite-heavy Zipfian history, then shard-log bytes
+// and reopen (recovery) time before and after compaction rewrites each
+// log to live records only. -store-compact-ratio and
+// -store-compact-min-bytes set the thresholds the checkpoint-driven
+// trigger uses (they also apply to diskpipe's disk rows).
 package main
 
 import (
@@ -61,6 +68,8 @@ func run() int {
 	storeShards := flag.Int("store-shards", 0, "diskpipe: append logs for the sharded store (0 aligns with the execution shards)")
 	storeSync := flag.Duration("store-sync", bench.DiskTuning.Sync, "diskpipe: fsync policy (group-commit linger for the sharded store; the serial store fsyncs every Put; 0 disables fsync on both disk rows, isolating the blocking-API cost)")
 	execDepth := flag.Int("exec-pipeline-depth", bench.DiskTuning.Depth, "diskpipe: cross-batch execution pipelining depth for the sharded-store row")
+	compactRatio := flag.Float64("store-compact-ratio", 0, "compaction/diskpipe: garbage ratio past which a shard log is compacted (0 = store default 0.5, negative disables)")
+	compactMin := flag.Int64("store-compact-min-bytes", 0, "compaction/diskpipe: log size floor for threshold-driven compaction (0 = store default 1 MiB, negative removes the floor)")
 	flag.Parse()
 
 	bench.TCPTuning.BatchMax = *netBatch
@@ -80,6 +89,8 @@ func run() int {
 	if *execDepth >= 1 {
 		bench.DiskTuning.Depth = *execDepth
 	}
+	bench.DiskTuning.CompactRatio = *compactRatio
+	bench.DiskTuning.CompactMinBytes = *compactMin
 
 	if *list {
 		for _, e := range bench.All() {

@@ -51,6 +51,14 @@
 //     the sharded backend group-commits on a D fsync linger (writers
 //     block until a covering fsync) and the serial disk backend fsyncs
 //     every Put.
+//   - -store-compact-ratio R: checkpoint-driven log compaction for the
+//     disk backends. When a stable checkpoint fires, any shard log whose
+//     garbage fraction (dead bytes / total bytes) reaches R is rewritten
+//     to live records only. 0 (default) uses the built-in 0.5; negative
+//     disables compaction (logs grow with history).
+//   - -store-compact-min-bytes B: log size below which compaction never
+//     rewrites (rewriting a tiny log cannot pay for its stall). 0
+//     (default) uses the built-in 1 MiB; negative removes the floor.
 //
 // Example 4-replica deployment on one machine:
 //
@@ -98,16 +106,18 @@ func knob(v, def int) int {
 // buildStore constructs the record store selected by -store-backend via
 // the shared store.OpenBackend (the same constructor the in-process
 // cluster uses, so backend semantics cannot drift between deployments).
-func buildStore(backend, dir string, id, shards, execThreads int, syncLinger time.Duration) (store.Store, error) {
+func buildStore(backend, dir string, id, shards, execThreads int, syncLinger time.Duration, compactRatio float64, compactMinBytes int64) (store.Store, error) {
 	if dir == "" {
 		dir = filepath.Join("resdb-data", fmt.Sprintf("replica-%d", id))
 	}
 	return store.OpenBackend(store.BackendConfig{
-		Backend:    backend,
-		Dir:        dir,
-		Shards:     shards,
-		ExecShards: execThreads,
-		SyncLinger: syncLinger,
+		Backend:         backend,
+		Dir:             dir,
+		Shards:          shards,
+		ExecShards:      execThreads,
+		SyncLinger:      syncLinger,
+		CompactRatio:    compactRatio,
+		CompactMinBytes: compactMinBytes,
 	})
 }
 
@@ -125,6 +135,8 @@ func run() int {
 	storeDir := flag.String("store-dir", "", "root directory for disk-backed stores (default resdb-data/replica-<id>)")
 	storeShards := flag.Int("store-shards", 0, "append logs for the sharded store backend (0 aligns with the execution shard count)")
 	storeSync := flag.Duration("store-sync", 0, "fsync policy: 0 never fsyncs; >0 group-commits the sharded store on this linger (serial disk backend fsyncs every Put)")
+	storeCompactRatio := flag.Float64("store-compact-ratio", 0, "garbage ratio (dead/total log bytes) past which a stable checkpoint compacts a shard log (0 = default 0.5, negative disables compaction)")
+	storeCompactMin := flag.Int64("store-compact-min-bytes", 0, "log size below which checkpoint-driven compaction never rewrites (0 = default 1 MiB, negative removes the floor)")
 	verifyThreads := flag.Int("verify-threads", 0, "parallel signature-verification workers (0 = default 2, -1 verifies inline on the worker lanes)")
 	workerThreads := flag.Int("worker-threads", 1, "parallel consensus worker lanes (1 = the paper's single worker-thread)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
@@ -176,7 +188,7 @@ func run() int {
 	}
 
 	execThreads := knob(*execShards, 1)
-	st, err := buildStore(*storeBackend, *storeDir, *id, *storeShards, execThreads, *storeSync)
+	st, err := buildStore(*storeBackend, *storeDir, *id, *storeShards, execThreads, *storeSync, *storeCompactRatio, *storeCompactMin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -216,15 +228,16 @@ func run() int {
 		case <-stop:
 			rep.Stop()
 			s := rep.Stats()
-			fmt.Printf("final: txns=%d batches=%d height=%d view=%d drops=%d fsyncs=%d fsync-stall=%s\n",
+			fmt.Printf("final: txns=%d batches=%d height=%d view=%d drops=%d fsyncs=%d fsync-stall=%s compactions=%d reclaimed=%dB\n",
 				s.TxnsExecuted, s.BatchesExecuted, s.LedgerHeight, s.View, s.NetDrops,
-				s.StoreFsyncs, time.Duration(s.StoreFsyncStallNS))
+				s.StoreFsyncs, time.Duration(s.StoreFsyncStallNS),
+				s.StoreCompactions, s.StoreCompactReclaimedBytes)
 			return 0
 		case <-tick.C:
 			s := rep.Stats()
-			fmt.Printf("txns=%d (+%d) height=%d view=%d in=%d out=%d authfail=%d drops=%d\n",
+			fmt.Printf("txns=%d (+%d) height=%d view=%d in=%d out=%d authfail=%d drops=%d compactions=%d\n",
 				s.TxnsExecuted, s.TxnsExecuted-last, s.LedgerHeight, s.View,
-				s.MsgsIn, s.MsgsOut, s.AuthFailures, s.NetDrops)
+				s.MsgsIn, s.MsgsOut, s.AuthFailures, s.NetDrops, s.StoreCompactions)
 			last = s.TxnsExecuted
 		}
 	}

@@ -9,7 +9,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
-		"tcpbatch", "workerscale", "execshards", "diskpipe"}
+		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -165,6 +165,44 @@ func TestShapeDiskPipe(t *testing.T) {
 	}
 	if shardedRate >= diskRate {
 		t.Fatalf("fsyncs per txn/s: sharded %.3f vs serial %.3f — no amortization", shardedRate, diskRate)
+	}
+}
+
+// TestShapeCompaction checks the compaction invariants rather than exact
+// numbers: the overwrite-heavy history must leave the logs several times
+// larger than the live data, compaction must shrink them back to ≈ live
+// data, and reopening the compacted store must not be slower than
+// replaying the full history (with ~25x less log to scan it is reliably
+// faster, but the assertion allows equality to stay hardware-tolerant).
+func TestShapeCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := compaction(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := out.Metrics["compaction_log_bytes_pre"]
+	post := out.Metrics["compaction_log_bytes_post"]
+	live := out.Metrics["compaction_live_bytes"]
+	if pre <= 0 || post <= 0 || live <= 0 {
+		t.Fatalf("no bytes recorded: pre=%.0f post=%.0f live=%.0f", pre, post, live)
+	}
+	if pre < 3*live {
+		t.Fatalf("history did not outgrow live data: %.0f vs live %.0f — the workload is not overwrite-heavy", pre, live)
+	}
+	if post > 1.05*live {
+		t.Fatalf("post-compaction logs = %.0f bytes, want ≈ live data %.0f — compaction kept history", post, live)
+	}
+	if out.Metrics["compaction_compactions"] <= 0 {
+		t.Fatal("no compactions recorded")
+	}
+	if out.Metrics["compaction_reclaimed_bytes"] <= 0 {
+		t.Fatal("no bytes reclaimed")
+	}
+	if out.Metrics["compaction_reopen_ms_post"] > out.Metrics["compaction_reopen_ms_pre"] {
+		t.Fatalf("compacted store reopened slower: %.2fms vs %.2fms",
+			out.Metrics["compaction_reopen_ms_post"], out.Metrics["compaction_reopen_ms_pre"])
 	}
 }
 

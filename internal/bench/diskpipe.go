@@ -25,6 +25,13 @@ var DiskTuning = struct {
 	// Depth is the cross-batch execution pipelining depth for the
 	// sharded-store row.
 	Depth int
+	// CompactRatio and CompactMinBytes are handed to the disk backends as
+	// their checkpoint-driven compaction thresholds (0 = store defaults).
+	// They shape diskpipe's disk rows (whose replicas MaybeCompact on
+	// stable checkpoints); the compaction experiment's forced Compact
+	// ignores thresholds by design.
+	CompactRatio    float64
+	CompactMinBytes int64
 }{Sync: 200 * time.Microsecond, Depth: 4}
 
 // diskpipe measures the durable storage pipeline on the real replica
@@ -129,18 +136,20 @@ func runDiskLoad(backend string, sync time.Duration, depth, execShards, clients 
 	wl.OpsPerTxn = 8
 	wl.ValueSize = 256
 	c, err := cluster.New(cluster.Options{
-		N:                  4,
-		Clients:            clients,
-		Burst:              4,
-		BatchSize:          20,
-		ExecuteThreads:     execShards,
-		ExecPipelineDepth:  depth,
-		StoreBackend:       backend,
-		StoreShards:        DiskTuning.Shards,
-		StoreSync:          sync,
-		Workload:           wl,
-		CheckpointInterval: 25,
-		Seed:               13,
+		N:                    4,
+		Clients:              clients,
+		Burst:                4,
+		BatchSize:            20,
+		ExecuteThreads:       execShards,
+		ExecPipelineDepth:    depth,
+		StoreBackend:         backend,
+		StoreShards:          DiskTuning.Shards,
+		StoreSync:            sync,
+		StoreCompactRatio:    DiskTuning.CompactRatio,
+		StoreCompactMinBytes: DiskTuning.CompactMinBytes,
+		Workload:             wl,
+		CheckpointInterval:   25,
+		Seed:                 13,
 	})
 	if err != nil {
 		return cluster.Result{}, replica.Stats{}, err

@@ -90,6 +90,16 @@ type Options struct {
 	// is the group-commit fsync linger; for "disk" any positive value
 	// selects fsync-per-Put. 0 (default) never fsyncs.
 	StoreSync time.Duration
+	// StoreCompactRatio is the disk backends' garbage-ratio compaction
+	// threshold (dead bytes / total log bytes, checked per shard log when
+	// a stable checkpoint fires the replica's compaction trigger). 0
+	// means the default (store.DefaultCompactRatio); negative disables
+	// checkpoint-driven compaction.
+	StoreCompactRatio float64
+	// StoreCompactMinBytes is the log size below which checkpoint-driven
+	// compaction never rewrites. 0 means the default
+	// (store.DefaultCompactMinBytes); negative removes the floor.
+	StoreCompactMinBytes int64
 	// Seed makes key material and workloads reproducible.
 	Seed int64
 	// PreloadTable loads the YCSB table into every store before starting.
@@ -226,12 +236,14 @@ func (c *Cluster) buildStore(id types.ReplicaID) (store.Store, error) {
 		dir = filepath.Join(root, fmt.Sprintf("replica-%d", id))
 	}
 	return store.OpenBackend(store.BackendConfig{
-		Backend:     o.StoreBackend,
-		Dir:         dir,
-		Shards:      o.StoreShards,
-		ExecShards:  o.ExecuteThreads,
-		SyncLinger:  o.StoreSync,
-		MemSizeHint: int(o.Workload.Records),
+		Backend:         o.StoreBackend,
+		Dir:             dir,
+		Shards:          o.StoreShards,
+		ExecShards:      o.ExecuteThreads,
+		SyncLinger:      o.StoreSync,
+		CompactRatio:    o.StoreCompactRatio,
+		CompactMinBytes: o.StoreCompactMinBytes,
+		MemSizeHint:     int(o.Workload.Records),
 	})
 }
 

@@ -276,6 +276,50 @@ func TestClusterCheckpointPrunesLedger(t *testing.T) {
 	}
 }
 
+// TestClusterCheckpointTriggersCompaction drives the full wiring of the
+// storage garbage-collection path: a sharded durable store under an
+// overwrite-heavy load, with a small checkpoint interval and an
+// aggressive garbage-ratio threshold — stable checkpoints must fire the
+// replica's compactor, log rewrites must be reported in Stats, and the
+// cluster must stay correct (agreeing ledgers) while logs are rewritten
+// under live execution.
+func TestClusterCheckpointTriggersCompaction(t *testing.T) {
+	opts := smallOpts()
+	opts.CheckpointInterval = 2
+	opts.ExecuteThreads = 2
+	opts.StoreBackend = "sharded"
+	opts.StoreSync = 100 * time.Microsecond
+	// Tiny key space → heavy overwrites → garbage accumulates fast; no
+	// size floor and a low ratio so the trigger fires inside the window.
+	opts.Workload.Records = 128
+	opts.StoreCompactRatio = 0.05
+	opts.StoreCompactMinBytes = -1
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.Txns == 0 {
+		t.Fatal("no transactions")
+	}
+	r := c.Replica(1) // a backup: execution and storage without batching noise
+	s := r.Stats()
+	if s.Checkpoints == 0 {
+		t.Skip("no checkpoint completed in the test window")
+	}
+	if s.StoreCompactions == 0 {
+		t.Fatal("stable checkpoints never triggered a store compaction")
+	}
+	if s.StoreCompactFailures != 0 {
+		t.Fatalf("StoreCompactFailures = %d", s.StoreCompactFailures)
+	}
+	if s.StoreCompactReclaimedBytes == 0 {
+		t.Fatal("compaction reclaimed no bytes under an overwrite-heavy load")
+	}
+	if s.StoreWriteFailures != 0 {
+		t.Fatalf("StoreWriteFailures = %d: compaction lost or rejected writes", s.StoreWriteFailures)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestViewChangeAfterPrimaryCrash(t *testing.T) {
 	opts := smallOpts()
 	opts.Clients = 4

@@ -197,10 +197,26 @@ func TestExecPipelineDeterminism(t *testing.T) {
 
 	for _, act := range acts {
 		serial.execIn.Offer(uint64(act.Seq), execItem{act: act})
+	}
+	// Feed the pipelined replica in two halves with a full log compaction
+	// between them, while execution is live: a mid-run rewrite of the
+	// durable store must be invisible to the ledger, the checkpoint
+	// digests, and the final store state.
+	for _, act := range acts[:batches/2] {
+		pipelined.execIn.Offer(uint64(act.Seq), execItem{act: act})
+	}
+	waitBatches(t, pipelined, batches/2)
+	if err := disk.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range acts[batches/2:] {
 		pipelined.execIn.Offer(uint64(act.Seq), execItem{act: act})
 	}
 	waitBatches(t, serial, batches)
 	waitBatches(t, pipelined, batches)
+	if cs := disk.CompactStats(); cs.Compactions == 0 {
+		t.Fatal("the sharded store never compacted mid-run")
+	}
 
 	if got, want := pipelined.Ledger().StateDigest(), serial.Ledger().StateDigest(); got != want {
 		t.Fatalf("ledger head digest diverged: pipelined %x vs serial %x", got[:8], want[:8])

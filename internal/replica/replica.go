@@ -327,6 +327,17 @@ type Stats struct {
 	// store state may have diverged from the ledger — the durable-store
 	// analogue of the evidence counter.
 	StoreWriteFailures uint64
+	// StoreCompactions, StoreCompactFailures, StoreCompactReclaimedBytes,
+	// and StoreCompactStallNS surface the durable store's log-compaction
+	// accounting (zero for stores without logs, e.g. MemStore): completed
+	// and failed log rewrites, the log bytes those rewrites dropped, and
+	// how long writers stalled behind a rewrite. Compaction is triggered
+	// on the replica's stable-checkpoint path (the §4.7 garbage-collection
+	// moment) behind the store's garbage-ratio threshold.
+	StoreCompactions           uint64
+	StoreCompactFailures       uint64
+	StoreCompactReclaimedBytes uint64
+	StoreCompactStallNS        uint64
 }
 
 // workItem is the union flowing into the worker lanes: either a decoded
@@ -407,6 +418,14 @@ type Replica struct {
 	shardWg    sync.WaitGroup
 	partsFree  chan [][]store.KV
 	execBatch  store.Batcher
+
+	// Store compaction (nil for stores without logs, e.g. MemStore): a
+	// stable checkpoint signals compactC (capacity one, non-blocking) and
+	// a single compactor goroutine runs the store's threshold check, so
+	// log rewrites never run on a consensus lane and never pile up.
+	compactor store.Compactor
+	compactC  chan struct{}
+	compactWg sync.WaitGroup
 
 	batchQ *queue.MPMC[*types.ClientRequest]
 	// workQs are the worker lanes. Sequence-carrying consensus messages
@@ -566,6 +585,10 @@ func New(cfg Config) (*Replica, error) {
 			r.execBatch = b
 		}
 	}
+	if comp, ok := st.(store.Compactor); ok {
+		r.compactor = comp
+		r.compactC = make(chan struct{}, 1)
+	}
 	r.inlinePending = make(map[uint64]consensus.Execute)
 	r.inlineNext = 1
 	r.outQs = make([]chan *types.Envelope, cfg.OutputThreads)
@@ -632,6 +655,13 @@ func (r *Replica) Stats() Stats {
 		sy := ss.SyncStats()
 		s.StoreFsyncs = sy.Fsyncs
 		s.StoreFsyncStallNS = sy.FsyncStallNS
+	}
+	if r.compactor != nil {
+		cs := r.compactor.CompactStats()
+		s.StoreCompactions = cs.Compactions
+		s.StoreCompactFailures = cs.Failures
+		s.StoreCompactReclaimedBytes = cs.ReclaimedBytes
+		s.StoreCompactStallNS = cs.StallNS
 	}
 	return s
 }
@@ -712,6 +742,11 @@ func (r *Replica) Start() {
 		go r.outputLoop(r.outQs[i])
 	}
 
+	if r.compactor != nil {
+		r.compactWg.Add(1)
+		go r.compactLoop()
+	}
+
 	if r.cfg.ViewTimeout > 0 {
 		r.watchWg.Add(1)
 		go r.watchdogLoop()
@@ -762,6 +797,7 @@ func (r *Replica) Stop() {
 			close(q)
 		}
 		r.outWg.Wait()
+		r.compactWg.Wait()
 		r.watchWg.Wait()
 	})
 }

@@ -385,6 +385,38 @@ func (r *Replica) checkpointLoop() {
 	}
 }
 
+// ---- Store compaction (checkpoint-driven, Section 4.7) ----
+
+// signalCompact nudges the compactor goroutine; it never blocks, and a
+// swallowed signal only defers compaction to the next stable checkpoint.
+func (r *Replica) signalCompact() {
+	if r.compactC == nil {
+		return
+	}
+	select {
+	case r.compactC <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop is the replica's single compactor thread: stable
+// checkpoints wake it and it runs the store's threshold-driven
+// MaybeCompact, so a log rewrite stalls (at most) one shard's writers but
+// never a consensus lane or the checkpoint-thread. Errors are not fatal —
+// a failed rewrite leaves the old log authoritative — and surface through
+// Stats.StoreCompactFailures.
+func (r *Replica) compactLoop() {
+	defer r.compactWg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.compactC:
+			_, _ = r.compactor.MaybeCompact()
+		}
+	}
+}
+
 // ---- Action dispatch ----
 
 // handleActions interprets engine outputs. It may be called from any
@@ -405,6 +437,11 @@ func (r *Replica) handleActions(acts []consensus.Action) {
 			}
 		case consensus.CheckpointStable:
 			r.ledger.Prune(uint64(act.Seq))
+			// A stable checkpoint is the paper's license to discard old
+			// state (§4.7): the same moment the ledger prunes, the durable
+			// store may drop superseded record versions. Nudge the
+			// compactor goroutine; it applies the garbage-ratio threshold.
+			r.signalCompact()
 			// A stable checkpoint advances the watermark window; wake any
 			// batch-thread parked on a full window.
 			r.signalProgress()

@@ -27,6 +27,16 @@ type BackendConfig struct {
 	// the sharded backend on this fsync linger and makes the serial disk
 	// backend fsync every Put.
 	SyncLinger time.Duration
+	// CompactRatio is the disk backends' garbage-ratio compaction
+	// threshold (dead bytes / total log bytes, checked per shard log when
+	// the replica's stable-checkpoint trigger fires). 0 means the default
+	// (store.DefaultCompactRatio); negative disables threshold-driven
+	// compaction.
+	CompactRatio float64
+	// CompactMinBytes is the log size below which threshold-driven
+	// compaction never rewrites. 0 means the default
+	// (store.DefaultCompactMinBytes); negative removes the floor.
+	CompactMinBytes int64
 	// MemSizeHint sizes the in-memory store (0 means 1<<16 records).
 	MemSizeHint int
 }
@@ -45,7 +55,9 @@ func OpenBackend(cfg BackendConfig) (Store, error) {
 			return nil, fmt.Errorf("store: creating dir: %w", err)
 		}
 		return OpenDisk(filepath.Join(cfg.Dir, "records.log"), DiskOptions{
-			SyncEveryPut: cfg.SyncLinger > 0,
+			SyncEveryPut:    cfg.SyncLinger > 0,
+			CompactRatio:    cfg.CompactRatio,
+			CompactMinBytes: cfg.CompactMinBytes,
 		})
 	case "sharded":
 		shards := cfg.Shards
@@ -53,8 +65,10 @@ func OpenBackend(cfg BackendConfig) (Store, error) {
 			shards = cfg.ExecShards
 		}
 		return OpenShardedDisk(cfg.Dir, ShardedDiskOptions{
-			Shards:     shards,
-			SyncLinger: cfg.SyncLinger,
+			Shards:          shards,
+			SyncLinger:      cfg.SyncLinger,
+			CompactRatio:    cfg.CompactRatio,
+			CompactMinBytes: cfg.CompactMinBytes,
 		})
 	default:
 		return nil, fmt.Errorf("store: unknown backend %q (want mem|disk|sharded)", cfg.Backend)

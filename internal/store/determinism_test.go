@@ -53,7 +53,14 @@ func TestZipfianStoreDeterminism(t *testing.T) {
 	// ShardOf and fan the partitions out concurrently, exactly as the
 	// execute stage does. Same-key writes stay ordered because one key
 	// always maps to one partition, and batches are separated by a barrier.
+	// Halfway through, the disk store compacts — a log rewrite mid-history
+	// must be invisible to the final state.
 	for b := 0; b < batches; b++ {
+		if b == batches/2 {
+			if err := disk.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
 		parts := make([][]store.KV, shards)
 		req := wl.NextRequest(1, uint64(b*perB+1), perB)
 		for i := range req.Txns {
@@ -104,5 +111,8 @@ func TestZipfianStoreDeterminism(t *testing.T) {
 	}
 	if !bytes.Equal(memState.Bytes(), diskState.Bytes()) {
 		t.Fatal("MemStore and sharded DiskStore final states are not byte-identical")
+	}
+	if cs := disk.CompactStats(); cs.Compactions == 0 {
+		t.Fatal("the disk store never compacted: the mid-run rewrite was not exercised")
 	}
 }

@@ -1,9 +1,9 @@
 package store
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -30,39 +30,59 @@ import (
 //     durability is real, but N writers in a window share one fsync
 //     instead of paying N.
 //
-// Each shard's log uses the DiskStore record format and the same
-// torn-tail recovery: a truncated final record is discarded on open,
-// independently per shard. A SHARDS meta file pins the shard count, since
-// reopening with a different count would look keys up in the wrong logs.
+// Each shard's log uses the shared record format (v2 adds a per-record
+// CRC-32C; pre-CRC v1 logs stay readable) and the same recovery: on open
+// a torn tail — and, in a v2 log, any record failing its CRC — ends the
+// valid prefix, independently per shard. A SHARDS meta file pins the
+// shard count, since reopening with a different count would look keys up
+// in the wrong logs.
+//
+// Shard logs are append-only, so superseded values accumulate until
+// Compact (or the threshold-driven MaybeCompact, which the replica fires
+// on stable checkpoints) rewrites a shard's live records to a fresh log:
+// temp file + fsync + rename + directory fsync, crash-safe at every
+// point, after which log size tracks live data instead of history and
+// restart replays only the compacted log.
 type ShardedDiskStore struct {
 	shards []*diskLogShard
+	dir    string
 	linger time.Duration
+
+	compactRatio float64
+	compactMin   int64
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	closing sync.Once
 
-	// fsync accounting (atomic: SyncStats must not take shard locks).
+	// fsync and compaction accounting (atomic: SyncStats/CompactStats
+	// must not take shard locks).
 	fsyncs  atomic.Uint64
 	stallNS atomic.Uint64
+	cstats  compactCounters
 }
 
 // diskLogShard is one append log plus its group-commit state.
 type diskLogShard struct {
-	mu    sync.Mutex
-	cond  *sync.Cond // signalled when synced advances or the shard closes
-	f     *os.File
-	index map[uint64]recordRef
-	off   int64
+	mu   sync.Mutex
+	cond *sync.Cond // signalled when synced advances, a sync/compaction finishes, or the shard closes
+	f    *os.File
+	path string
+	// logState is the log bookkeeping (index, append offset, format,
+	// live/total bytes), guarded by mu like the rest of the shard.
+	logState
 
 	// Group commit: appended counts append operations, synced the prefix
 	// of them covered by a completed fsync. A writer waits until synced
 	// reaches its own append; the committer advances synced once per
 	// linger window. syncErr is sticky — after a failed fsync the shard
 	// refuses further durable writes rather than lying about durability.
+	// syncing marks an fsync in flight on f outside the lock, so
+	// compaction never swaps (and closes) the file under it.
 	appended uint64
 	synced   uint64
 	syncErr  error
+	syncing  bool
 	dirtyC   chan struct{} // capacity 1: wakes this shard's committer
 	closed   bool
 }
@@ -78,6 +98,15 @@ type ShardedDiskOptions struct {
 	// store API, not durability); > 0 group-commits with that fsync
 	// linger, so every Put/PutMany returns only after a covering fsync.
 	SyncLinger time.Duration
+	// CompactRatio is the per-shard garbage fraction (dead bytes / total
+	// log bytes) past which MaybeCompact rewrites that shard's log. 0
+	// means the default (DefaultCompactRatio); negative disables
+	// MaybeCompact.
+	CompactRatio float64
+	// CompactMinBytes is the per-shard log size below which MaybeCompact
+	// never rewrites. 0 means the default (DefaultCompactMinBytes);
+	// negative removes the floor.
+	CompactMinBytes int64
 }
 
 const shardMetaFile = "SHARDS"
@@ -91,6 +120,9 @@ func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, er
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating shard dir: %w", err)
 	}
+	// A crash mid-compaction leaves a temp rewrite behind; it is garbage
+	// until renamed, so clear strays before recovering the real logs.
+	removeCompactTemps(dir)
 	n := opts.Shards
 	metaPath := filepath.Join(dir, shardMetaFile)
 	haveMeta := false
@@ -105,7 +137,7 @@ func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, er
 			return nil, fmt.Errorf("store: existing store has %d shards, requested %d", persisted, n)
 		}
 		haveMeta = true
-	} else if !os.IsNotExist(err) {
+	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("store: reading shard meta: %w", err)
 	}
 	if n == 0 {
@@ -126,20 +158,22 @@ func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, er
 		}
 	}
 
-	s := &ShardedDiskStore{linger: opts.SyncLinger, stop: make(chan struct{})}
+	s := &ShardedDiskStore{dir: dir, linger: opts.SyncLinger, stop: make(chan struct{})}
+	s.compactRatio, s.compactMin = resolveCompactKnobs(opts.CompactRatio, opts.CompactMinBytes)
 	for i := 0; i < n; i++ {
-		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i)), os.O_RDWR|os.O_CREATE, 0o644)
+		path := filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i))
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("store: opening shard %d log: %w", i, err)
 		}
-		index, off, err := recoverLog(f)
+		st, err := recoverLog(f)
 		if err != nil {
 			f.Close()
 			s.closeFiles()
 			return nil, fmt.Errorf("store: recovering shard %d: %w", i, err)
 		}
-		sh := &diskLogShard{f: f, index: index, off: off, dirtyC: make(chan struct{}, 1)}
+		sh := &diskLogShard{f: f, path: path, logState: st, dirtyC: make(chan struct{}, 1)}
 		sh.cond = sync.NewCond(&sh.mu)
 		s.shards = append(s.shards, sh)
 	}
@@ -152,7 +186,9 @@ func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, er
 	return s, nil
 }
 
-// persistShardMeta durably records the shard count at store creation.
+// persistShardMeta durably records the shard count at store creation. The
+// temp file is removed on every failure path — including a failed fsync —
+// so aborted creations leave no debris.
 func persistShardMeta(dir, metaPath string, n int) error {
 	tmp, err := os.CreateTemp(dir, ".shards-*")
 	if err != nil {
@@ -176,10 +212,7 @@ func persistShardMeta(dir, metaPath string, n int) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing shard meta: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync() // make the rename itself durable; best effort
-		d.Close()
-	}
+	syncDir(dir) // make the rename itself durable; best effort
 	return nil
 }
 
@@ -199,30 +232,20 @@ func (s *ShardedDiskStore) shardFor(key uint64) *diskLogShard {
 }
 
 // appendLocked writes the records to the shard's log in order and updates
-// the index; the caller holds sh.mu. One contiguous buffer means one
-// write syscall per call regardless of record count.
+// the index and byte accounting; the caller holds sh.mu. One contiguous
+// buffer means one write syscall per call regardless of record count.
 func (sh *diskLogShard) appendLocked(kvs []KV) error {
-	size := 0
-	for i := range kvs {
-		size += 12 + len(kvs[i].Value)
-	}
-	buf := make([]byte, size)
-	at := 0
-	for i := range kvs {
-		binary.BigEndian.PutUint64(buf[at:at+8], kvs[i].Key)
-		binary.BigEndian.PutUint32(buf[at+8:at+12], uint32(len(kvs[i].Value)))
-		copy(buf[at+12:], kvs[i].Value)
-		at += 12 + len(kvs[i].Value)
-	}
+	buf := encodeRecords(kvs, sh.v2)
 	if _, err := sh.f.WriteAt(buf, sh.off); err != nil {
 		return fmt.Errorf("store: appending records: %w", err)
 	}
-	at = 0
+	at := int64(0)
+	hdr := sh.hdrSize()
 	for i := range kvs {
-		sh.index[kvs[i].Key] = recordRef{off: sh.off + int64(at) + 12, length: uint32(len(kvs[i].Value))}
-		at += 12 + len(kvs[i].Value)
+		sh.account(kvs[i].Key, sh.off+at+hdr, uint32(len(kvs[i].Value)))
+		at += hdr + int64(len(kvs[i].Value))
 	}
-	sh.off += int64(size)
+	sh.off += int64(len(buf))
 	sh.appended++
 	return nil
 }
@@ -278,22 +301,32 @@ func (s *ShardedDiskStore) commitLoop(sh *diskLogShard) {
 
 		sh.mu.Lock()
 		target := sh.appended
-		covered := target == sh.synced
+		f := sh.f
+		// Snapshot f and mark the sync in flight under the lock: the
+		// syncing flag is what keeps compaction from swapping (and
+		// closing) the file while the fsync below runs outside the lock.
+		skip := target == sh.synced || sh.syncErr != nil || sh.closed
+		if !skip {
+			sh.syncing = true
+		}
 		sh.mu.Unlock()
-		if covered {
-			// A writer armed dirtyC during a linger window whose fsync
-			// already covered it; nothing new to sync.
+		if skip {
+			// A writer armed dirtyC during a linger window whose fsync (or
+			// a compaction rewrite) already covered it; nothing to sync.
 			continue
 		}
 
-		err := sh.f.Sync() // outside the lock: appends may proceed meanwhile
-		s.fsyncs.Add(1)
+		err := f.Sync() // outside the lock: appends may proceed meanwhile
 
 		sh.mu.Lock()
+		sh.syncing = false
 		if err != nil {
 			sh.syncErr = fmt.Errorf("store: fsync: %w", err)
-		} else if target > sh.synced {
-			sh.synced = target
+		} else {
+			s.fsyncs.Add(1) // only completed fsyncs count as durable
+			if target > sh.synced {
+				sh.synced = target
+			}
 		}
 		rearm := sh.appended > sh.synced && sh.syncErr == nil
 		sh.cond.Broadcast()
@@ -409,23 +442,35 @@ func (s *ShardedDiskStore) PutMany(kvs []KV) error {
 }
 
 // Get implements Store, reading the value bytes back from the owning
-// shard's log.
+// shard's log. The record reference and file handle are snapshotted under
+// the shard lock but the ReadAt syscall runs outside it, so one disk read
+// never stalls the shard's writers or its group committer. If compaction
+// (or Close) retires the snapshotted handle mid-read the read fails with
+// fs.ErrClosed and is retried against the fresh handle; a closed store
+// surfaces as ErrClosed at the top of the retry.
 func (s *ShardedDiskStore) Get(key uint64) ([]byte, error) {
 	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.closed {
-		return nil, ErrClosed
+	for {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			return nil, ErrClosed
+		}
+		ref, ok := sh.index[key]
+		f := sh.f
+		sh.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+		}
+		out := make([]byte, ref.length)
+		if _, err := f.ReadAt(out, ref.off); err != nil {
+			if errors.Is(err, fs.ErrClosed) {
+				continue // the handle was swapped or the store closed; re-snapshot
+			}
+			return nil, fmt.Errorf("store: reading record: %w", err)
+		}
+		return out, nil
 	}
-	ref, ok := sh.index[key]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
-	}
-	out := make([]byte, ref.length)
-	if _, err := sh.f.ReadAt(out, ref.off); err != nil {
-		return nil, fmt.Errorf("store: reading record: %w", err)
-	}
-	return out, nil
 }
 
 // Len implements Store.
@@ -444,9 +489,111 @@ func (s *ShardedDiskStore) SyncStats() SyncStats {
 	return SyncStats{Fsyncs: s.fsyncs.Load(), FsyncStallNS: s.stallNS.Load()}
 }
 
+// CompactStats implements Compactor.
+func (s *ShardedDiskStore) CompactStats() CompactStats {
+	return s.cstats.stats()
+}
+
+// MaybeCompact implements Compactor: each shard whose log clears the
+// configured size floor and garbage-ratio threshold is rewritten. Shards
+// are checked and compacted one at a time, so at most one shard's writers
+// are stalled at any moment while the rest of the store runs. It returns
+// how many shard logs were rewritten.
+func (s *ShardedDiskStore) MaybeCompact() (int, error) {
+	compacted := 0
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			if firstErr == nil {
+				firstErr = ErrClosed
+			}
+			continue
+		}
+		if !shouldCompact(sh.live, sh.total, s.compactRatio, s.compactMin) {
+			sh.mu.Unlock()
+			continue
+		}
+		err := s.compactShardLocked(sh)
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err == nil {
+			compacted++
+		}
+	}
+	return compacted, firstErr
+}
+
+// Compact implements Compactor: every shard's log is rewritten to live
+// records only, unconditionally (upgrading v1 logs to the CRC format in
+// the process).
+func (s *ShardedDiskStore) Compact() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			if firstErr == nil {
+				firstErr = ErrClosed
+			}
+			continue
+		}
+		err := s.compactShardLocked(sh)
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// compactShardLocked rewrites one shard's live records to a fresh log;
+// the caller holds sh.mu (writers to this shard stall for the duration,
+// which is what CompactStats.StallNS measures). Because the rewrite
+// fsyncs every live record before the rename, a completed compaction is
+// also a covering group commit: writers parked in awaitSync are released,
+// since the latest version of every appended key is now durable.
+func (s *ShardedDiskStore) compactShardLocked(sh *diskLogShard) error {
+	// Never swap the file while the committer has an fsync in flight on
+	// it outside the lock: closing the old handle mid-Sync would turn a
+	// healthy fsync into a sticky syncErr. Compaction holds the lock
+	// otherwise, so no new sync can start while it rewrites.
+	for sh.syncing && !sh.closed {
+		sh.cond.Wait()
+	}
+	if sh.closed {
+		return ErrClosed
+	}
+	t0 := time.Now()
+	newF, st, err := rewriteLiveRecords(sh.f, sh.index, sh.path)
+	if err != nil {
+		s.cstats.failures.Add(1)
+		return err
+	}
+	reclaimed := sh.off - st.off
+	old := sh.f
+	sh.f, sh.logState = newF, st
+	if s.linger > 0 && sh.synced < sh.appended && sh.syncErr == nil {
+		sh.synced = sh.appended
+		s.fsyncs.Add(1) // the rewrite's fsync doubled as a group commit
+	}
+	old.Close()
+	sh.cond.Broadcast()
+	s.cstats.compactions.Add(1)
+	if reclaimed > 0 {
+		s.cstats.reclaimed.Add(uint64(reclaimed))
+	}
+	s.cstats.stallNS.Add(uint64(time.Since(t0)))
+	return nil
+}
+
 // Close implements Store. Pending group-commit writes are made durable
 // with one final fsync per dirty shard before waiters are released, so a
-// clean shutdown never loses an acknowledged-in-flight write.
+// clean shutdown never loses an acknowledged-in-flight write. Only
+// fsyncs that actually completed are counted in SyncStats.
 func (s *ShardedDiskStore) Close() error {
 	var firstErr error
 	s.closing.Do(func() {
@@ -459,8 +606,8 @@ func (s *ShardedDiskStore) Close() error {
 					sh.syncErr = fmt.Errorf("store: final fsync: %w", err)
 				} else {
 					sh.synced = sh.appended
+					s.fsyncs.Add(1)
 				}
-				s.fsyncs.Add(1)
 			}
 			sh.closed = true
 			if err := sh.f.Close(); err != nil && firstErr == nil {
@@ -471,48 +618,4 @@ func (s *ShardedDiskStore) Close() error {
 		}
 	})
 	return firstErr
-}
-
-// recoverLog scans a record log, rebuilding the key index and truncating
-// a torn tail (a final record whose header or value bytes are
-// incomplete). It returns the index and the append offset. Shared by
-// DiskStore and ShardedDiskStore so both repair crashes identically.
-func recoverLog(f *os.File) (map[uint64]recordRef, int64, error) {
-	index := make(map[uint64]recordRef)
-	fi, err := f.Stat()
-	if err != nil {
-		return nil, 0, fmt.Errorf("stat log: %w", err)
-	}
-	size := fi.Size() // invariant during the scan (only the final Truncate shrinks it)
-	var hdr [12]byte
-	off := int64(0)
-	for {
-		_, err := f.ReadAt(hdr[:], off)
-		if err == io.EOF {
-			break
-		}
-		if err == io.ErrUnexpectedEOF {
-			// Torn header: discard the tail.
-			if terr := f.Truncate(off); terr != nil {
-				return nil, 0, fmt.Errorf("truncating torn log: %w", terr)
-			}
-			break
-		}
-		if err != nil {
-			return nil, 0, fmt.Errorf("scanning log: %w", err)
-		}
-		key := binary.BigEndian.Uint64(hdr[:8])
-		vlen := binary.BigEndian.Uint32(hdr[8:])
-		end := off + 12 + int64(vlen)
-		if end > size {
-			// Torn value: discard the tail.
-			if terr := f.Truncate(off); terr != nil {
-				return nil, 0, fmt.Errorf("truncating torn log: %w", terr)
-			}
-			break
-		}
-		index[key] = recordRef{off: off + 12, length: vlen}
-		off = end
-	}
-	return index, off, nil
 }

@@ -1,9 +1,9 @@
 package store
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,24 +17,31 @@ import (
 // execute-thread leaves memory and busy-waits on a storage API call, and a
 // synchronous file-backed store exercises the identical code path.
 //
-// The on-disk format is a sequence of records:
-//
-//	[8 bytes key][4 bytes value length][value bytes]
-//
+// The on-disk format is the shared record log (see format.go): new logs
+// carry a per-record CRC-32C (format v2), pre-CRC v1 logs stay readable.
 // An in-memory index maps keys to their latest record offset, rebuilt by
 // scanning the log on open, so the store recovers its state across
-// restarts.
+// restarts. Overwritten versions stay in the log until Compact rewrites
+// the live records to a fresh log (same temp+fsync+rename ladder as the
+// sharded store), so log size tracks live data instead of history.
 type DiskStore struct {
-	mu     sync.Mutex
-	f      *os.File
-	index  map[uint64]recordRef
-	off    int64
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// logState is the log bookkeeping (index, append offset, format,
+	// live/total bytes), guarded by mu like the rest of the store.
+	logState
 	sync   bool
 	closed bool
 
-	// fsync accounting (atomic: SyncStats must not take the store lock).
+	compactRatio float64
+	compactMin   int64
+
+	// fsync and compaction accounting (atomic: the stats interfaces must
+	// not take the store lock).
 	fsyncs  atomic.Uint64
 	stallNS atomic.Uint64
+	cstats  compactCounters
 }
 
 type recordRef struct {
@@ -48,16 +55,28 @@ type DiskOptions struct {
 	// a write-ahead journal. Off by default; the API-call and file-write
 	// costs already dominate the in-memory path by orders of magnitude.
 	SyncEveryPut bool
+	// CompactRatio is the garbage fraction (dead bytes / total log bytes)
+	// past which MaybeCompact rewrites the log. 0 means the default
+	// (DefaultCompactRatio); negative disables MaybeCompact.
+	CompactRatio float64
+	// CompactMinBytes is the log size below which MaybeCompact never
+	// rewrites. 0 means the default (DefaultCompactMinBytes); negative
+	// removes the floor.
+	CompactMinBytes int64
 }
 
 // OpenDisk opens (or creates) a DiskStore at path and rebuilds the index
 // from the existing log.
 func OpenDisk(path string, opts DiskOptions) (*DiskStore, error) {
+	// A crash mid-compaction leaves a temp rewrite behind; it is garbage
+	// until renamed, so clear strays before recovering the real log.
+	removeCompactTemps(filepath.Dir(path))
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: opening log: %w", err)
 	}
-	s := &DiskStore{f: f, index: make(map[uint64]recordRef), sync: opts.SyncEveryPut}
+	s := &DiskStore{f: f, path: path, sync: opts.SyncEveryPut}
+	s.compactRatio, s.compactMin = resolveCompactKnobs(opts.CompactRatio, opts.CompactMinBytes)
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -66,15 +85,15 @@ func OpenDisk(path string, opts DiskOptions) (*DiskStore, error) {
 }
 
 // recover scans the log, rebuilding the key index. A truncated final
-// record (torn write) is discarded by truncating the log at its start.
+// record (torn write) is discarded by truncating the log at its start; in
+// a v2 log any record failing its CRC ends the valid prefix the same way.
 // The scan itself is shared with ShardedDiskStore (recoverLog).
 func (s *DiskStore) recover() error {
-	index, off, err := recoverLog(s.f)
+	st, err := recoverLog(s.f)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	s.index = index
-	s.off = off
+	s.logState = st
 	return nil
 }
 
@@ -86,10 +105,7 @@ func (s *DiskStore) Put(key uint64, value []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	buf := make([]byte, 12+len(value))
-	binary.BigEndian.PutUint64(buf[:8], key)
-	binary.BigEndian.PutUint32(buf[8:12], uint32(len(value)))
-	copy(buf[12:], value)
+	buf := encodeRecords([]KV{{Key: key, Value: value}}, s.v2)
 	if _, err := s.f.WriteAt(buf, s.off); err != nil {
 		return fmt.Errorf("store: appending record: %w", err)
 	}
@@ -101,12 +117,14 @@ func (s *DiskStore) Put(key uint64, value []byte) error {
 		s.fsyncs.Add(1)
 		s.stallNS.Add(uint64(time.Since(t0)))
 	}
-	s.index[key] = recordRef{off: s.off + 12, length: uint32(len(value))}
+	s.account(key, s.off+s.hdrSize(), uint32(len(value)))
 	s.off += int64(len(buf))
 	return nil
 }
 
 // Get implements Store, reading the value bytes back from the log file.
+// The read deliberately happens under the store-wide lock: the blocking,
+// fully serialized API is the Section 5.7 property under test.
 func (s *DiskStore) Get(key uint64) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -124,10 +142,65 @@ func (s *DiskStore) Get(key uint64) ([]byte, error) {
 	return out, nil
 }
 
+// Compact rewrites the live records to a fresh v2 log unconditionally,
+// dropping every superseded value (and upgrading a v1 log in the
+// process). Writers and readers are stalled for the duration — the
+// blocking serialized API is this store's contract.
+func (s *DiskStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// MaybeCompact compacts the log if it clears the configured size floor
+// and garbage-ratio threshold; it returns the number of logs rewritten
+// (0 or 1).
+func (s *DiskStore) MaybeCompact() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if !shouldCompact(s.live, s.total, s.compactRatio, s.compactMin) {
+		return 0, nil
+	}
+	if err := s.compactLocked(); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func (s *DiskStore) compactLocked() error {
+	t0 := time.Now()
+	newF, st, err := rewriteLiveRecords(s.f, s.index, s.path)
+	if err != nil {
+		s.cstats.failures.Add(1)
+		return err
+	}
+	reclaimed := s.off - st.off
+	old := s.f
+	s.f, s.logState = newF, st
+	old.Close()
+	s.cstats.compactions.Add(1)
+	if reclaimed > 0 {
+		s.cstats.reclaimed.Add(uint64(reclaimed))
+	}
+	s.cstats.stallNS.Add(uint64(time.Since(t0)))
+	return nil
+}
+
 // SyncStats implements SyncStatser. In per-op sync mode the writer is the
 // one syncing, so stall time equals total fsync time.
 func (s *DiskStore) SyncStats() SyncStats {
 	return SyncStats{Fsyncs: s.fsyncs.Load(), FsyncStallNS: s.stallNS.Load()}
+}
+
+// CompactStats implements Compactor.
+func (s *DiskStore) CompactStats() CompactStats {
+	return s.cstats.stats()
 }
 
 // Len implements Store.

@@ -15,12 +15,20 @@
 // execute stage uses) and group-commit fsync, so durability stops being
 // the serialized tail of the pipeline. The diskpipe bench quantifies how
 // much of the Section 5.7 penalty this wins back.
+//
+// Both disk backends keep their logs bounded: records carry a CRC-32C
+// (format v2; recovery keeps the longest valid prefix, and pre-CRC v1
+// logs stay readable) and superseded values are garbage-collected by
+// Compactor, which the replica triggers from its stable-checkpoint path —
+// the paper's Section 4.7 license to discard old state. The compaction
+// bench measures log bytes and reopen time before/after.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNotFound is returned by Get when no record exists for the key.
@@ -84,6 +92,62 @@ type SyncStatser interface {
 	SyncStats() SyncStats
 }
 
+// CompactStats reports a log-structured store's garbage collection: how
+// many log rewrites completed, how many failed (the store stays on its
+// old log and remains usable), how many log bytes the rewrites dropped,
+// and how long writers were stalled behind a rewrite. The replica
+// surfaces these in its Stats next to SyncStats.
+type CompactStats struct {
+	// Compactions is the number of log rewrites completed.
+	Compactions uint64
+	// Failures is the number of attempted rewrites that failed; each
+	// leaves the original log authoritative and the store usable.
+	Failures uint64
+	// ReclaimedBytes is the total log bytes dropped by compaction
+	// (superseded record versions).
+	ReclaimedBytes uint64
+	// StallNS is the cumulative time writers were blocked behind a log
+	// rewrite (per-shard for the sharded store, so concurrent shard
+	// rewrites sum).
+	StallNS uint64
+}
+
+// compactCounters is the atomic backing for CompactStats, shared by both
+// disk backends so they report identically.
+type compactCounters struct {
+	compactions atomic.Uint64
+	failures    atomic.Uint64
+	reclaimed   atomic.Uint64
+	stallNS     atomic.Uint64
+}
+
+func (c *compactCounters) stats() CompactStats {
+	return CompactStats{
+		Compactions:    c.compactions.Load(),
+		Failures:       c.failures.Load(),
+		ReclaimedBytes: c.reclaimed.Load(),
+		StallNS:        c.stallNS.Load(),
+	}
+}
+
+// Compactor is an optional Store capability: log-structured stores whose
+// logs accumulate superseded values implement it so the replica can drive
+// garbage collection from its stable-checkpoint path (the paper's §4.7
+// moment: a stable checkpoint licenses discarding old state). MemStore
+// overwrites in place and has nothing to compact.
+type Compactor interface {
+	// MaybeCompact rewrites every log that clears the store's configured
+	// size floor and garbage-ratio threshold; it returns how many logs
+	// were rewritten. A failed rewrite leaves that log authoritative and
+	// is reported in CompactStats.Failures.
+	MaybeCompact() (int, error)
+	// Compact rewrites every log unconditionally, keeping only live
+	// records.
+	Compact() error
+	// CompactStats reports the compaction counters.
+	CompactStats() CompactStats
+}
+
 // Compile-time interface compliance checks.
 var (
 	_ Store       = (*MemStore)(nil)
@@ -93,6 +157,8 @@ var (
 	_ Batcher     = (*ShardedDiskStore)(nil)
 	_ SyncStatser = (*DiskStore)(nil)
 	_ SyncStatser = (*ShardedDiskStore)(nil)
+	_ Compactor   = (*DiskStore)(nil)
+	_ Compactor   = (*ShardedDiskStore)(nil)
 )
 
 // shardMix is the multiplicative hash spreading record keys across
