@@ -40,13 +40,27 @@
 // log to live records only. -store-compact-ratio and
 // -store-compact-min-bytes set the thresholds the checkpoint-driven
 // trigger uses (they also apply to diskpipe's disk rows).
+//
+// The readmix experiment compares consensus-ordered against
+// locally-served reads under YCSB mixes (workloads A and C) on the real
+// pipeline, each row a warmup window plus a measured window, with read
+// and write latency percentiles split; its seq-used column is the
+// ledger-height growth during the measured window — zero for the
+// read-only local row, the evidence that local reads consume no sequence
+// numbers.
+//
+// -json-dir additionally writes each experiment's metrics as
+// BENCH_<id>.json into the given directory — the machine-readable
+// artifact CI archives.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"resilientdb/internal/bench"
 	"resilientdb/internal/transport"
@@ -70,6 +84,7 @@ func run() int {
 	execDepth := flag.Int("exec-pipeline-depth", bench.DiskTuning.Depth, "diskpipe: cross-batch execution pipelining depth for the sharded-store row")
 	compactRatio := flag.Float64("store-compact-ratio", 0, "compaction/diskpipe: garbage ratio past which a shard log is compacted (0 = store default 0.5, negative disables)")
 	compactMin := flag.Int64("store-compact-min-bytes", 0, "compaction/diskpipe: log size floor for threshold-driven compaction (0 = store default 1 MiB, negative removes the floor)")
+	jsonDir := flag.String("json-dir", "", "also write each experiment's metrics as BENCH_<id>.json into this directory")
 	flag.Parse()
 
 	bench.TCPTuning.BatchMax = *netBatch
@@ -133,10 +148,36 @@ func run() int {
 	}
 
 	for _, e := range targets {
-		if _, err := bench.RunAndRender(e, scale, w); err != nil {
+		out, err := bench.RunAndRender(e, scale, w)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			return 1
 		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, e.ID, *scaleName, out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
 	}
 	return 0
+}
+
+// writeJSON records one experiment's metrics as BENCH_<id>.json — the
+// machine-readable counterpart to the rendered tables, keyed exactly like
+// Outcome.Metrics.
+func writeJSON(dir, id, scale string, out bench.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	doc := struct {
+		Experiment string             `json:"experiment"`
+		Scale      string             `json:"scale"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}{Experiment: id, Scale: scale, Metrics: out.Metrics}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+id+".json"), append(data, '\n'), 0o644)
 }

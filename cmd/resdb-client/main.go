@@ -1,7 +1,14 @@
 // Command resdb-client drives load against a TCP deployment of
 // resdb-node replicas: it runs many closed-loop clients, each submitting
-// YCSB write transactions and waiting for the protocol's response quorum,
-// then reports throughput and latency.
+// YCSB transactions and waiting for the protocol's response quorum, then
+// reports throughput and latency.
+//
+// The workload mix is controlled by -read-fraction (explicit read share
+// in [0,1]) or -workload (YCSB presets: a = 50% reads, b = 95%, c =
+// read-only); the default stays write-only. -read-mode picks how
+// read-only requests travel: quorum (default) orders them through
+// consensus, local sends them to a single replica answered from its
+// last-executed snapshot without a consensus round.
 package main
 
 import (
@@ -35,6 +42,9 @@ func run() int {
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "client retransmission timeout")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed (must match nodes)")
+	readFraction := flag.Float64("read-fraction", 0, "fraction of read-only transactions in [0,1] (0 = write-only default, -1 explicitly disables reads)")
+	preset := flag.String("workload", "", "YCSB workload preset: a (50% reads) | b (95%) | c (read-only); empty keeps -read-fraction")
+	readMode := flag.String("read-mode", "quorum", "how read-only requests travel: quorum (ordered through consensus) | local (served by one replica from its last-executed snapshot)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay (0 flushes when the queue drains)")
 	flag.Parse()
@@ -73,8 +83,11 @@ func run() int {
 	var wg sync.WaitGroup
 	cls := make([]*cluster.Client, *clients)
 	start := time.Now()
+	wcfg := workload.Default()
+	wcfg.ReadFraction = *readFraction
+	wcfg.Preset = *preset
 	for i := 0; i < *clients; i++ {
-		wl, err := workload.New(workload.Default(), int64(i))
+		wl, err := workload.New(wcfg, int64(i))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -108,6 +121,7 @@ func run() int {
 			Directory: dir,
 			Endpoint:  ep,
 			Workload:  wl,
+			ReadMode:  *readMode,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -123,13 +137,16 @@ func run() int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var txns, fast, slow, retx uint64
+	var txns, reads, writes, local, fast, slow, retx uint64
 	var latSum time.Duration
 	var latN uint64
-	var p99 time.Duration
+	var p99, readP50, readP95, writeP50, writeP95 time.Duration
 	for _, cl := range cls {
 		s := cl.Stats()
 		txns += s.TxnsCompleted
+		reads += s.ReadTxns
+		writes += s.WriteTxns
+		local += s.LocalReads
 		fast += s.FastPath
 		slow += s.SlowPath
 		retx += s.Retransmits
@@ -139,6 +156,22 @@ func run() int {
 		if v := h.Percentile(99); v > p99 {
 			p99 = v
 		}
+		if rh := cl.ReadLatency(); rh.Count() > 0 {
+			if v := rh.Percentile(50); v > readP50 {
+				readP50 = v
+			}
+			if v := rh.Percentile(95); v > readP95 {
+				readP95 = v
+			}
+		}
+		if wh := cl.WriteLatency(); wh.Count() > 0 {
+			if v := wh.Percentile(50); v > writeP50 {
+				writeP50 = v
+			}
+			if v := wh.Percentile(95); v > writeP95 {
+				writeP95 = v
+			}
+		}
 	}
 	mean := time.Duration(0)
 	if latN > 0 {
@@ -146,5 +179,9 @@ func run() int {
 	}
 	fmt.Printf("txns=%d tput=%.0f txn/s mean=%s p99=%s fast=%d slow=%d retx=%d\n",
 		txns, stats.Throughput(txns, elapsed), mean, p99, fast, slow, retx)
+	if reads > 0 {
+		fmt.Printf("reads=%d (local=%d p50=%s p95=%s) writes=%d (p50=%s p95=%s)\n",
+			reads, local, readP50, readP95, writes, writeP50, writeP95)
+	}
 	return 0
 }

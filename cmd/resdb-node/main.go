@@ -59,6 +59,11 @@
 //   - -store-compact-min-bytes B: log size below which compaction never
 //     rewrites (rewriting a tiny log cannot pay for its stall). 0
 //     (default) uses the built-in 1 MiB; negative removes the floor.
+//   - -store-read-index: keep every key's latest value in an in-memory
+//     index over the disk backends, so Get — and with it the locally
+//     served read path — never touches a shard log or lock. 0 (default)
+//     keeps it on; -1 disables it (reads go back through the log, the
+//     Section 5.7 blocking contrast). Ignored by the mem backend.
 //
 // Example 4-replica deployment on one machine:
 //
@@ -106,7 +111,7 @@ func knob(v, def int) int {
 // buildStore constructs the record store selected by -store-backend via
 // the shared store.OpenBackend (the same constructor the in-process
 // cluster uses, so backend semantics cannot drift between deployments).
-func buildStore(backend, dir string, id, shards, execThreads int, syncLinger time.Duration, compactRatio float64, compactMinBytes int64) (store.Store, error) {
+func buildStore(backend, dir string, id, shards, execThreads int, syncLinger time.Duration, compactRatio float64, compactMinBytes int64, readIndex bool) (store.Store, error) {
 	if dir == "" {
 		dir = filepath.Join("resdb-data", fmt.Sprintf("replica-%d", id))
 	}
@@ -118,6 +123,7 @@ func buildStore(backend, dir string, id, shards, execThreads int, syncLinger tim
 		SyncLinger:      syncLinger,
 		CompactRatio:    compactRatio,
 		CompactMinBytes: compactMinBytes,
+		ReadIndex:       readIndex,
 	})
 }
 
@@ -137,6 +143,7 @@ func run() int {
 	storeSync := flag.Duration("store-sync", 0, "fsync policy: 0 never fsyncs; >0 group-commits the sharded store on this linger (serial disk backend fsyncs every Put)")
 	storeCompactRatio := flag.Float64("store-compact-ratio", 0, "garbage ratio (dead/total log bytes) past which a stable checkpoint compacts a shard log (0 = default 0.5, negative disables compaction)")
 	storeCompactMin := flag.Int64("store-compact-min-bytes", 0, "log size below which checkpoint-driven compaction never rewrites (0 = default 1 MiB, negative removes the floor)")
+	storeReadIndex := flag.Int("store-read-index", 0, "in-memory read index over the disk backends so local reads never touch a shard log or lock (0 = default on, -1 disables)")
 	verifyThreads := flag.Int("verify-threads", 0, "parallel signature-verification workers (0 = default 2, -1 verifies inline on the worker lanes)")
 	workerThreads := flag.Int("worker-threads", 1, "parallel consensus worker lanes (1 = the paper's single worker-thread)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
@@ -188,7 +195,7 @@ func run() int {
 	}
 
 	execThreads := knob(*execShards, 1)
-	st, err := buildStore(*storeBackend, *storeDir, *id, *storeShards, execThreads, *storeSync, *storeCompactRatio, *storeCompactMin)
+	st, err := buildStore(*storeBackend, *storeDir, *id, *storeShards, execThreads, *storeSync, *storeCompactRatio, *storeCompactMin, *storeReadIndex >= 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -228,8 +235,9 @@ func run() int {
 		case <-stop:
 			rep.Stop()
 			s := rep.Stats()
-			fmt.Printf("final: txns=%d batches=%d height=%d view=%d drops=%d fsyncs=%d fsync-stall=%s compactions=%d reclaimed=%dB\n",
-				s.TxnsExecuted, s.BatchesExecuted, s.LedgerHeight, s.View, s.NetDrops,
+			fmt.Printf("final: txns=%d batches=%d reads=%d localreads=%d height=%d view=%d drops=%d fsyncs=%d fsync-stall=%s compactions=%d reclaimed=%dB\n",
+				s.TxnsExecuted, s.BatchesExecuted, s.ReadsExecuted, s.LocalReads,
+				s.LedgerHeight, s.View, s.NetDrops,
 				s.StoreFsyncs, time.Duration(s.StoreFsyncStallNS),
 				s.StoreCompactions, s.StoreCompactReclaimedBytes)
 			return 0

@@ -154,6 +154,8 @@ func All() []Experiment {
 			Paper: "naive off-memory storage cuts throughput ~94% (Section 5.7); sharding the log per execution shard and group-committing the fsync narrows that gap — the fsync-stall column shows the amortization", Run: diskpipe},
 		{ID: "compaction", Title: "Checkpoint-driven log compaction: shard-log bytes and reopen time before/after (sharded store)",
 			Paper: "a stable checkpoint licenses discarding old state (Section 4.7), and off-memory storage only stays viable if its costs stay bounded (Section 5.7) — compaction rewrites live records so log size and restart replay track live data, not history", Run: compaction},
+		{ID: "readmix", Title: "Read path: consensus-ordered vs locally-served reads under YCSB mixes (real pipeline)",
+			Paper: "the paper orders every operation through consensus; serving read-only requests from a replica's last-executed snapshot skips the three-phase round — the seq-used column shows local reads consuming no sequence numbers", Run: readmix},
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
-		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction"}
+		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction", "readmix"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -203,6 +203,39 @@ func TestShapeCompaction(t *testing.T) {
 	if out.Metrics["compaction_reopen_ms_post"] > out.Metrics["compaction_reopen_ms_pre"] {
 		t.Fatalf("compacted store reopened slower: %.2fms vs %.2fms",
 			out.Metrics["compaction_reopen_ms_post"], out.Metrics["compaction_reopen_ms_pre"])
+	}
+}
+
+// TestShapeReadMix checks the readmix invariants rather than exact
+// numbers (latency percentiles are scheduler-noisy on few-core
+// machines): every row must complete transactions, only the local-mode
+// rows may serve local reads, and the read-only local row must consume
+// zero sequence numbers while its consensus-ordered twin consumes many —
+// the consensus-bypass evidence.
+func TestShapeReadMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := readmix(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"quorum_a", "local_a", "quorum_c", "local_c"} {
+		if out.Metrics["readmix_tput_"+key] <= 0 {
+			t.Fatalf("row %s completed no transactions", key)
+		}
+	}
+	if out.Metrics["readmix_local_reads_quorum_a"] != 0 || out.Metrics["readmix_local_reads_quorum_c"] != 0 {
+		t.Fatal("quorum rows served local reads")
+	}
+	if out.Metrics["readmix_local_reads_local_a"] <= 0 || out.Metrics["readmix_local_reads_local_c"] <= 0 {
+		t.Fatal("local rows served no local reads")
+	}
+	if got := out.Metrics["readmix_seq_used_local_c"]; got != 0 {
+		t.Fatalf("read-only local traffic consumed %.0f sequence numbers, want 0", got)
+	}
+	if out.Metrics["readmix_seq_used_quorum_c"] <= 0 {
+		t.Fatal("consensus-ordered read-only traffic consumed no sequence numbers")
 	}
 }
 

@@ -37,6 +37,12 @@ type ClientConfig struct {
 	Directory *crypto.Directory
 	Endpoint  transport.Endpoint
 	Workload  *workload.Workload
+	// ReadMode selects how read-only requests travel: "quorum" (default,
+	// empty) orders them through consensus like writes; "local" sends them
+	// as a ReadRequest to a single replica, answered from its
+	// last-executed snapshot without a consensus round. Requests carrying
+	// any write always go through consensus.
+	ReadMode string
 }
 
 // ClientStats is a snapshot of one client's counters.
@@ -46,18 +52,31 @@ type ClientStats struct {
 	FastPath      uint64
 	SlowPath      uint64
 	Retransmits   uint64
+	// ReadTxns and WriteTxns split TxnsCompleted by request kind: a
+	// request whose transactions are all reads counts as reads, anything
+	// else as writes. LocalReads counts the read-only requests served by
+	// the consensus-bypassing local path.
+	ReadTxns   uint64
+	WriteTxns  uint64
+	LocalReads uint64
 }
 
 // Client is a closed-loop load generator: it keeps exactly one request in
 // flight and records end-to-end latency per completed request.
 type Client struct {
-	cfg     ClientConfig
-	engine  *clientengine.Engine
-	auth    crypto.Authenticator
-	latency *stats.Histogram
+	cfg      ClientConfig
+	engine   *clientengine.Engine
+	auth     crypto.Authenticator
+	latency  *stats.Histogram
+	readLat  *stats.Histogram
+	writeLat *stats.Histogram
 
-	txns     uint64
-	requests uint64
+	txns       uint64
+	readTxns   uint64
+	writeTxns  uint64
+	localReads uint64
+	localRetx  uint64
+	requests   uint64
 }
 
 // NewClient creates a client runtime.
@@ -71,20 +90,37 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Directory == nil || cfg.Endpoint == nil || cfg.Workload == nil {
 		return nil, fmt.Errorf("cluster: client %d missing directory, endpoint, or workload", cfg.ID)
 	}
+	switch cfg.ReadMode {
+	case "":
+		cfg.ReadMode = "quorum"
+	case "quorum", "local":
+	default:
+		return nil, fmt.Errorf("cluster: client %d unknown read mode %q (want quorum|local)", cfg.ID, cfg.ReadMode)
+	}
 	eng, err := clientengine.New(cfg.ID, cfg.N, cfg.Protocol)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{
-		cfg:     cfg,
-		engine:  eng,
-		auth:    cfg.Directory.NodeAuth(types.ClientNode(cfg.ID)),
-		latency: &stats.Histogram{},
+		cfg:      cfg,
+		engine:   eng,
+		auth:     cfg.Directory.NodeAuth(types.ClientNode(cfg.ID)),
+		latency:  &stats.Histogram{},
+		readLat:  &stats.Histogram{},
+		writeLat: &stats.Histogram{},
 	}, nil
 }
 
 // Latency exposes the client's latency histogram.
 func (c *Client) Latency() *stats.Histogram { return c.latency }
+
+// ReadLatency and WriteLatency expose the per-kind latency split: a
+// request whose transactions are all reads records into the read
+// histogram, anything carrying a write into the write one.
+func (c *Client) ReadLatency() *stats.Histogram { return c.readLat }
+
+// WriteLatency is ReadLatency's write-side counterpart.
+func (c *Client) WriteLatency() *stats.Histogram { return c.writeLat }
 
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() ClientStats {
@@ -94,7 +130,10 @@ func (c *Client) Stats() ClientStats {
 		Requests:      c.requests,
 		FastPath:      es.FastPath,
 		SlowPath:      es.SlowPath,
-		Retransmits:   es.Retransmits,
+		Retransmits:   es.Retransmits + c.localRetx,
+		ReadTxns:      c.readTxns,
+		WriteTxns:     c.writeTxns,
+		LocalReads:    c.localReads,
 	}
 }
 
@@ -108,6 +147,18 @@ func (c *Client) Run(ctx context.Context) {
 
 	for ctx.Err() == nil {
 		req := c.cfg.Workload.NextRequest(c.cfg.ID, clientSeq, c.cfg.Burst)
+		readOnly := requestReadOnly(&req)
+		if readOnly && c.cfg.ReadMode == "local" {
+			// Consensus-bypassing path: the read-only request is answered
+			// by a single replica from its last-executed snapshot. The
+			// client sequence still advances — replica-side dedup compares
+			// with <=, so gaps in the write stream are harmless.
+			if !c.localRead(ctx, inbox, &req, clientSeq, timer) {
+				return
+			}
+			clientSeq += uint64(c.cfg.Burst)
+			continue
+		}
 		sig, err := c.auth.Sign(types.ReplicaNode(0), req.SigningBytes())
 		if err != nil {
 			return
@@ -144,8 +195,7 @@ func (c *Client) Run(ctx context.Context) {
 				outcome, acts := c.engine.OnMessage(env.From, msg)
 				c.dispatch(acts)
 				if outcome != nil {
-					c.latency.Record(time.Since(start))
-					c.txns += uint64(c.cfg.Burst)
+					c.record(time.Since(start), readOnly)
 					clientSeq += uint64(c.cfg.Burst)
 					break waitResponse
 				}
@@ -155,6 +205,101 @@ func (c *Client) Run(ctx context.Context) {
 			}
 		}
 	}
+}
+
+// record books one completed request into the overall and per-kind
+// latency histograms and transaction counters.
+func (c *Client) record(d time.Duration, readOnly bool) {
+	c.latency.Record(d)
+	c.txns += uint64(c.cfg.Burst)
+	if readOnly {
+		c.readLat.Record(d)
+		c.readTxns += uint64(c.cfg.Burst)
+	} else {
+		c.writeLat.Record(d)
+		c.writeTxns += uint64(c.cfg.Burst)
+	}
+}
+
+// localRead issues one read-only request as a ReadRequest against a
+// single replica and waits for its ReadReply, rotating to the next
+// replica on timeout (a crashed or lagging server must not wedge the
+// client). It reports false when the context ended or the inbox closed.
+func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, req *types.ClientRequest, clientSeq uint64, timer *time.Timer) bool {
+	msg := &types.ReadRequest{
+		Client:    c.cfg.ID,
+		ClientSeq: clientSeq,
+		Keys:      readKeys(req),
+	}
+	// Spread clients across replicas so local reads scale with n instead
+	// of piling onto the primary.
+	target := int(uint32(c.cfg.ID)) % c.cfg.N
+	self := types.ClientNode(c.cfg.ID)
+	start := time.Now()
+	c.requests++
+	c.transmit(self, types.ReplicaNode(types.ReplicaID(target)), msg)
+
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(c.cfg.Timeout)
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case env, ok := <-inbox:
+			if !ok {
+				return false
+			}
+			if err := c.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+				continue
+			}
+			m, err := types.DecodeBody(env.Type, env.Body)
+			if err != nil {
+				continue
+			}
+			reply, ok := m.(*types.ReadReply)
+			if !ok || reply.Client != c.cfg.ID || reply.ClientSeq != clientSeq {
+				continue // stale consensus response or reply to an older read
+			}
+			c.record(time.Since(start), true)
+			c.localReads++
+			return true
+		case <-timer.C:
+			c.localRetx++
+			target = (target + 1) % c.cfg.N
+			c.transmit(self, types.ReplicaNode(types.ReplicaID(target)), msg)
+			timer.Reset(c.cfg.Timeout)
+		}
+	}
+}
+
+// requestReadOnly reports whether every operation in the request is a
+// read; a mixed burst counts as a write and goes through consensus.
+func requestReadOnly(req *types.ClientRequest) bool {
+	for i := range req.Txns {
+		for j := range req.Txns[i].Ops {
+			if req.Txns[i].Ops[j].Kind != types.OpRead {
+				return false
+			}
+		}
+	}
+	return len(req.Txns) > 0
+}
+
+// readKeys flattens a read-only request's keys in (transaction, op)
+// order — the order ReadReply results come back in.
+func readKeys(req *types.ClientRequest) []uint64 {
+	var keys []uint64
+	for i := range req.Txns {
+		for j := range req.Txns[i].Ops {
+			keys = append(keys, req.Txns[i].Ops[j].Key)
+		}
+	}
+	return keys
 }
 
 // dispatch signs and transmits client engine actions.

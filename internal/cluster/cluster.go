@@ -100,6 +100,16 @@ type Options struct {
 	// compaction never rewrites. 0 means the default
 	// (store.DefaultCompactMinBytes); negative removes the floor.
 	StoreCompactMinBytes int64
+	// StoreReadIndex controls the disk backends' in-memory read index
+	// (the snapshot layer local reads are served from): 0 keeps it on
+	// (the deployment default), -1 disables it so Get goes back through
+	// the shard log. Ignored by the mem backend.
+	StoreReadIndex int
+	// ReadMode selects how clients issue read-only requests: "quorum"
+	// (default) orders them through consensus; "local" sends them to a
+	// single replica, answered from its last-executed snapshot without a
+	// consensus round.
+	ReadMode string
 	// Seed makes key material and workloads reproducible.
 	Seed int64
 	// PreloadTable loads the YCSB table into every store before starting.
@@ -162,6 +172,13 @@ func (o *Options) fill() error {
 	if o.StoreSync < 0 {
 		return fmt.Errorf("cluster: negative store sync linger %v", o.StoreSync)
 	}
+	switch o.ReadMode {
+	case "":
+		o.ReadMode = "quorum"
+	case "quorum", "local":
+	default:
+		return fmt.Errorf("cluster: unknown read mode %q (want quorum|local)", o.ReadMode)
+	}
 	if o.Crypto.ReplicaScheme == 0 {
 		o.Crypto = crypto.Recommended()
 	}
@@ -191,12 +208,28 @@ type Result struct {
 	FastPath   uint64
 	SlowPath   uint64
 	Retransmit uint64
+	// Read/write split: ReadTxns counts transactions from read-only
+	// requests (however they traveled), WriteTxns the rest; the per-kind
+	// percentiles come from separate histograms. LocalReads counts the
+	// read-only requests served by the consensus-bypassing local path.
+	ReadTxns    uint64
+	WriteTxns   uint64
+	LocalReads  uint64
+	ReadP50Lat  time.Duration
+	ReadP95Lat  time.Duration
+	WriteP50Lat time.Duration
+	WriteP95Lat time.Duration
 }
 
 // String renders a compact one-line summary.
 func (r Result) String() string {
-	return fmt.Sprintf("txns=%d tput=%.0f txn/s mean=%s p50=%s p99=%s fast=%d slow=%d retx=%d",
+	s := fmt.Sprintf("txns=%d tput=%.0f txn/s mean=%s p50=%s p99=%s fast=%d slow=%d retx=%d",
 		r.Txns, r.Throughput, r.MeanLat, r.P50Lat, r.P99Lat, r.FastPath, r.SlowPath, r.Retransmit)
+	if r.ReadTxns > 0 {
+		s += fmt.Sprintf(" reads=%d(local=%d p50=%s p95=%s) writes=%d(p50=%s p95=%s)",
+			r.ReadTxns, r.LocalReads, r.ReadP50Lat, r.ReadP95Lat, r.WriteTxns, r.WriteP50Lat, r.WriteP95Lat)
+	}
+	return s
 }
 
 // Cluster is a runnable single-process deployment.
@@ -244,6 +277,7 @@ func (c *Cluster) buildStore(id types.ReplicaID) (store.Store, error) {
 		CompactRatio:    o.StoreCompactRatio,
 		CompactMinBytes: o.StoreCompactMinBytes,
 		MemSizeHint:     int(o.Workload.Records),
+		ReadIndex:       o.StoreReadIndex >= 0,
 	})
 }
 
@@ -351,6 +385,7 @@ func New(opts Options) (*Cluster, error) {
 			Directory: dir,
 			Endpoint:  ep,
 			Workload:  wl,
+			ReadMode:  opts.ReadMode,
 		})
 		if err != nil {
 			return nil, err
@@ -410,10 +445,33 @@ func (c *Cluster) Run(ctx context.Context, d time.Duration) Result {
 		res.FastPath += s.FastPath - before[i].FastPath
 		res.SlowPath += s.SlowPath - before[i].SlowPath
 		res.Retransmit += s.Retransmits - before[i].Retransmits
+		res.ReadTxns += s.ReadTxns - before[i].ReadTxns
+		res.WriteTxns += s.WriteTxns - before[i].WriteTxns
+		res.LocalReads += s.LocalReads - before[i].LocalReads
 	}
 	res.Throughput = stats.Throughput(res.Txns, elapsed)
 	res.MeanLat, res.P50Lat, res.P99Lat = c.aggregateLatency()
+	res.ReadP50Lat, res.ReadP95Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.ReadLatency() })
+	res.WriteP50Lat, res.WriteP95Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.WriteLatency() })
 	return res
+}
+
+// aggregateSplit reports the worst per-client P50/P95 of one latency
+// split, mirroring aggregateLatency's conservative max-across-clients.
+func (c *Cluster) aggregateSplit(h func(*Client) *stats.Histogram) (p50, p95 time.Duration) {
+	for _, cl := range c.clients {
+		hist := h(cl)
+		if hist.Count() == 0 {
+			continue
+		}
+		if v := hist.Percentile(50); v > p50 {
+			p50 = v
+		}
+		if v := hist.Percentile(95); v > p95 {
+			p95 = v
+		}
+	}
+	return p50, p95
 }
 
 func (c *Cluster) aggregateLatency() (mean, p50, p99 time.Duration) {

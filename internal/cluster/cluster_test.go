@@ -407,3 +407,78 @@ func TestDisableOutOfOrderStillCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClusterReadMixThroughConsensus: with a 50% read fraction in the
+// default quorum read mode, reads order through consensus like writes —
+// every replica executes them, clients complete them against a response
+// quorum, and nothing takes the local bypass.
+func TestClusterReadMixThroughConsensus(t *testing.T) {
+	opts := smallOpts()
+	opts.Workload.ReadFraction = 0.5
+	opts.PreloadTable = true
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.ReadTxns == 0 || res.WriteTxns == 0 {
+		t.Fatalf("mixed workload did not complete both kinds: %s", res)
+	}
+	if res.LocalReads != 0 {
+		t.Fatalf("quorum mode used the local read path: %s", res)
+	}
+	if reads := c.Replica(0).Stats().ReadsExecuted; reads == 0 {
+		t.Fatal("no reads executed through consensus")
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterLocalReads: in local read mode, read-only requests are served
+// by single replicas while writes keep flowing through consensus, and the
+// ledgers still agree.
+func TestClusterLocalReads(t *testing.T) {
+	opts := smallOpts()
+	opts.Workload.ReadFraction = 0.5
+	opts.ReadMode = "local"
+	opts.PreloadTable = true
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.ReadTxns == 0 || res.WriteTxns == 0 {
+		t.Fatalf("mixed workload did not complete both kinds: %s", res)
+	}
+	if res.LocalReads == 0 {
+		t.Fatalf("local mode never served a read locally: %s", res)
+	}
+	var served uint64
+	for i := 0; i < opts.N; i++ {
+		served += c.Replica(i).Stats().LocalReads
+	}
+	if served == 0 {
+		t.Fatal("no replica reports serving local reads")
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalReadsBypassConsensus is the acceptance check for the
+// consensus-bypassing read path: under a pure read workload (preset C) in
+// local mode, every read completes while no replica proposes a single
+// batch — local reads consume no sequence numbers at all.
+func TestLocalReadsBypassConsensus(t *testing.T) {
+	opts := smallOpts()
+	opts.Workload.Preset = "c"
+	opts.ReadMode = "local"
+	opts.PreloadTable = true
+	c, res := runCluster(t, opts, 800*time.Millisecond)
+	if res.ReadTxns == 0 || res.LocalReads == 0 {
+		t.Fatalf("pure read load completed nothing locally: %s", res)
+	}
+	if res.WriteTxns != 0 {
+		t.Fatalf("preset C produced writes: %s", res)
+	}
+	for i := 0; i < opts.N; i++ {
+		s := c.Replica(i).Stats()
+		if s.BatchesProposed != 0 || s.LedgerHeight != 0 {
+			t.Fatalf("replica %d sequenced work under a local-read-only load: proposed=%d height=%d",
+				i, s.BatchesProposed, s.LedgerHeight)
+		}
+	}
+}

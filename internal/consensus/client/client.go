@@ -43,6 +43,12 @@ func (p Protocol) String() string {
 type Outcome struct {
 	ClientSeq uint64
 	Result    types.Digest
+	// ReadResults carries the read values for a request with read
+	// operations, in the request's (transaction, op) order. The values are
+	// trustworthy despite coming from a single response: the replicas'
+	// result digest covers them, so the quorum that completed the request
+	// attested these exact bytes.
+	ReadResults []types.ReadResult
 	// FastPath reports whether a Zyzzyva request completed with all 3f+1
 	// speculative responses (always true for PBFT completions).
 	FastPath bool
@@ -83,6 +89,7 @@ type inflight struct {
 	specSeq      types.SeqNum
 	specHistory  types.Digest
 	specResult   types.Digest
+	specReads    []types.ReadResult
 	done         bool
 }
 
@@ -154,7 +161,7 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 		k := voteKey{result: m.Result}
 		if e.vote(k, rep) >= e.f+1 {
-			return e.complete(m.Result, true), nil
+			return e.complete(m.Result, true, m.ReadResults), nil
 		}
 	case *types.SpecResponse:
 		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq {
@@ -170,10 +177,11 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 			e.cur.specSeq = m.Seq
 			e.cur.specHistory = m.History
 			e.cur.specResult = m.Result
+			e.cur.specReads = m.ReadResults
 		}
 		if votes >= e.n {
 			// Fast path: all 3f+1 replicas agree.
-			return e.complete(m.Result, true), nil
+			return e.complete(m.Result, true, m.ReadResults), nil
 		}
 	case *types.LocalCommit:
 		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq || !e.cur.certSent {
@@ -184,7 +192,7 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 		e.cur.localCommits[rep] = true
 		if len(e.cur.localCommits) >= consensus.Quorum2f1(e.n) {
-			return e.complete(e.cur.specResult, false), nil
+			return e.complete(e.cur.specResult, false, e.cur.specReads), nil
 		}
 	}
 	return nil, nil
@@ -200,7 +208,7 @@ func (e *Engine) vote(k voteKey, rep types.ReplicaID) int {
 	return len(voters)
 }
 
-func (e *Engine) complete(result types.Digest, fast bool) *Outcome {
+func (e *Engine) complete(result types.Digest, fast bool, reads []types.ReadResult) *Outcome {
 	e.cur.done = true
 	e.stats.Completed++
 	if fast {
@@ -208,7 +216,7 @@ func (e *Engine) complete(result types.Digest, fast bool) *Outcome {
 	} else {
 		e.stats.SlowPath++
 	}
-	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, FastPath: fast}
+	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, ReadResults: reads, FastPath: fast}
 }
 
 // OnTimeout handles the client timer expiring before completion.

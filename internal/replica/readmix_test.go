@@ -1,0 +1,235 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"resilientdb/internal/consensus"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/ledger"
+	"resilientdb/internal/store"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// readMixBatches builds a deterministic committed-batch history over a
+// mixed read–write Zipfian workload (workload A, 50% reads), with one
+// request duplicated across batches so dedup skips its reads — and with
+// them its result slots — identically under every execution mode.
+func readMixBatches(t *testing.T, batches int) []consensus.Execute {
+	t.Helper()
+	wcfg := workload.Config{
+		Records:      shardTestRecords,
+		OpsPerTxn:    4,
+		ValueSize:    64,
+		Distribution: workload.Zipf,
+		Seed:         7,
+		ReadFraction: 0.5,
+	}
+	const clients = 4
+	wls := make([]*workload.Workload, clients)
+	for c := range wls {
+		wl, err := workload.New(wcfg, int64(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls[c] = wl
+	}
+	var dup types.ClientRequest
+	acts := make([]consensus.Execute, batches)
+	for b := 0; b < batches; b++ {
+		reqs := make([]types.ClientRequest, 0, clients+1)
+		for c := 0; c < clients; c++ {
+			reqs = append(reqs, wls[c].NextRequest(types.ClientID(c), uint64(b*2+1), 2))
+		}
+		if b == 1 {
+			dup = reqs[0]
+		}
+		if b == 2 {
+			reqs = append(reqs, dup)
+		}
+		acts[b] = consensus.Execute{
+			Seq:      types.SeqNum(b + 1),
+			Digest:   types.BatchDigest(reqs),
+			Requests: reqs,
+		}
+	}
+	return acts
+}
+
+// newReadMixReplica builds a backup replica plus client endpoints on the
+// same in-process network, so the test can capture the per-request
+// responses (result digests and read results) execution produces.
+func newReadMixReplica(t *testing.T, execThreads, depth, clients int, st store.Store) (*Replica, []transport.Endpoint) {
+	t.Helper()
+	dir, err := crypto.NewDirectory(crypto.NoSig(), [32]byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewInproc()
+	eps := make([]transport.Endpoint, clients)
+	for c := 0; c < clients; c++ {
+		eps[c] = net.Endpoint(types.ClientNode(types.ClientID(c)), 1, 1<<10)
+	}
+	r, err := New(Config{
+		ID:                 1,
+		N:                  4,
+		Protocol:           PBFT,
+		ExecuteThreads:     execThreads,
+		ExecPipelineDepth:  depth,
+		CheckpointInterval: 8,
+		LedgerMode:         ledger.HashChain,
+		Store:              st,
+		Directory:          dir,
+		Endpoint:           net.Endpoint(types.ReplicaNode(1), 3, 1<<10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r, eps
+}
+
+// respFingerprint is one response's comparable identity: which request it
+// answers, at which sequence, with which result digest and read values.
+type respFingerprint struct {
+	client    types.ClientID
+	clientSeq uint64
+	seq       types.SeqNum
+}
+
+// collectResponses drains want client responses from the endpoints and
+// renders each into a canonical string covering the result digest and
+// every read result byte.
+func collectResponses(t *testing.T, eps []transport.Endpoint, want int) map[respFingerprint]string {
+	t.Helper()
+	merged := make(chan *types.Envelope, 4*want)
+	for _, ep := range eps {
+		go func(inbox <-chan *types.Envelope) {
+			for env := range inbox {
+				merged <- env
+			}
+		}(ep.Inbox(0))
+	}
+	got := make(map[respFingerprint]string, want)
+	deadline := time.After(5 * time.Second)
+	for len(got) < want {
+		select {
+		case env := <-merged:
+			if env.Type != types.MsgClientResponse {
+				continue
+			}
+			msg, err := types.DecodeBody(env.Type, env.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp := msg.(*types.ClientResponse)
+			key := respFingerprint{client: resp.Client, clientSeq: resp.ClientSeq, seq: resp.Seq}
+			val := fmt.Sprintf("result=%x reads=", resp.Result)
+			for _, rr := range resp.ReadResults {
+				val += fmt.Sprintf("(%v,%x)", rr.Found, rr.Value)
+			}
+			if prev, ok := got[key]; ok && prev != val {
+				t.Fatalf("replica answered %v twice with different results:\n%s\n%s", key, prev, val)
+			}
+			got[key] = val
+		case <-deadline:
+			t.Fatalf("collected %d/%d responses before timeout", len(got), want)
+		}
+	}
+	return got
+}
+
+// TestReadMixDeterminism is the acceptance check for conflict-ordered
+// read–write execution: a mixed Zipfian workload run under E=4 with
+// pipeline depth 3 over a sharded group-commit DiskStore must produce
+// ledger digests, checkpoint chains, store state, AND per-request read
+// results byte-identical to E=1 serial execution over a MemStore. The
+// per-shard FIFO plus write-flush-before-read is what makes a read
+// observe exactly the writes sequenced before it.
+func TestReadMixDeterminism(t *testing.T) {
+	const batches = 32
+	const clients = 4
+	acts := readMixBatches(t, batches)
+	// 4 requests per batch plus the one duplicate re-delivery.
+	wantResponses := batches*clients + 1
+
+	// Preload half the table so reads hit both existing and missing keys.
+	preload := func(st store.Store) {
+		for k := uint64(0); k < shardTestRecords; k += 2 {
+			if err := st.Put(k, []byte{byte(k), byte(k >> 8)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	mem := store.NewMemStore(shardTestRecords)
+	preload(mem)
+	serial, serialEPs := newReadMixReplica(t, 1, 1, clients, mem)
+
+	disk, err := store.OpenShardedDisk(t.TempDir(), store.ShardedDiskOptions{
+		Shards:     4,
+		SyncLinger: 50 * time.Microsecond,
+		ReadIndex:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	preload(disk)
+	pipelined, pipelinedEPs := newReadMixReplica(t, 4, 3, clients, disk)
+
+	for _, act := range acts {
+		serial.execIn.Offer(uint64(act.Seq), execItem{act: act})
+		pipelined.execIn.Offer(uint64(act.Seq), execItem{act: act})
+	}
+	waitBatches(t, serial, batches)
+	waitBatches(t, pipelined, batches)
+
+	if got, want := pipelined.Ledger().StateDigest(), serial.Ledger().StateDigest(); got != want {
+		t.Fatalf("ledger head digest diverged: pipelined %x vs serial %x", got[:8], want[:8])
+	}
+	if err := ledger.VerifyChainEquality(serial.Ledger(), pipelined.Ledger()); err != nil {
+		t.Fatalf("chains diverged: %v", err)
+	}
+	ss, ps := serial.Stats(), pipelined.Stats()
+	if ss.TxnsExecuted != ps.TxnsExecuted {
+		t.Fatalf("txns executed diverged: serial %d vs pipelined %d", ss.TxnsExecuted, ps.TxnsExecuted)
+	}
+	if ss.ReadsExecuted == 0 {
+		t.Fatal("mixed workload executed no reads")
+	}
+	if ss.ReadsExecuted != ps.ReadsExecuted {
+		t.Fatalf("reads executed diverged: serial %d vs pipelined %d", ss.ReadsExecuted, ps.ReadsExecuted)
+	}
+	if got, want := storeDigest(t, pipelined.Store()), storeDigest(t, serial.Store()); got != want {
+		t.Fatalf("store state diverged: pipelined %x vs serial %x", got[:8], want[:8])
+	}
+
+	// The decisive check: every request's response — result digest and
+	// read values — must match between the two execution modes.
+	serialResp := collectResponses(t, serialEPs, wantResponses)
+	pipelinedResp := collectResponses(t, pipelinedEPs, wantResponses)
+	if len(serialResp) != len(pipelinedResp) {
+		t.Fatalf("response counts diverged: serial %d vs pipelined %d", len(serialResp), len(pipelinedResp))
+	}
+	withReads := 0
+	for key, sv := range serialResp {
+		pv, ok := pipelinedResp[key]
+		if !ok {
+			t.Fatalf("pipelined replica never answered %+v", key)
+		}
+		if sv != pv {
+			t.Fatalf("response %+v diverged:\nserial:    %s\npipelined: %s", key, sv, pv)
+		}
+		if len(sv) > len("result=")+64+len(" reads=") {
+			withReads++
+		}
+	}
+	if withReads == 0 {
+		t.Fatal("no response carried read results")
+	}
+}

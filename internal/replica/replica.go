@@ -273,8 +273,15 @@ type Stats struct {
 	TxnsExecuted    uint64
 	BatchesExecuted uint64
 	BatchesProposed uint64
-	MsgsIn          uint64
-	MsgsOut         uint64
+	// ReadsExecuted counts read operations carried through consensus and
+	// answered at execution (the ordered read path). LocalReads counts
+	// client ReadRequests answered directly from the last-executed
+	// snapshot on the input stage, without consuming a sequence number —
+	// the consensus-bypassing read path.
+	ReadsExecuted uint64
+	LocalReads    uint64
+	MsgsIn        uint64
+	MsgsOut       uint64
 	// AuthFailures counts envelopes whose authenticator failed
 	// verification and client requests with bad signatures — the real
 	// "someone is forging traffic" signal.
@@ -367,24 +374,51 @@ type execItem struct {
 	act consensus.Execute
 }
 
-// execShardJob is one shard's write partition of a committed batch. The
-// kvs slice belongs to the batch's partition-buffer set, which is only
-// recycled (via partsFree) after the batch's barrier completed; done.Done
-// is the worker's last touch of the job, so the buffers are never rebuilt
-// while a worker still reads them.
-type execShardJob struct {
-	kvs  []store.KV
-	done *sync.WaitGroup
+// shardOp is one typed operation routed to an execution shard, in batch
+// order. A write carries the value to apply; a read carries the slot in
+// the batch's read-result buffer where its result lands.
+type shardOp struct {
+	key   uint64
+	value []byte
+	slot  int
+	read  bool
 }
 
-// inflightExec is one committed batch mid-pipeline: its write partitions
+// readRange is one request's contiguous span of the batch's read-result
+// buffer; slots are assigned in (request, transaction, op) order, so each
+// request's reads are adjacent.
+type readRange struct {
+	start, n int
+}
+
+// execShardJob is one shard's partition of a committed batch: the writes
+// and reads touching the shard's keys, in batch order. The ops slice
+// belongs to the batch's partition-buffer set, which is only recycled
+// (via partsFree) after the batch's barrier completed; reads is the
+// batch's shared read-result buffer — each shard writes only the slots
+// its own partition carries, so workers never race on an element.
+// done.Done is the worker's last touch of the job, so the buffers are
+// never rebuilt while a worker still reads them.
+type execShardJob struct {
+	ops   []shardOp
+	reads []types.ReadResult
+	done  *sync.WaitGroup
+}
+
+// inflightExec is one committed batch mid-pipeline: its typed partitions
 // are fanned out to the shard workers, its barrier (done) not yet waited.
 // The coordinator retires in-flight batches strictly in sequence order.
 type inflightExec struct {
 	act      consensus.Execute
 	txnCount uint32
 	done     sync.WaitGroup
-	parts    [][]store.KV // owned partition buffers; recycled at retire
+	parts    [][]shardOp // owned partition buffers; recycled at retire
+	// reads is the slot-indexed read-result buffer the shard workers (or
+	// the serial path) fill during execution; readRanges maps each request
+	// in the batch to its span. Both stay nil for write-only batches, so
+	// the write path allocates nothing new.
+	reads      []types.ReadResult
+	readRanges []readRange
 }
 
 // Replica is a runnable pipelined replica.
@@ -416,7 +450,7 @@ type Replica struct {
 	execDepth  int
 	shardQs    []chan execShardJob
 	shardWg    sync.WaitGroup
-	partsFree  chan [][]store.KV
+	partsFree  chan [][]shardOp
 	execBatch  store.Batcher
 
 	// Store compaction (nil for stores without logs, e.g. MemStore): a
@@ -489,14 +523,20 @@ type Replica struct {
 
 	txnsExecuted    atomic.Uint64
 	batchesExecuted atomic.Uint64
-	msgsIn          atomic.Uint64
-	msgsOut         atomic.Uint64
-	authFailures    atomic.Uint64
-	decodeFailures  atomic.Uint64
-	storeFailures   atomic.Uint64
-	busyNS          [stageCount]atomic.Uint64
-	laneBusyNS      []atomic.Uint64
-	shardBusyNS     []atomic.Uint64
+	readsExecuted   atomic.Uint64
+	localReads      atomic.Uint64
+	// lastRetired is the highest sequence number whose batch has fully
+	// retired (ledger appended, store applied); locally served reads are
+	// stamped with it so clients know the snapshot's consensus position.
+	lastRetired    atomic.Uint64
+	msgsIn         atomic.Uint64
+	msgsOut        atomic.Uint64
+	authFailures   atomic.Uint64
+	decodeFailures atomic.Uint64
+	storeFailures  atomic.Uint64
+	busyNS         [stageCount]atomic.Uint64
+	laneBusyNS     []atomic.Uint64
+	shardBusyNS    []atomic.Uint64
 }
 
 // New creates a replica; call Start to launch the pipeline.
@@ -576,9 +616,9 @@ func New(cfg Config) (*Replica, error) {
 		for i := range r.shardQs {
 			r.shardQs[i] = make(chan execShardJob, r.execDepth)
 		}
-		r.partsFree = make(chan [][]store.KV, r.execDepth)
+		r.partsFree = make(chan [][]shardOp, r.execDepth)
 		for i := 0; i < r.execDepth; i++ {
-			r.partsFree <- make([][]store.KV, r.execShards)
+			r.partsFree <- make([][]shardOp, r.execShards)
 		}
 		r.shardBusyNS = make([]atomic.Uint64, r.execShards)
 		if b, ok := st.(store.Batcher); ok {
@@ -626,6 +666,8 @@ func (r *Replica) Stats() Stats {
 	s := Stats{
 		TxnsExecuted:    r.txnsExecuted.Load(),
 		BatchesExecuted: r.batchesExecuted.Load(),
+		ReadsExecuted:   r.readsExecuted.Load(),
+		LocalReads:      r.localReads.Load(),
 		BatchesProposed: es.Proposed,
 		MsgsIn:          r.msgsIn.Load(),
 		MsgsOut:         r.msgsOut.Load(),

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"errors"
 	"time"
 
 	"resilientdb/internal/consensus"
@@ -51,6 +52,37 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 				// stalled primary; remember it for the watchdog.
 				r.pendingHint.Store(true)
 			}
+		case types.MsgReadRequest:
+			// Locally served read (the consensus-bypassing read path): the
+			// client asked this one replica for current values. Answered
+			// right here on the input stage — authenticate, read the
+			// last-executed snapshot, reply — so a local read never touches
+			// a consensus lane and never consumes a sequence number.
+			if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+				r.authFailures.Add(1)
+				break
+			}
+			msg, err := types.DecodeBody(env.Type, env.Body)
+			if err != nil {
+				r.decodeFailures.Add(1)
+				break
+			}
+			req, ok := msg.(*types.ReadRequest)
+			if !ok {
+				break
+			}
+			reply := &types.ReadReply{
+				Client:    req.Client,
+				ClientSeq: req.ClientSeq,
+				Seq:       types.SeqNum(r.lastRetired.Load()),
+				Replica:   r.cfg.ID,
+				Results:   make([]types.ReadResult, len(req.Keys)),
+			}
+			for i, key := range req.Keys {
+				reply.Results[i] = r.readKey(key)
+			}
+			r.localReads.Add(1)
+			r.sendTo(types.ClientNode(req.Client), reply)
 		case types.MsgCommitCert:
 			if pend != nil {
 				pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
@@ -556,9 +588,13 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 }
 
 // stageBatch runs the coordinator half of execution for one committed
-// batch: per-client dedup, write-set partitioning, and fan-out to the
-// shard workers (or, for serial execution, the store writes themselves).
-// It must be called in sequence order — dedup state advances here.
+// batch: per-client dedup, typed-op partitioning, and fan-out to the
+// shard workers (or, for serial execution, the store operations
+// themselves). It must be called in sequence order — dedup state advances
+// here. Read results land in slot order — slots are assigned in (request,
+// transaction, op) order as the coordinator walks the batch, and
+// duplicate-skipped transactions contribute none — so the result layout
+// is identical for serial and sharded execution.
 func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 	b := &inflightExec{act: act}
 	sharded := r.execShards > 1
@@ -568,9 +604,11 @@ func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 			b.parts[i] = b.parts[i][:0]
 		}
 	}
+	nextSlot := 0
 	for i := range act.Requests {
 		req := &act.Requests[i]
 		b.txnCount += uint32(len(req.Txns))
+		start := nextSlot
 		last := r.lastExec[req.Client]
 		for j := range req.Txns {
 			txn := &req.Txns[j]
@@ -578,12 +616,30 @@ func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 				continue // duplicate delivery (e.g. re-proposed after view change)
 			}
 			for k := range txn.Ops {
-				// Write-only YCSB-style application (Section 5.1).
+				op := &txn.Ops[k]
+				if op.Kind == types.OpRead {
+					if b.readRanges == nil {
+						b.readRanges = make([]readRange, len(act.Requests))
+					}
+					if sharded {
+						sh := workload.ShardOf(op.Key, r.execShards)
+						b.parts[sh] = append(b.parts[sh],
+							shardOp{key: op.Key, slot: nextSlot, read: true})
+					} else {
+						// Serial execution reads inline: every earlier
+						// write of this batch has already been applied, so
+						// the read observes exactly the prefix before it.
+						b.reads = append(b.reads, r.readKey(op.Key))
+					}
+					nextSlot++
+					continue
+				}
+				// YCSB-style write application (Section 5.1).
 				if sharded {
-					sh := workload.ShardOf(txn.Ops[k].Key, r.execShards)
+					sh := workload.ShardOf(op.Key, r.execShards)
 					b.parts[sh] = append(b.parts[sh],
-						store.KV{Key: txn.Ops[k].Key, Value: txn.Ops[k].Value})
-				} else if err := r.store.Put(txn.Ops[k].Key, txn.Ops[k].Value); err != nil {
+						shardOp{key: op.Key, value: op.Value})
+				} else if err := r.store.Put(op.Key, op.Value); err != nil {
 					// A durable store can fail (full disk, failed fsync);
 					// a silently lost write would diverge store state from
 					// the ledger, so make it loud.
@@ -595,17 +651,40 @@ func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 			}
 		}
 		r.lastExec[req.Client] = last
+		if b.readRanges != nil {
+			b.readRanges[i] = readRange{start: start, n: nextSlot - start}
+		}
 	}
 	if sharded {
+		if nextSlot > 0 {
+			// Allocated before fan-out: shard workers fill disjoint slots.
+			b.reads = make([]types.ReadResult, nextSlot)
+		}
 		for sh := range b.parts {
 			if len(b.parts[sh]) == 0 {
 				continue
 			}
 			b.done.Add(1)
-			r.shardQs[sh] <- execShardJob{kvs: b.parts[sh], done: &b.done}
+			r.shardQs[sh] <- execShardJob{ops: b.parts[sh], reads: b.reads, done: &b.done}
 		}
 	}
 	return b
+}
+
+// readKey answers one read against the store's current (last-applied)
+// state. A missing key is a normal outcome; any other store error is the
+// read-side analogue of a lost write and is counted loudly.
+func (r *Replica) readKey(key uint64) types.ReadResult {
+	v, err := r.store.Get(key)
+	switch {
+	case err == nil:
+		return types.ReadResult{Found: true, Value: v}
+	case errors.Is(err, store.ErrNotFound):
+		return types.ReadResult{}
+	default:
+		r.storeFailures.Add(1)
+		return types.ReadResult{}
+	}
 }
 
 // retireBatch completes one staged batch in sequence order: wait for its
@@ -629,35 +708,51 @@ func (r *Replica) retireBatch(b *inflightExec) {
 	ckActs := r.engine.OnExecuted(act.Seq, r.ledger.StateDigest())
 	r.handleActions(ckActs)
 
-	// Respond to every client in the batch.
+	// The batch is applied and appended: this sequence number is now the
+	// snapshot position locally served reads report.
+	r.lastRetired.Store(uint64(act.Seq))
+
+	// Respond to every client in the batch, attaching each request's span
+	// of the read-result buffer.
 	for i := range act.Requests {
 		req := &act.Requests[i]
-		result := responseDigest(act.Seq, req.Client, req.FirstSeq)
+		var reads []types.ReadResult
+		if b.readRanges != nil {
+			if rr := b.readRanges[i]; rr.n > 0 {
+				reads = b.reads[rr.start : rr.start+rr.n]
+			}
+		}
+		result := responseDigest(act.Seq, req.Client, req.FirstSeq, reads)
 		var resp types.Message
 		if act.Speculative {
 			resp = &types.SpecResponse{
-				View:      act.View,
-				Seq:       act.Seq,
-				Digest:    act.Digest,
-				History:   act.History,
-				Client:    req.Client,
-				ClientSeq: req.FirstSeq,
-				Result:    result,
-				Replica:   r.cfg.ID,
+				View:        act.View,
+				Seq:         act.Seq,
+				Digest:      act.Digest,
+				History:     act.History,
+				Client:      req.Client,
+				ClientSeq:   req.FirstSeq,
+				Result:      result,
+				Replica:     r.cfg.ID,
+				ReadResults: reads,
 			}
 		} else {
 			resp = &types.ClientResponse{
-				View:      act.View,
-				Seq:       act.Seq,
-				Client:    req.Client,
-				ClientSeq: req.FirstSeq,
-				Result:    result,
-				Replica:   r.cfg.ID,
+				View:        act.View,
+				Seq:         act.Seq,
+				Client:      req.Client,
+				ClientSeq:   req.FirstSeq,
+				Result:      result,
+				Replica:     r.cfg.ID,
+				ReadResults: reads,
 			}
 		}
 		r.sendTo(types.ClientNode(req.Client), resp)
 	}
 
+	if n := len(b.reads); n > 0 {
+		r.readsExecuted.Add(uint64(n))
+	}
 	r.txnsExecuted.Add(uint64(b.txnCount))
 	r.batchesExecuted.Add(1)
 	if r.cfg.DisableOutOfOrder {
@@ -668,29 +763,52 @@ func (r *Replica) retireBatch(b *inflightExec) {
 	r.signalProgress()
 }
 
-// execShardLoop is one execution shard worker: it applies its write
-// partition of each committed batch to the store and signals the batch
-// barrier. MemStore's batched apply path (store.Batcher) pays the
-// liveness check once per partition; stores without it — DiskStore, whose
-// blocking serialized API is the Section 5.7 contrast — fall back to
-// per-op Puts serialized by the store itself.
+// execShardLoop is one execution shard worker: it applies its partition
+// of each committed batch to the store in batch order and signals the
+// batch barrier. Consecutive writes accumulate into a scratch buffer
+// applied in one batched call (store.Batcher) when the store supports it;
+// stores without it — DiskStore, whose blocking serialized API is the
+// Section 5.7 contrast — fall back to per-op Puts serialized by the store
+// itself. Pending writes always flush before a read executes, so a read
+// observes every earlier write to its key: same-batch ones through the
+// flush, earlier-batch ones through the shard queue's FIFO (one key
+// always maps to one shard). Each read's result lands in its assigned
+// slot of the batch's shared result buffer; partitions carry disjoint
+// slots, so workers never race on an element.
 func (r *Replica) execShardLoop(shard int) {
 	defer r.shardWg.Done()
-	for job := range r.shardQs[shard] {
-		t0 := time.Now()
+	var scratch []store.KV
+	flush := func() {
+		if len(scratch) == 0 {
+			return
+		}
 		if r.execBatch != nil {
-			if err := r.execBatch.PutMany(job.kvs); err != nil {
+			if err := r.execBatch.PutMany(scratch); err != nil {
 				// Lost writes diverge store state from the ledger; count
 				// them loudly (StoreWriteFailures) instead of swallowing.
 				r.storeFailures.Add(1)
 			}
 		} else {
-			for i := range job.kvs {
-				if err := r.store.Put(job.kvs[i].Key, job.kvs[i].Value); err != nil {
+			for i := range scratch {
+				if err := r.store.Put(scratch[i].Key, scratch[i].Value); err != nil {
 					r.storeFailures.Add(1)
 				}
 			}
 		}
+		scratch = scratch[:0]
+	}
+	for job := range r.shardQs[shard] {
+		t0 := time.Now()
+		for i := range job.ops {
+			op := &job.ops[i]
+			if !op.read {
+				scratch = append(scratch, store.KV{Key: op.key, Value: op.value})
+				continue
+			}
+			flush()
+			job.reads[op.slot] = r.readKey(op.key)
+		}
+		flush()
 		if d := time.Since(t0); d > 0 {
 			r.shardBusyNS[shard].Add(uint64(d))
 		}
@@ -699,12 +817,23 @@ func (r *Replica) execShardLoop(shard int) {
 }
 
 // responseDigest derives the deterministic execution result all correct
-// replicas report for a request.
-func responseDigest(seq types.SeqNum, client types.ClientID, clientSeq uint64) types.Digest {
+// replicas report for a request. Read results fold into the digest, so a
+// client's f+1 matching-result quorum attests the read values too; with
+// no reads the digest is byte-identical to the historical write-only
+// form.
+func responseDigest(seq types.SeqNum, client types.ClientID, clientSeq uint64, reads []types.ReadResult) types.Digest {
 	var w types.Writer
 	w.U64(uint64(seq))
 	w.U32(uint32(client))
 	w.U64(clientSeq)
+	for i := range reads {
+		found := byte(0)
+		if reads[i].Found {
+			found = 1
+		}
+		w.U8(found)
+		w.Blob(reads[i].Value)
+	}
 	return crypto.Hash256(w.Bytes())
 }
 

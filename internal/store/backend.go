@@ -39,6 +39,11 @@ type BackendConfig struct {
 	CompactMinBytes int64
 	// MemSizeHint sizes the in-memory store (0 means 1<<16 records).
 	MemSizeHint int
+	// ReadIndex gives the disk backends an in-memory read index so Get —
+	// and with it the locally-served read path — never touches a log file
+	// or shard lock. Ignored by mem (already memory-resident). Replica
+	// deployments enable it by default via the -store-read-index knob.
+	ReadIndex bool
 }
 
 // OpenBackend builds the record store cfg describes.
@@ -58,6 +63,7 @@ func OpenBackend(cfg BackendConfig) (Store, error) {
 			SyncEveryPut:    cfg.SyncLinger > 0,
 			CompactRatio:    cfg.CompactRatio,
 			CompactMinBytes: cfg.CompactMinBytes,
+			ReadIndex:       cfg.ReadIndex,
 		})
 	case "sharded":
 		shards := cfg.Shards
@@ -69,6 +75,7 @@ func OpenBackend(cfg BackendConfig) (Store, error) {
 			SyncLinger:      cfg.SyncLinger,
 			CompactRatio:    cfg.CompactRatio,
 			CompactMinBytes: cfg.CompactMinBytes,
+			ReadIndex:       cfg.ReadIndex,
 		})
 	default:
 		return nil, fmt.Errorf("store: unknown backend %q (want mem|disk|sharded)", cfg.Backend)

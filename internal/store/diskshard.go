@@ -85,6 +85,12 @@ type diskLogShard struct {
 	syncing  bool
 	dirtyC   chan struct{} // capacity 1: wakes this shard's committer
 	closed   bool
+
+	// ri, when non-nil, answers Get from memory without touching the log
+	// file or the shard lock (see readindex.go). Appends update it under
+	// mu; compaction leaves it untouched, since rewriting the log changes
+	// record positions but no values.
+	ri *readIndex
 }
 
 // ShardedDiskOptions configures a ShardedDiskStore.
@@ -107,6 +113,11 @@ type ShardedDiskOptions struct {
 	// never rewrites. 0 means the default (DefaultCompactMinBytes);
 	// negative removes the floor.
 	CompactMinBytes int64
+	// ReadIndex keeps every key's latest value in memory, per shard, so
+	// Get never reads a shard log or takes a shard lock. Off by default —
+	// the Section 5.7 contrast is the blocking storage API — and enabled
+	// by OpenBackend for replica deployments serving local reads.
+	ReadIndex bool
 }
 
 const shardMetaFile = "SHARDS"
@@ -175,6 +186,15 @@ func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, er
 		}
 		sh := &diskLogShard{f: f, path: path, logState: st, dirtyC: make(chan struct{}, 1)}
 		sh.cond = sync.NewCond(&sh.mu)
+		if opts.ReadIndex {
+			ri, err := loadReadIndex(f, st.index)
+			if err != nil {
+				f.Close()
+				s.closeFiles()
+				return nil, fmt.Errorf("store: loading shard %d read index: %w", i, err)
+			}
+			sh.ri = ri
+		}
 		s.shards = append(s.shards, sh)
 	}
 	if s.linger > 0 {
@@ -247,6 +267,9 @@ func (sh *diskLogShard) appendLocked(kvs []KV) error {
 	}
 	sh.off += int64(len(buf))
 	sh.appended++
+	if sh.ri != nil {
+		sh.ri.putMany(kvs)
+	}
 	return nil
 }
 
@@ -441,15 +464,23 @@ func (s *ShardedDiskStore) PutMany(kvs []KV) error {
 	return nil
 }
 
-// Get implements Store, reading the value bytes back from the owning
-// shard's log. The record reference and file handle are snapshotted under
-// the shard lock but the ReadAt syscall runs outside it, so one disk read
-// never stalls the shard's writers or its group committer. If compaction
-// (or Close) retires the snapshotted handle mid-read the read fails with
+// Get implements Store. With the read index enabled the value comes from
+// the owning shard's in-memory index without touching its log file or
+// lock. Otherwise the value bytes are read back from the shard's log: the
+// record reference and file handle are snapshotted under the shard lock
+// but the ReadAt syscall runs outside it, so one disk read never stalls
+// the shard's writers or its group committer. If compaction (or Close)
+// retires the snapshotted handle mid-read the read fails with
 // fs.ErrClosed and is retried against the fresh handle; a closed store
 // surfaces as ErrClosed at the top of the retry.
 func (s *ShardedDiskStore) Get(key uint64) ([]byte, error) {
 	sh := s.shardFor(key)
+	if sh.ri != nil {
+		if v, ok := sh.ri.get(key); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
 	for {
 		sh.mu.Lock()
 		if sh.closed {

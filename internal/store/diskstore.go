@@ -33,6 +33,10 @@ type DiskStore struct {
 	logState
 	sync   bool
 	closed bool
+	// ri, when non-nil, answers Get from memory without touching the log
+	// file or mu (see readindex.go). Off by default to preserve the
+	// blocking serialized API under test in Section 5.7.
+	ri *readIndex
 
 	compactRatio float64
 	compactMin   int64
@@ -63,6 +67,11 @@ type DiskOptions struct {
 	// rewrites. 0 means the default (DefaultCompactMinBytes); negative
 	// removes the floor.
 	CompactMinBytes int64
+	// ReadIndex keeps every key's latest value in memory so Get never
+	// reads the log file or takes the store lock. Off by default — the
+	// Section 5.7 contrast is the blocking storage API — and enabled by
+	// OpenBackend for replica deployments serving local reads.
+	ReadIndex bool
 }
 
 // OpenDisk opens (or creates) a DiskStore at path and rebuilds the index
@@ -80,6 +89,14 @@ func OpenDisk(path string, opts DiskOptions) (*DiskStore, error) {
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if opts.ReadIndex {
+		ri, err := loadReadIndex(s.f, s.index)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: loading read index: %w", err)
+		}
+		s.ri = ri
 	}
 	return s, nil
 }
@@ -119,13 +136,24 @@ func (s *DiskStore) Put(key uint64, value []byte) error {
 	}
 	s.account(key, s.off+s.hdrSize(), uint32(len(value)))
 	s.off += int64(len(buf))
+	if s.ri != nil {
+		s.ri.put(key, value)
+	}
 	return nil
 }
 
-// Get implements Store, reading the value bytes back from the log file.
-// The read deliberately happens under the store-wide lock: the blocking,
-// fully serialized API is the Section 5.7 property under test.
+// Get implements Store. With the read index enabled the value comes from
+// memory without touching the log file or the store lock; otherwise the
+// value bytes are read back from the log under the store-wide lock — the
+// blocking, fully serialized API that is the Section 5.7 property under
+// test.
 func (s *DiskStore) Get(key uint64) ([]byte, error) {
+	if s.ri != nil {
+		if v, ok := s.ri.get(key); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -63,6 +63,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &CommitCert{}, nil
 	case MsgLocalCommit:
 		return &LocalCommit{}, nil
+	case MsgReadRequest:
+		return &ReadRequest{}, nil
+	case MsgReadReply:
+		return &ReadReply{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -1,5 +1,7 @@
 package types
 
+import "fmt"
+
 // MsgType tags every message on the wire. Values start at one so a zeroed
 // buffer can never masquerade as a valid message.
 type MsgType uint8
@@ -19,6 +21,8 @@ const (
 	MsgSpecResponse
 	MsgCommitCert
 	MsgLocalCommit
+	MsgReadRequest
+	MsgReadReply
 	msgTypeEnd // sentinel; keep last
 )
 
@@ -49,6 +53,10 @@ func (t MsgType) String() string {
 		return "CommitCert"
 	case MsgLocalCommit:
 		return "LocalCommit"
+	case MsgReadRequest:
+		return "ReadRequest"
+	case MsgReadReply:
+		return "ReadReply"
 	default:
 		return "Unknown"
 	}
@@ -77,6 +85,8 @@ var (
 	_ Message = (*SpecResponse)(nil)
 	_ Message = (*CommitCert)(nil)
 	_ Message = (*LocalCommit)(nil)
+	_ Message = (*ReadRequest)(nil)
+	_ Message = (*ReadReply)(nil)
 )
 
 // ---- ClientRequest ----
@@ -84,13 +94,31 @@ var (
 // Type implements Message.
 func (r *ClientRequest) Type() MsgType { return MsgClientRequest }
 
+// opsTypedBit marks a transaction's op-count word as the typed (v2) op
+// encoding, which spends a kind byte per op. The bit is free because
+// count validation bounds real op counts far below it, and v1 encoders
+// never set it, so write-only frames from older peers decode unchanged —
+// and write-only transactions still encode to the exact v1 bytes, keeping
+// batch digests and signing bytes stable across the upgrade.
+const opsTypedBit = 1 << 31
+
 func marshalTxn(w *Writer, t *Transaction) {
 	w.U32(uint32(t.Client))
 	w.U64(t.ClientSeq)
-	w.U32(uint32(len(t.Ops)))
-	for i := range t.Ops {
-		w.U64(t.Ops[i].Key)
-		w.Blob(t.Ops[i].Value)
+	if !t.typedOps() {
+		// v1 layout: [key u64][value blob] per op, no kind bytes.
+		w.U32(uint32(len(t.Ops)))
+		for i := range t.Ops {
+			w.U64(t.Ops[i].Key)
+			w.Blob(t.Ops[i].Value)
+		}
+	} else {
+		w.U32(uint32(len(t.Ops)) | opsTypedBit)
+		for i := range t.Ops {
+			w.U8(uint8(t.Ops[i].Kind))
+			w.U64(t.Ops[i].Key)
+			w.Blob(t.Ops[i].Value)
+		}
 	}
 	w.Blob(t.Payload)
 }
@@ -98,12 +126,25 @@ func marshalTxn(w *Writer, t *Transaction) {
 func unmarshalTxn(r *Reader, t *Transaction) {
 	t.Client = ClientID(r.U32())
 	t.ClientSeq = r.U64()
-	nops := r.count(12)
+	raw := r.U32()
 	if r.Err() != nil {
+		return
+	}
+	typed := raw&opsTypedBit != 0
+	nops := int(raw &^ opsTypedBit)
+	minOp := 12 // v1: key + value length prefix
+	if typed {
+		minOp = 13 // + kind byte
+	}
+	if nops > r.Remaining()/minOp+1 {
+		r.fail(fmt.Errorf("%w: %d ops", ErrOversized, nops))
 		return
 	}
 	t.Ops = make([]Op, nops)
 	for i := 0; i < nops; i++ {
+		if typed {
+			t.Ops[i].Kind = OpKind(r.U8())
+		}
 		t.Ops[i].Key = r.U64()
 		t.Ops[i].Value = r.Blob()
 	}
@@ -394,16 +435,63 @@ func (m *NewView) unmarshal(r *Reader) {
 
 // ---- ClientResponse ----
 
+// ReadResult is the outcome of one read operation: whether the key existed
+// and, if so, the value observed at the transaction's position in the
+// serial order.
+type ReadResult struct {
+	Found bool
+	Value []byte
+}
+
+// marshalReadResults appends the optional read-result tail: nothing at all
+// for write-only responses (preserving the pre-read wire bytes), else a
+// count plus [found u8][value blob] per result.
+func marshalReadResults(w *Writer, results []ReadResult) {
+	if len(results) == 0 {
+		return
+	}
+	w.U32(uint32(len(results)))
+	for i := range results {
+		if results[i].Found {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+		w.Blob(results[i].Value)
+	}
+}
+
+// unmarshalReadResults decodes the optional tail; absent bytes mean a
+// write-only response, which is how pre-read peers encode everything.
+func unmarshalReadResults(r *Reader) []ReadResult {
+	if r.Remaining() == 0 {
+		return nil
+	}
+	n := r.count(5)
+	if r.Err() != nil {
+		return nil
+	}
+	results := make([]ReadResult, n)
+	for i := 0; i < n; i++ {
+		results[i].Found = r.U8() != 0
+		results[i].Value = r.Blob()
+	}
+	return results
+}
+
 // ClientResponse is a replica's reply for one client request. PBFT clients
 // accept a result after f+1 matching responses; Zyzzyva's fast path needs
-// all 3f+1 (Section 2.1).
+// all 3f+1 (Section 2.1). ReadResults carries the values observed by the
+// request's read operations, in (transaction, op) order; Result covers
+// them, so matching responses attest the read values too.
 type ClientResponse struct {
-	View      View
-	Seq       SeqNum
-	Client    ClientID
-	ClientSeq uint64
-	Result    Digest
-	Replica   ReplicaID
+	View        View
+	Seq         SeqNum
+	Client      ClientID
+	ClientSeq   uint64
+	Result      Digest
+	Replica     ReplicaID
+	ReadResults []ReadResult
 }
 
 // Type implements Message.
@@ -416,6 +504,7 @@ func (m *ClientResponse) marshal(w *Writer) {
 	w.U64(m.ClientSeq)
 	w.Bytes32(m.Result)
 	w.U16(uint16(m.Replica))
+	marshalReadResults(w, m.ReadResults)
 }
 
 func (m *ClientResponse) unmarshal(r *Reader) {
@@ -425,6 +514,7 @@ func (m *ClientResponse) unmarshal(r *Reader) {
 	m.ClientSeq = r.U64()
 	m.Result = r.Bytes32()
 	m.Replica = ReplicaID(r.U16())
+	m.ReadResults = unmarshalReadResults(r)
 }
 
 // ---- Zyzzyva messages ----
@@ -480,15 +570,18 @@ func (m *OrderedRequest) Size() int {
 
 // SpecResponse is a replica's speculative reply to the client, binding the
 // result to the replica's history hash so the client can detect divergence.
+// ReadResults mirrors ClientResponse: read values in (txn, op) order,
+// attested by Result.
 type SpecResponse struct {
-	View      View
-	Seq       SeqNum
-	Digest    Digest
-	History   Digest
-	Client    ClientID
-	ClientSeq uint64
-	Result    Digest
-	Replica   ReplicaID
+	View        View
+	Seq         SeqNum
+	Digest      Digest
+	History     Digest
+	Client      ClientID
+	ClientSeq   uint64
+	Result      Digest
+	Replica     ReplicaID
+	ReadResults []ReadResult
 }
 
 // Type implements Message.
@@ -503,6 +596,7 @@ func (m *SpecResponse) marshal(w *Writer) {
 	w.U64(m.ClientSeq)
 	w.Bytes32(m.Result)
 	w.U16(uint16(m.Replica))
+	marshalReadResults(w, m.ReadResults)
 }
 
 func (m *SpecResponse) unmarshal(r *Reader) {
@@ -514,6 +608,7 @@ func (m *SpecResponse) unmarshal(r *Reader) {
 	m.ClientSeq = r.U64()
 	m.Result = r.Bytes32()
 	m.Replica = ReplicaID(r.U16())
+	m.ReadResults = unmarshalReadResults(r)
 }
 
 // CommitCert is Zyzzyva's slow path: a client that gathered only 2f+1
@@ -589,4 +684,87 @@ func (m *LocalCommit) unmarshal(r *Reader) {
 	m.Client = ClientID(r.U32())
 	m.ClientSeq = r.U64()
 	m.Replica = ReplicaID(r.U16())
+}
+
+// ---- Local read path ----
+
+// ReadRequest asks a single replica to answer reads from its last-executed
+// state, bypassing consensus entirely (the Fabric-style read path). The
+// reply reflects a committed prefix of the serial order but may trail the
+// cluster head; ClientSeq matches the reply to the request.
+type ReadRequest struct {
+	Client    ClientID
+	ClientSeq uint64
+	Keys      []uint64
+}
+
+// Type implements Message.
+func (m *ReadRequest) Type() MsgType { return MsgReadRequest }
+
+func (m *ReadRequest) marshal(w *Writer) {
+	w.U32(uint32(m.Client))
+	w.U64(m.ClientSeq)
+	w.U32(uint32(len(m.Keys)))
+	for _, k := range m.Keys {
+		w.U64(k)
+	}
+}
+
+func (m *ReadRequest) unmarshal(r *Reader) {
+	m.Client = ClientID(r.U32())
+	m.ClientSeq = r.U64()
+	n := r.count(8)
+	if r.Err() != nil {
+		return
+	}
+	m.Keys = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		m.Keys[i] = r.U64()
+	}
+}
+
+// ReadReply answers a ReadRequest from one replica's store. Seq stamps the
+// snapshot: every batch retired up to and including Seq is reflected in the
+// results, so the client knows exactly how stale its read is.
+type ReadReply struct {
+	Client    ClientID
+	ClientSeq uint64
+	Seq       SeqNum
+	Replica   ReplicaID
+	Results   []ReadResult
+}
+
+// Type implements Message.
+func (m *ReadReply) Type() MsgType { return MsgReadReply }
+
+func (m *ReadReply) marshal(w *Writer) {
+	w.U32(uint32(m.Client))
+	w.U64(m.ClientSeq)
+	w.U64(uint64(m.Seq))
+	w.U16(uint16(m.Replica))
+	w.U32(uint32(len(m.Results)))
+	for i := range m.Results {
+		if m.Results[i].Found {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+		w.Blob(m.Results[i].Value)
+	}
+}
+
+func (m *ReadReply) unmarshal(r *Reader) {
+	m.Client = ClientID(r.U32())
+	m.ClientSeq = r.U64()
+	m.Seq = SeqNum(r.U64())
+	m.Replica = ReplicaID(r.U16())
+	n := r.count(5)
+	if r.Err() != nil {
+		return
+	}
+	m.Results = make([]ReadResult, n)
+	for i := 0; i < n; i++ {
+		m.Results[i].Found = r.U8() != 0
+		m.Results[i].Value = r.Blob()
+	}
 }

@@ -70,10 +70,26 @@ func (n NodeID) String() string {
 	return fmt.Sprintf("r%d", int32(n))
 }
 
-// Op is a single write operation inside a transaction. The evaluation
-// workload (YCSB, Section 5.1) issues write-only operations against a keyed
-// record table, so an operation is a key plus the bytes to store.
+// OpKind distinguishes the operation types a transaction can carry. The
+// zero value is a write so pre-existing write-only code (and decoded v1
+// frames) keeps its meaning without change.
+type OpKind uint8
+
+const (
+	// OpWrite stores Value under Key.
+	OpWrite OpKind = iota
+	// OpRead fetches the record under Key; Value is empty on the wire and
+	// the result travels back in the response's read results.
+	OpRead
+	// Future kinds (range scans) extend the enum here; the typed wire
+	// encoding already carries a kind byte per op.
+)
+
+// Op is a single operation inside a transaction: a write of Value under
+// Key, or a read of Key. The evaluation workload (YCSB, Section 5.1)
+// issues these against a keyed record table.
 type Op struct {
+	Kind  OpKind
 	Key   uint64
 	Value []byte
 }
@@ -89,12 +105,28 @@ type Transaction struct {
 	Payload   []byte
 }
 
+// typedOps reports whether the transaction needs the typed (v2) op
+// encoding. Write-only transactions stay on the v1 layout so their bytes —
+// and every digest derived from them — are unchanged.
+func (t *Transaction) typedOps() bool {
+	for i := range t.Ops {
+		if t.Ops[i].Kind != OpWrite {
+			return true
+		}
+	}
+	return false
+}
+
 // Size returns the encoded size of the transaction in bytes. The simulator
-// and the NIC model use it to account for bandwidth.
+// and the NIC model use it to account for bandwidth. It tracks both wire
+// layouts: the typed encoding spends one extra kind byte per op.
 func (t *Transaction) Size() int {
 	n := 4 + 8 + 4 + 4 + len(t.Payload)
 	for i := range t.Ops {
 		n += 8 + 4 + len(t.Ops[i].Value)
+	}
+	if t.typedOps() {
+		n += len(t.Ops)
 	}
 	return n
 }

@@ -103,6 +103,13 @@ func TestRoundTripAllMessageTypes(t *testing.T) {
 		&SpecResponse{View: 0, Seq: 5, Digest: d1, History: d2, Client: 7, ClientSeq: 11, Result: d1, Replica: 2},
 		&CommitCert{Client: 7, ClientSeq: 11, View: 0, Seq: 5, History: d2, Replicas: []ReplicaID{0, 1, 2}},
 		&LocalCommit{View: 0, Seq: 5, History: d2, Client: 7, ClientSeq: 11, Replica: 3},
+		&ClientResponse{View: 2, Seq: 10, Client: 3, ClientSeq: 44, Result: d1, Replica: 1,
+			ReadResults: []ReadResult{{Found: true, Value: []byte("v")}, {Found: false}}},
+		&SpecResponse{View: 0, Seq: 5, Digest: d1, History: d2, Client: 7, ClientSeq: 11, Result: d1, Replica: 2,
+			ReadResults: []ReadResult{{Found: true, Value: []byte("spec")}}},
+		&ReadRequest{Client: 12, ClientSeq: 90, Keys: []uint64{3, 1 << 40, 7}},
+		&ReadReply{Client: 12, ClientSeq: 90, Seq: 501, Replica: 2,
+			Results: []ReadResult{{Found: true, Value: []byte("abc")}, {Found: false}}},
 	}
 	for _, msg := range msgs {
 		t.Run(msg.Type().String(), func(t *testing.T) {
@@ -311,11 +318,16 @@ func TestRequestSizeMatchesEncoding(t *testing.T) {
 	}
 }
 
-// quickTxn generates a random transaction for property tests.
+// quickTxn generates a random transaction for property tests, mixing
+// typed-op (read-bearing) and pure v1 write-only shapes.
 func quickTxn(rnd *rand.Rand) Transaction {
 	nops := rnd.Intn(4)
 	ops := make([]Op, nops)
 	for i := range ops {
+		if rnd.Intn(3) == 0 {
+			ops[i] = Op{Kind: OpRead, Key: rnd.Uint64()}
+			continue
+		}
 		val := make([]byte, rnd.Intn(32))
 		rnd.Read(val)
 		ops[i] = Op{Key: rnd.Uint64(), Value: val}

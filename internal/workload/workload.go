@@ -1,8 +1,9 @@
 // Package workload implements the application layer of the evaluation
 // (paper Figure 5 and Section 5.1): a YCSB-style benchmark in which each
-// client transaction indexes a table with an active set of 600K records
-// and issues write-only operations, with keys drawn from a Zipfian (or
-// uniform) distribution.
+// client transaction indexes a table with an active set of 600K records,
+// with keys drawn from a Zipfian (or uniform) distribution. Transactions
+// are write-only by default; a read fraction (or a YCSB A/B/C preset)
+// mixes read-only transactions into the same deterministic streams.
 package workload
 
 import (
@@ -54,6 +55,16 @@ type Config struct {
 	Distribution Distribution
 	// ZipfTheta is the Zipfian skew constant; 0 means the YCSB default 0.99.
 	ZipfTheta float64
+	// ReadFraction is the probability a transaction is read-only, per the
+	// YCSB mix convention. The knob convention applies: 0 keeps the default
+	// (write-only, the seed behaviour), -1 disables reads explicitly,
+	// anything in (0, 1] mixes that fraction of read transactions into the
+	// stream. Mutually exclusive with Preset.
+	ReadFraction float64
+	// Preset selects a standard YCSB mix by name: "a" (50% reads),
+	// "b" (95% reads), or "c" (read-only). Empty means no preset; setting
+	// both Preset and ReadFraction is a configuration error.
+	Preset string
 	// Seed makes the workload reproducible.
 	Seed int64
 }
@@ -86,7 +97,36 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("workload: invalid distribution %d", c.Distribution)
 	}
+	if c.ReadFraction != -1 && (c.ReadFraction < 0 || c.ReadFraction > 1) {
+		return fmt.Errorf("workload: ReadFraction must be in [0,1] or -1 (disabled), got %g", c.ReadFraction)
+	}
+	switch c.Preset {
+	case "", "a", "b", "c":
+	default:
+		return fmt.Errorf("workload: unknown preset %q (want a, b, or c)", c.Preset)
+	}
+	if c.Preset != "" && c.ReadFraction != 0 {
+		return fmt.Errorf("workload: Preset %q conflicts with explicit ReadFraction %g; set one",
+			c.Preset, c.ReadFraction)
+	}
 	return nil
+}
+
+// readFraction resolves the effective read fraction from the preset and
+// the explicit knob (0 = default = write-only, -1 = disabled).
+func (c Config) readFraction() float64 {
+	switch c.Preset {
+	case "a":
+		return 0.5
+	case "b":
+		return 0.95
+	case "c":
+		return 1.0
+	}
+	if c.ReadFraction <= 0 {
+		return 0
+	}
+	return c.ReadFraction
 }
 
 // Generator draws keys from the configured distribution. Generators are
@@ -98,10 +138,11 @@ type Generator interface {
 
 // Workload builds transactions and client requests for one client.
 type Workload struct {
-	cfg  Config
-	gen  Generator
-	rnd  *rand.Rand
-	fill byte
+	cfg      Config
+	gen      Generator
+	rnd      *rand.Rand
+	fill     byte
+	readFrac float64
 }
 
 // New creates a Workload for cfg. Each Workload owns an independent
@@ -123,13 +164,26 @@ func New(cfg Config, salt int64) (*Workload, error) {
 		}
 		gen = NewZipfian(rnd, cfg.Records, theta)
 	}
-	return &Workload{cfg: cfg, gen: gen, rnd: rnd, fill: byte(salt)}, nil
+	return &Workload{cfg: cfg, gen: gen, rnd: rnd, fill: byte(salt), readFrac: cfg.readFraction()}, nil
 }
 
-// NextTransaction builds the next write-only transaction for the client.
+// ReadFraction returns the effective read mix the workload runs with,
+// after preset resolution.
+func (w *Workload) ReadFraction() float64 { return w.readFrac }
+
+// NextTransaction builds the next transaction for the client: read-only
+// with probability ReadFraction, write-only otherwise (the YCSB txn-level
+// mix). With a zero read fraction the stream — including every byte of
+// every value — is identical to the pre-read workload: the read/write coin
+// is only flipped when reads are configured, so it perturbs no draws.
 func (w *Workload) NextTransaction(client types.ClientID, clientSeq uint64) types.Transaction {
+	readTxn := w.readFrac > 0 && w.rnd.Float64() < w.readFrac
 	ops := make([]types.Op, w.cfg.OpsPerTxn)
 	for i := range ops {
+		if readTxn {
+			ops[i] = types.Op{Kind: types.OpRead, Key: w.gen.Next()}
+			continue
+		}
 		val := make([]byte, w.cfg.ValueSize)
 		for j := range val {
 			val[j] = w.fill + byte(clientSeq) + byte(j)

@@ -20,6 +20,16 @@ func TestConfigValidate(t *testing.T) {
 		{"negative value size", func(c *Config) { c.ValueSize = -1 }, true},
 		{"bad distribution", func(c *Config) { c.Distribution = 99 }, true},
 		{"uniform ok", func(c *Config) { c.Distribution = Uniform }, false},
+		{"read fraction ok", func(c *Config) { c.ReadFraction = 0.5 }, false},
+		{"read fraction one", func(c *Config) { c.ReadFraction = 1 }, false},
+		{"read fraction disabled", func(c *Config) { c.ReadFraction = -1 }, false},
+		{"read fraction too big", func(c *Config) { c.ReadFraction = 1.5 }, true},
+		{"read fraction too small", func(c *Config) { c.ReadFraction = -0.5 }, true},
+		{"preset a", func(c *Config) { c.Preset = "a" }, false},
+		{"preset b", func(c *Config) { c.Preset = "b" }, false},
+		{"preset c", func(c *Config) { c.Preset = "c" }, false},
+		{"bad preset", func(c *Config) { c.Preset = "d" }, true},
+		{"preset vs explicit mix", func(c *Config) { c.Preset = "a"; c.ReadFraction = 0.2 }, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -95,6 +105,92 @@ func TestWorkloadDeterminism(t *testing.T) {
 	c := mk(6)
 	if types.BatchDigest([]types.ClientRequest{a}) == types.BatchDigest([]types.ClientRequest{c}) {
 		t.Fatal("different salts produced identical workload")
+	}
+}
+
+// TestReadMixShape: a mixed workload produces whole-transaction reads and
+// writes at roughly the configured fraction, read ops carry no values, and
+// the streams stay deterministic per salt. Presets resolve to their YCSB
+// fractions.
+func TestReadMixShape(t *testing.T) {
+	cfg := Default()
+	cfg.Records = 10_000
+	cfg.OpsPerTxn = 3
+	cfg.ReadFraction = 0.5
+	w, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const txns = 2000
+	for i := 0; i < txns; i++ {
+		txn := w.NextTransaction(1, uint64(i+1))
+		isRead := txn.Ops[0].Kind == types.OpRead
+		for _, op := range txn.Ops {
+			if (op.Kind == types.OpRead) != isRead {
+				t.Fatal("transaction mixes read and write ops; the mix is txn-level")
+			}
+			if op.Kind == types.OpRead && len(op.Value) != 0 {
+				t.Fatal("read op carries a value")
+			}
+		}
+		if isRead {
+			reads++
+		}
+	}
+	if frac := float64(reads) / txns; frac < 0.4 || frac > 0.6 {
+		t.Fatalf("read fraction %.2f far from configured 0.5", frac)
+	}
+
+	w3, w4 := mustNew(t, cfg, 9), mustNew(t, cfg, 9)
+	r3, r4 := w3.NextRequest(2, 1, 4), w4.NextRequest(2, 1, 4)
+	if types.BatchDigest([]types.ClientRequest{r3}) != types.BatchDigest([]types.ClientRequest{r4}) {
+		t.Fatal("mixed workload not deterministic under equal salts")
+	}
+
+	for preset, want := range map[string]float64{"a": 0.5, "b": 0.95, "c": 1.0} {
+		pc := Default()
+		pc.Preset = preset
+		pw, err := New(pc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pw.ReadFraction(); got != want {
+			t.Fatalf("preset %q resolved to %g, want %g", preset, got, want)
+		}
+	}
+	dc := Default()
+	dc.ReadFraction = -1
+	if got := mustNew(t, dc, 1).ReadFraction(); got != 0 {
+		t.Fatalf("ReadFraction=-1 resolved to %g, want 0", got)
+	}
+}
+
+func mustNew(t *testing.T, cfg Config, salt int64) *Workload {
+	t.Helper()
+	w, err := New(cfg, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWriteStreamUnchangedByReadKnob: with a zero read fraction the
+// generated stream must be byte-identical to the pre-read workload — the
+// mix coin must not consume random draws when reads are off.
+func TestWriteStreamUnchangedByReadKnob(t *testing.T) {
+	base := mustNew(t, Default(), 4)
+	off := Default()
+	off.ReadFraction = -1
+	disabled := mustNew(t, off, 4)
+	for i := 0; i < 50; i++ {
+		a := base.NextRequest(1, uint64(i*3+1), 3)
+		b := disabled.NextRequest(1, uint64(i*3+1), 3)
+		da := types.BatchDigest([]types.ClientRequest{a})
+		db := types.BatchDigest([]types.ClientRequest{b})
+		if da != db {
+			t.Fatalf("request %d diverged between default and explicitly-disabled reads", i)
+		}
 	}
 }
 
