@@ -40,8 +40,10 @@ type ClientConfig struct {
 	// ReadMode selects how read-only requests travel: "quorum" (default,
 	// empty) orders them through consensus like writes; "local" sends them
 	// as a ReadRequest to a single replica, answered from its
-	// last-executed snapshot without a consensus round. Requests carrying
-	// any write always go through consensus.
+	// last-executed state without a consensus round. Local reads give
+	// per-key freshness with the reply's Seq as a lower bound, not a
+	// cross-key snapshot (see types.ReadRequest). Requests carrying any
+	// write always go through consensus.
 	ReadMode string
 }
 
@@ -150,7 +152,7 @@ func (c *Client) Run(ctx context.Context) {
 		readOnly := requestReadOnly(&req)
 		if readOnly && c.cfg.ReadMode == "local" {
 			// Consensus-bypassing path: the read-only request is answered
-			// by a single replica from its last-executed snapshot. The
+			// by a single replica from its last-executed state. The
 			// client sequence still advances — replica-side dedup compares
 			// with <=, so gaps in the write stream are harmless.
 			if !c.localRead(ctx, inbox, &req, clientSeq, timer) {

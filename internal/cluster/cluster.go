@@ -101,14 +101,15 @@ type Options struct {
 	// (store.DefaultCompactMinBytes); negative removes the floor.
 	StoreCompactMinBytes int64
 	// StoreReadIndex controls the disk backends' in-memory read index
-	// (the snapshot layer local reads are served from): 0 keeps it on
+	// (the current-state layer local reads are served from): 0 keeps it on
 	// (the deployment default), -1 disables it so Get goes back through
 	// the shard log. Ignored by the mem backend.
 	StoreReadIndex int
 	// ReadMode selects how clients issue read-only requests: "quorum"
 	// (default) orders them through consensus; "local" sends them to a
-	// single replica, answered from its last-executed snapshot without a
-	// consensus round.
+	// single replica, answered from its last-executed state without a
+	// consensus round (per-key freshness only — see types.ReadRequest for
+	// the exact semantics).
 	ReadMode string
 	// Seed makes key material and workloads reproducible.
 	Seed int64

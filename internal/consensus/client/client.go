@@ -45,9 +45,11 @@ type Outcome struct {
 	Result    types.Digest
 	// ReadResults carries the read values for a request with read
 	// operations, in the request's (transaction, op) order. The values are
-	// trustworthy despite coming from a single response: the replicas'
-	// result digest covers them, so the quorum that completed the request
-	// attested these exact bytes.
+	// trustworthy despite coming from a single response: the engine
+	// recomputes types.ResponseDigest over every response's carried read
+	// results and discards mismatches before counting the vote, so only
+	// payloads that hash to the quorum-attested Result can complete a
+	// request.
 	ReadResults []types.ReadResult
 	// FastPath reports whether a Zyzzyva request completed with all 3f+1
 	// speculative responses (always true for PBFT completions).
@@ -156,6 +158,14 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		if e.protocol != PBFT || m.Client != e.id || m.ClientSeq != e.cur.clientSeq {
 			return nil, nil
 		}
+		// Votes are keyed on Result alone, so the payload must be checked
+		// against it: a Byzantine replica could copy the correct Result from
+		// honest replicas and attach forged (or stripped) read values, and
+		// its message may be the f+1-th that completes the request. Only
+		// responses whose carried fields hash to Result may vote.
+		if types.ResponseDigest(m.Seq, m.Client, m.ClientSeq, m.ReadResults) != m.Result {
+			return nil, nil
+		}
 		if m.View > e.view {
 			e.view = m.View
 		}
@@ -165,6 +175,12 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 	case *types.SpecResponse:
 		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq {
+			return nil, nil
+		}
+		// Same payload check as the PBFT path: it guards the 3f+1-th
+		// fast-path message, the 2f+1-th that records specReads for the
+		// slow path, and everything in between.
+		if types.ResponseDigest(m.Seq, m.Client, m.ClientSeq, m.ReadResults) != m.Result {
 			return nil, nil
 		}
 		if m.View > e.view {

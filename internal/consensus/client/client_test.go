@@ -44,7 +44,7 @@ func TestPBFTQuorumFPlusOne(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Submit(req(3, 5))
-	result := types.Digest{7}
+	result := types.ResponseDigest(1, 3, 5, nil)
 	resp := func(rep types.ReplicaID) *types.ClientResponse {
 		return &types.ClientResponse{View: 0, Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: rep}
 	}
@@ -78,8 +78,10 @@ func TestPBFTMismatchedResultsDoNotComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Submit(req(3, 5))
-	a := &types.ClientResponse{Client: 3, ClientSeq: 5, Result: types.Digest{1}, Replica: 0}
-	b := &types.ClientResponse{Client: 3, ClientSeq: 5, Result: types.Digest{2}, Replica: 1}
+	// Both responses carry internally consistent payloads (their digests
+	// verify) but disagree on the executed sequence, so their results differ.
+	a := &types.ClientResponse{Seq: 1, Client: 3, ClientSeq: 5, Result: types.ResponseDigest(1, 3, 5, nil), Replica: 0}
+	b := &types.ClientResponse{Seq: 2, Client: 3, ClientSeq: 5, Result: types.ResponseDigest(2, 3, 5, nil), Replica: 1}
 	if out, _ := e.OnMessage(types.ReplicaNode(0), a); out != nil {
 		t.Fatal("early completion")
 	}
@@ -120,7 +122,8 @@ func TestPBFTTimeoutRetransmitsToAll(t *testing.T) {
 func specResp(rep types.ReplicaID, client types.ClientID, cseq uint64, history types.Digest) *types.SpecResponse {
 	return &types.SpecResponse{
 		View: 0, Seq: 1, Digest: types.Digest{9}, History: history,
-		Client: client, ClientSeq: cseq, Result: types.Digest{5}, Replica: rep,
+		Client: client, ClientSeq: cseq,
+		Result: types.ResponseDigest(1, client, cseq, nil), Replica: rep,
 	}
 }
 
@@ -227,13 +230,93 @@ func TestZyzzyvaMismatchedHistoriesSplitVotes(t *testing.T) {
 	}
 }
 
+// TestPBFTForgedReadResultsRejected: votes are keyed on Result alone, so a
+// Byzantine replica could copy the correct result digest from honest
+// replicas and attach forged, stripped, or re-sequenced read values as the
+// f+1-th completing response. The engine must recompute the digest over
+// every response's carried payload and refuse to count mismatches.
+func TestPBFTForgedReadResultsRejected(t *testing.T) {
+	e, err := New(3, 4, PBFT) // f=1, quorum 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	reads := []types.ReadResult{{Found: true, Value: []byte("honest")}, {Found: false}}
+	result := types.ResponseDigest(1, 3, 5, reads)
+	honest := func(rep types.ReplicaID) *types.ClientResponse {
+		return &types.ClientResponse{Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: rep, ReadResults: reads}
+	}
+	if out, _ := e.OnMessage(types.ReplicaNode(0), honest(0)); out != nil {
+		t.Fatal("completed with one response")
+	}
+	// Each forgery copies the honest Result; any would complete the f+1
+	// quorum if its vote were counted.
+	forgeries := map[string]*types.ClientResponse{
+		"forged value": {Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: 1,
+			ReadResults: []types.ReadResult{{Found: true, Value: []byte("forged")}, {Found: false}}},
+		"stripped reads": {Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: 1},
+		"flipped found": {Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: 1,
+			ReadResults: []types.ReadResult{{Found: true, Value: []byte("honest")}, {Found: true}}},
+		"wrong seq": {Seq: 2, Client: 3, ClientSeq: 5, Result: result, Replica: 1, ReadResults: reads},
+	}
+	for name, forged := range forgeries {
+		if out, _ := e.OnMessage(types.ReplicaNode(1), forged); out != nil {
+			t.Fatalf("%s: forged response completed the request", name)
+		}
+	}
+	out, _ := e.OnMessage(types.ReplicaNode(1), honest(1))
+	if out == nil {
+		t.Fatal("honest f+1-th response did not complete")
+	}
+	if len(out.ReadResults) != 2 || string(out.ReadResults[0].Value) != "honest" {
+		t.Fatalf("outcome carries wrong read results: %+v", out.ReadResults)
+	}
+}
+
+// TestZyzzyvaForgedReadResultsRejected: the same payload check guards
+// Zyzzyva's fast path (the forgery would be the 3f+1-th response) and the
+// specReads recorded for the slow path.
+func TestZyzzyvaForgedReadResultsRejected(t *testing.T) {
+	e, err := New(2, 4, Zyzzyva)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(2, 9))
+	h := types.Digest{3}
+	reads := []types.ReadResult{{Found: true, Value: []byte("honest")}}
+	result := types.ResponseDigest(1, 2, 9, reads)
+	honest := func(rep types.ReplicaID) *types.SpecResponse {
+		return &types.SpecResponse{
+			View: 0, Seq: 1, Digest: types.Digest{9}, History: h,
+			Client: 2, ClientSeq: 9, Result: result, Replica: rep, ReadResults: reads,
+		}
+	}
+	for rep := 0; rep < 3; rep++ {
+		if out, _ := e.OnMessage(types.ReplicaNode(types.ReplicaID(rep)), honest(types.ReplicaID(rep))); out != nil {
+			t.Fatalf("completed with %d/4 responses", rep+1)
+		}
+	}
+	forged := honest(3)
+	forged.ReadResults = []types.ReadResult{{Found: true, Value: []byte("forged")}}
+	if out, _ := e.OnMessage(types.ReplicaNode(3), forged); out != nil {
+		t.Fatal("forged 3f+1-th response completed the fast path")
+	}
+	out, _ := e.OnMessage(types.ReplicaNode(3), honest(3))
+	if out == nil {
+		t.Fatal("honest 3f+1-th response did not complete")
+	}
+	if len(out.ReadResults) != 1 || string(out.ReadResults[0].Value) != "honest" {
+		t.Fatalf("outcome carries wrong read results: %+v", out.ReadResults)
+	}
+}
+
 func TestViewTrackingFollowsResponses(t *testing.T) {
 	e, err := New(3, 4, PBFT)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e.Submit(req(3, 1))
-	resp := &types.ClientResponse{View: 2, Client: 3, ClientSeq: 1, Result: types.Digest{1}, Replica: 1}
+	resp := &types.ClientResponse{View: 2, Seq: 1, Client: 3, ClientSeq: 1, Result: types.ResponseDigest(1, 3, 1, nil), Replica: 1}
 	e.OnMessage(types.ReplicaNode(1), resp)
 	if e.Primary() != 2 {
 		t.Fatalf("Primary = %d after observing view 2, want 2", e.Primary())

@@ -143,6 +143,75 @@ func collectResponses(t *testing.T, eps []transport.Endpoint, want int) map[resp
 	return got
 }
 
+// TestLocalReadClientBinding: a ReadRequest whose Client field does not
+// match the authenticated sender must be dropped as an auth failure. The
+// authenticated ReadReply goes to the *claimed* client and ClientSeq
+// values are guessable, so without the binding a malicious client could
+// plant answers for attacker-chosen keys in a victim's pending read.
+func TestLocalReadClientBinding(t *testing.T) {
+	mem := store.NewMemStore(1 << 10)
+	if err := mem.Put(7, []byte("v7")); err != nil {
+		t.Fatal(err)
+	}
+	r, eps := newReadMixReplica(t, 1, 1, 2, mem)
+
+	send := func(from types.ClientID, req *types.ReadRequest) {
+		env := &types.Envelope{
+			From: types.ClientNode(from),
+			To:   types.ReplicaNode(1),
+			Type: types.MsgReadRequest,
+			Body: types.MarshalBody(req),
+		}
+		if err := eps[int(from)].Send(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Client 1 claims to be client 0; the replica must not answer.
+	send(1, &types.ReadRequest{Client: 0, ClientSeq: 9, Keys: []uint64{7}})
+	// A well-formed request from the same sender is still served — the
+	// reply proves the read lane is alive and the forged request ahead of
+	// it in the inbox was discarded, not deferred.
+	send(1, &types.ReadRequest{Client: 1, ClientSeq: 10, Keys: []uint64{7}})
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case env := <-eps[1].Inbox(0):
+			if env.Type != types.MsgReadReply {
+				continue
+			}
+			msg, err := types.DecodeBody(env.Type, env.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reply := msg.(*types.ReadReply)
+			if reply.ClientSeq != 10 {
+				t.Fatalf("reply answers ClientSeq %d, want 10", reply.ClientSeq)
+			}
+			if len(reply.Results) != 1 || !reply.Results[0].Found || string(reply.Results[0].Value) != "v7" {
+				t.Fatalf("bad read results: %+v", reply.Results)
+			}
+			s := r.Stats()
+			if s.AuthFailures == 0 {
+				t.Fatal("forged ReadRequest not counted as an auth failure")
+			}
+			if s.LocalReads != 1 {
+				t.Fatalf("LocalReads = %d, want 1 (the forged request must not be served)", s.LocalReads)
+			}
+			// The victim must have received nothing.
+			select {
+			case env := <-eps[0].Inbox(0):
+				t.Fatalf("victim client received %v", env.Type)
+			default:
+			}
+			return
+		case <-deadline:
+			t.Fatal("legitimate ReadRequest never answered")
+		}
+	}
+}
+
 // TestReadMixDeterminism is the acceptance check for conflict-ordered
 // read–write execution: a mixed Zipfian workload run under E=4 with
 // pipeline depth 3 over a sharded group-commit DiskStore must produce

@@ -275,11 +275,15 @@ type Stats struct {
 	BatchesProposed uint64
 	// ReadsExecuted counts read operations carried through consensus and
 	// answered at execution (the ordered read path). LocalReads counts
-	// client ReadRequests answered directly from the last-executed
-	// snapshot on the input stage, without consuming a sequence number —
-	// the consensus-bypassing read path.
-	ReadsExecuted uint64
-	LocalReads    uint64
+	// client ReadRequests answered from the last-executed state on the
+	// dedicated read lane, without consuming a sequence number — the
+	// consensus-bypassing read path. LocalReadDrops counts ReadRequests
+	// discarded because the read lane's queue was full (the client times
+	// out and rotates to another replica); it is the local read path's
+	// overload signal.
+	ReadsExecuted  uint64
+	LocalReads     uint64
+	LocalReadDrops uint64
 	MsgsIn        uint64
 	MsgsOut       uint64
 	// AuthFailures counts envelopes whose authenticator failed
@@ -482,6 +486,14 @@ type Replica struct {
 	// delays a waiter until its fallback timer fires.
 	progressC chan struct{}
 
+	// Read lane: the input stage enqueues authenticated, decoded local
+	// ReadRequests here and dedicated read workers answer them, so store
+	// reads never head-of-line block the client inbox. A full queue drops
+	// the request (localReadDrops) instead of backpressuring consensus
+	// traffic.
+	readQ  chan *types.ReadRequest
+	readWg sync.WaitGroup
+
 	// Verify stage (nil / empty when VerifyThreads == 0).
 	verifyPool *crypto.VerifyPool
 	verifyQs   []chan verifiedItem
@@ -525,9 +537,12 @@ type Replica struct {
 	batchesExecuted atomic.Uint64
 	readsExecuted   atomic.Uint64
 	localReads      atomic.Uint64
+	localReadDrops  atomic.Uint64
 	// lastRetired is the highest sequence number whose batch has fully
 	// retired (ledger appended, store applied); locally served reads are
-	// stamped with it so clients know the snapshot's consensus position.
+	// stamped with it as a per-key freshness lower bound (reads run
+	// concurrently with later batches applying, so it is not a snapshot
+	// position).
 	lastRetired    atomic.Uint64
 	msgsIn         atomic.Uint64
 	msgsOut        atomic.Uint64
@@ -594,6 +609,7 @@ func New(cfg Config) (*Replica, error) {
 		lastExec:  make(map[types.ClientID]uint64),
 		stop:      make(chan struct{}),
 		progressC: make(chan struct{}, 1),
+		readQ:     make(chan *types.ReadRequest, 1<<10),
 		reqPool: pool.New[types.ClientRequest](nil, func(cr *types.ClientRequest) {
 			*cr = types.ClientRequest{}
 		}, 1024, 1<<16),
@@ -668,6 +684,7 @@ func (r *Replica) Stats() Stats {
 		BatchesExecuted: r.batchesExecuted.Load(),
 		ReadsExecuted:   r.readsExecuted.Load(),
 		LocalReads:      r.localReads.Load(),
+		LocalReadDrops:  r.localReadDrops.Load(),
 		BatchesProposed: es.Proposed,
 		MsgsIn:          r.msgsIn.Load(),
 		MsgsOut:         r.msgsOut.Load(),
@@ -754,6 +771,14 @@ func (r *Replica) Start() {
 		go r.inputReplicaLoop(r.cfg.Endpoint.Inbox(i), pend(i))
 	}
 
+	// Read lane: two workers answering locally served reads keep one slow
+	// multi-key (disk-bound) read from serializing the whole local read
+	// path while staying far from oversubscribing the machine.
+	for i := 0; i < 2; i++ {
+		r.readWg.Add(1)
+		go r.readLoop()
+	}
+
 	for i := 0; i < r.cfg.BatchThreads; i++ {
 		r.stage1Wg.Add(1)
 		go r.batchLoop()
@@ -802,6 +827,12 @@ func (r *Replica) Stop() {
 		close(r.stop)
 		r.cfg.Endpoint.Close()
 		r.inputWg.Wait()
+
+		// The input loops are the read lane's only producers; drain and
+		// stop it while the output stage is still up so queued replies
+		// still reach their clients.
+		close(r.readQ)
+		r.readWg.Wait()
 
 		// Input loops closed their verify queues on exit; wait for the
 		// forwarders to drain them before the queues they feed close.

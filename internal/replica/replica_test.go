@@ -115,26 +115,3 @@ func TestStageStringNames(t *testing.T) {
 	}
 }
 
-func TestResponseDigestDeterministic(t *testing.T) {
-	a := responseDigest(5, 3, 77, nil)
-	b := responseDigest(5, 3, 77, nil)
-	if a != b {
-		t.Fatal("responseDigest not deterministic")
-	}
-	if responseDigest(6, 3, 77, nil) == a || responseDigest(5, 4, 77, nil) == a || responseDigest(5, 3, 78, nil) == a {
-		t.Fatal("responseDigest ignores an input")
-	}
-	// Read results fold in: found-ness and value bytes both matter, and an
-	// empty result set stays byte-identical to the write-only digest.
-	reads := []types.ReadResult{{Found: true, Value: []byte("v")}}
-	c := responseDigest(5, 3, 77, reads)
-	if c == a {
-		t.Fatal("responseDigest ignores read results")
-	}
-	if responseDigest(5, 3, 77, []types.ReadResult{{Found: false, Value: []byte("v")}}) == c {
-		t.Fatal("responseDigest ignores Found")
-	}
-	if responseDigest(5, 3, 77, []types.ReadResult{}) != a {
-		t.Fatal("empty read results must not change the digest")
-	}
-}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"resilientdb/internal/consensus"
-	"resilientdb/internal/crypto"
 	"resilientdb/internal/store"
 	"resilientdb/internal/types"
 	"resilientdb/internal/workload"
@@ -54,10 +53,12 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 			}
 		case types.MsgReadRequest:
 			// Locally served read (the consensus-bypassing read path): the
-			// client asked this one replica for current values. Answered
-			// right here on the input stage — authenticate, read the
-			// last-executed snapshot, reply — so a local read never touches
-			// a consensus lane and never consumes a sequence number.
+			// client asked this one replica for current values. The input
+			// stage authenticates and decodes, then hands the request to the
+			// dedicated read lane — a local read never touches a consensus
+			// lane and never consumes a sequence number, and a slow
+			// (disk-bound) multi-key read never head-of-line blocks the
+			// client inbox behind its store reads.
 			if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
 				r.authFailures.Add(1)
 				break
@@ -71,18 +72,24 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 			if !ok {
 				break
 			}
-			reply := &types.ReadReply{
-				Client:    req.Client,
-				ClientSeq: req.ClientSeq,
-				Seq:       types.SeqNum(r.lastRetired.Load()),
-				Replica:   r.cfg.ID,
-				Results:   make([]types.ReadResult, len(req.Keys)),
+			// Bind the claimed client to the authenticated sender, mirroring
+			// the signed-Client binding the ordered ClientRequest path
+			// enforces. The authenticated reply goes to req.Client and
+			// ClientSeq values are guessable, so without this check a
+			// malicious client could plant answers for attacker-chosen keys
+			// in a victim's pending read.
+			if env.From != types.ClientNode(req.Client) {
+				r.authFailures.Add(1)
+				break
 			}
-			for i, key := range req.Keys {
-				reply.Results[i] = r.readKey(key)
+			select {
+			case r.readQ <- req:
+			default:
+				// The read lane is saturated: drop rather than block
+				// consensus-bound traffic behind it. The client times out
+				// and rotates to another replica.
+				r.localReadDrops.Add(1)
 			}
-			r.localReads.Add(1)
-			r.sendTo(types.ClientNode(req.Client), reply)
 		case types.MsgCommitCert:
 			if pend != nil {
 				pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
@@ -116,6 +123,31 @@ func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope, pend chan<- ver
 			r.route(env, false)
 		}
 		r.addBusy(StageInput, time.Since(t0))
+	}
+}
+
+// readLoop is one worker of the read lane: it answers locally served
+// ReadRequests from the last-executed state, off the input loop, so store
+// reads — a locked disk read per key with the read index disabled — are
+// paid here instead of head-of-line blocking all client traffic. lastRetired
+// is loaded before the keys are read and applied writes never roll back, so
+// the stamped Seq is a valid per-key freshness lower bound (there is no
+// cross-key snapshot; see types.ReadRequest).
+func (r *Replica) readLoop() {
+	defer r.readWg.Done()
+	for req := range r.readQ {
+		reply := &types.ReadReply{
+			Client:    req.Client,
+			ClientSeq: req.ClientSeq,
+			Seq:       types.SeqNum(r.lastRetired.Load()),
+			Replica:   r.cfg.ID,
+			Results:   make([]types.ReadResult, len(req.Keys)),
+		}
+		for i, key := range req.Keys {
+			reply.Results[i] = r.readKey(key)
+		}
+		r.localReads.Add(1)
+		r.sendTo(types.ClientNode(req.Client), reply)
 	}
 }
 
@@ -722,7 +754,7 @@ func (r *Replica) retireBatch(b *inflightExec) {
 				reads = b.reads[rr.start : rr.start+rr.n]
 			}
 		}
-		result := responseDigest(act.Seq, req.Client, req.FirstSeq, reads)
+		result := types.ResponseDigest(act.Seq, req.Client, req.FirstSeq, reads)
 		var resp types.Message
 		if act.Speculative {
 			resp = &types.SpecResponse{
@@ -814,27 +846,6 @@ func (r *Replica) execShardLoop(shard int) {
 		}
 		job.done.Done()
 	}
-}
-
-// responseDigest derives the deterministic execution result all correct
-// replicas report for a request. Read results fold into the digest, so a
-// client's f+1 matching-result quorum attests the read values too; with
-// no reads the digest is byte-identical to the historical write-only
-// form.
-func responseDigest(seq types.SeqNum, client types.ClientID, clientSeq uint64, reads []types.ReadResult) types.Digest {
-	var w types.Writer
-	w.U64(uint64(seq))
-	w.U32(uint32(client))
-	w.U64(clientSeq)
-	for i := range reads {
-		found := byte(0)
-		if reads[i].Found {
-			found = 1
-		}
-		w.U8(found)
-		w.Blob(reads[i].Value)
-	}
-	return crypto.Hash256(w.Bytes())
 }
 
 // ---- Output stage (Section 4.1) ----

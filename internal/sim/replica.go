@@ -316,17 +316,21 @@ func (sr *simReplica) finishExecute(t *Thread, act consensus.Execute) {
 	sr.host.Submit(t, cost, func() {
 		for i := range reqs {
 			req := &reqs[i]
+			// The simulated workload is write-only, but the client engine
+			// verifies every response's payload against its Result digest,
+			// so the stamp must be the real one.
+			result := types.ResponseDigest(act.Seq, req.Client, req.FirstSeq, nil)
 			var resp types.Message
 			if act.Speculative {
 				resp = &types.SpecResponse{
 					View: act.View, Seq: act.Seq, Digest: act.Digest,
 					History: act.History, Client: req.Client,
-					ClientSeq: req.FirstSeq, Replica: sr.id,
+					ClientSeq: req.FirstSeq, Result: result, Replica: sr.id,
 				}
 			} else {
 				resp = &types.ClientResponse{
 					View: act.View, Seq: act.Seq, Client: req.Client,
-					ClientSeq: req.FirstSeq, Replica: sr.id,
+					ClientSeq: req.FirstSeq, Result: result, Replica: sr.id,
 				}
 			}
 			sr.transmit(types.ClientNode(req.Client), resp)

@@ -1,6 +1,9 @@
 package types
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"fmt"
+)
 
 // MsgType tags every message on the wire. Values start at one so a zeroed
 // buffer can never masquerade as a valid message.
@@ -479,11 +482,37 @@ func unmarshalReadResults(r *Reader) []ReadResult {
 	return results
 }
 
+// ResponseDigest derives the deterministic execution result every correct
+// replica reports for one request: a hash over the assigned sequence
+// number, the request identity, and the read results in (transaction, op)
+// order. Replicas fold the read values into the digest so a client's
+// matching-result quorum attests them — and clients must recompute the
+// digest over a response's carried ReadResults and discard mismatches,
+// because votes are counted on Result alone: without the recomputation a
+// single Byzantine replica could copy the correct Result from honest
+// replicas and attach forged read values. With no reads the digest is
+// byte-identical to the historical write-only form.
+func ResponseDigest(seq SeqNum, client ClientID, clientSeq uint64, reads []ReadResult) Digest {
+	var w Writer
+	w.U64(uint64(seq))
+	w.U32(uint32(client))
+	w.U64(clientSeq)
+	for i := range reads {
+		found := byte(0)
+		if reads[i].Found {
+			found = 1
+		}
+		w.U8(found)
+		w.Blob(reads[i].Value)
+	}
+	return sha256.Sum256(w.Bytes())
+}
+
 // ClientResponse is a replica's reply for one client request. PBFT clients
 // accept a result after f+1 matching responses; Zyzzyva's fast path needs
 // all 3f+1 (Section 2.1). ReadResults carries the values observed by the
 // request's read operations, in (transaction, op) order; Result covers
-// them, so matching responses attest the read values too.
+// them (ResponseDigest), so matching responses attest the read values too.
 type ClientResponse struct {
 	View        View
 	Seq         SeqNum
@@ -690,8 +719,17 @@ func (m *LocalCommit) unmarshal(r *Reader) {
 
 // ReadRequest asks a single replica to answer reads from its last-executed
 // state, bypassing consensus entirely (the Fabric-style read path). The
-// reply reflects a committed prefix of the serial order but may trail the
-// cluster head; ClientSeq matches the reply to the request.
+// guarantee is per-key freshness, not a snapshot: the read lane runs
+// concurrently with the execute stage applying later batches, so each key
+// individually reflects at least every batch retired up to the reply's Seq
+// — possibly plus writes of a batch still mid-application — but a
+// multi-key read may observe different keys at different positions of the
+// serial order. Reads that must be serialized in the global order (or
+// atomic across keys) go through consensus as OpRead transactions instead.
+// The reply may also trail the cluster head; ClientSeq matches the reply
+// to the request. The replica only answers a ReadRequest whose Client
+// matches the authenticated sender, mirroring the signed-Client binding of
+// the ordered path.
 type ReadRequest struct {
 	Client    ClientID
 	ClientSeq uint64
@@ -723,9 +761,12 @@ func (m *ReadRequest) unmarshal(r *Reader) {
 	}
 }
 
-// ReadReply answers a ReadRequest from one replica's store. Seq stamps the
-// snapshot: every batch retired up to and including Seq is reflected in the
-// results, so the client knows exactly how stale its read is.
+// ReadReply answers a ReadRequest from one replica's store. Seq is a lower
+// bound on freshness: every batch retired up to and including Seq is
+// reflected in every result, but individual keys may additionally reflect
+// writes from later batches still being applied (see ReadRequest for the
+// full semantics). A client can bound its staleness with Seq but must not
+// treat the results as a cross-key snapshot.
 type ReadReply struct {
 	Client    ClientID
 	ClientSeq uint64

@@ -342,6 +342,30 @@ func quickTxn(rnd *rand.Rand) Transaction {
 	}
 }
 
+func TestResponseDigestDeterministic(t *testing.T) {
+	a := ResponseDigest(5, 3, 77, nil)
+	b := ResponseDigest(5, 3, 77, nil)
+	if a != b {
+		t.Fatal("ResponseDigest not deterministic")
+	}
+	if ResponseDigest(6, 3, 77, nil) == a || ResponseDigest(5, 4, 77, nil) == a || ResponseDigest(5, 3, 78, nil) == a {
+		t.Fatal("ResponseDigest ignores an input")
+	}
+	// Read results fold in: found-ness and value bytes both matter, and an
+	// empty result set stays byte-identical to the write-only digest.
+	reads := []ReadResult{{Found: true, Value: []byte("v")}}
+	c := ResponseDigest(5, 3, 77, reads)
+	if c == a {
+		t.Fatal("ResponseDigest ignores read results")
+	}
+	if ResponseDigest(5, 3, 77, []ReadResult{{Found: false, Value: []byte("v")}}) == c {
+		t.Fatal("ResponseDigest ignores Found")
+	}
+	if ResponseDigest(5, 3, 77, []ReadResult{}) != a {
+		t.Fatal("empty read results must not change the digest")
+	}
+}
+
 func TestQuickRoundTripPrePrepare(t *testing.T) {
 	f := func(view, seq uint64, seed int64, nreq uint8) bool {
 		rnd := rand.New(rand.NewSource(seed))
