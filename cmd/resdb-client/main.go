@@ -47,6 +47,8 @@ func run() int {
 	readMode := flag.String("read-mode", "quorum", "how read-only requests travel: quorum (ordered through consensus) | local (served by one replica from its last-executed snapshot)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay (0 flushes when the queue drains)")
+	netZeroCopy := flag.Int("net-zerocopy", 0, "zero-copy inbound frame decode from pooled buffers (0 = default on, -1 copies every frame)")
+	pooledEncode := flag.Int("pooled-encode", 0, "pooled outbound body encode (0 = default on, -1 allocates per message)")
 	flag.Parse()
 
 	proto := clientengine.PBFT
@@ -100,6 +102,7 @@ func run() int {
 			Capacity:   1 << 10,
 			BatchMax:   *netBatch,
 			Linger:     *netLinger,
+			ZeroCopy:   *netZeroCopy >= 0,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -113,15 +116,16 @@ func run() int {
 			}
 		}
 		cl, err := cluster.NewClient(cluster.ClientConfig{
-			ID:        types.ClientID(i),
-			N:         *n,
-			Protocol:  proto,
-			Burst:     *burst,
-			Timeout:   *timeout,
-			Directory: dir,
-			Endpoint:  ep,
-			Workload:  wl,
-			ReadMode:  *readMode,
+			ID:           types.ClientID(i),
+			N:            *n,
+			Protocol:     proto,
+			Burst:        *burst,
+			Timeout:      *timeout,
+			Directory:    dir,
+			Endpoint:     ep,
+			Workload:     wl,
+			ReadMode:     *readMode,
+			PooledEncode: *pooledEncode,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

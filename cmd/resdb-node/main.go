@@ -64,6 +64,20 @@
 //     served read path — never touches a shard log or lock. 0 (default)
 //     keeps it on; -1 disables it (reads go back through the log, the
 //     Section 5.7 blocking contrast). Ignored by the mem backend.
+//   - -net-zerocopy: decode inbound TCP frames in place from pooled
+//     buffers (Section 4.8 buffer-pool management); each pipeline stage
+//     releases its envelope when done and the buffer is reused. 0
+//     (default) on, -1 copies every frame (the pre-pooling baseline).
+//   - -pooled-encode: marshal outbound bodies into pooled arena buffers
+//     recycled after the transport write. 0 (default) on, -1 allocates a
+//     fresh body per message (the pre-pooling baseline).
+//   - -verify-batch K: let each verify worker drain up to K queued
+//     signature checks per wakeup and verify them as one batch (failed
+//     batches fall back to per-signature checks for attribution). 0 =
+//     default 16, 1 or -1 = per-signature verification.
+//   - -pprof-addr ADDR: serve net/http/pprof on ADDR (e.g.
+//     127.0.0.1:6060) and add heap/GC deltas to the stats tick; empty
+//     (default) disables profiling entirely.
 //
 // Example 4-replica deployment on one machine:
 //
@@ -77,9 +91,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only with -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -148,6 +165,10 @@ func run() int {
 	workerThreads := flag.Int("worker-threads", 1, "parallel consensus worker lanes (1 = the paper's single worker-thread)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "how long a partial TCP batch waits for more envelopes before flushing (0 flushes when the queue drains)")
+	netZeroCopy := flag.Int("net-zerocopy", 0, "zero-copy inbound frame decode from pooled buffers (0 = default on, -1 copies every frame)")
+	pooledEncode := flag.Int("pooled-encode", 0, "pooled outbound body encode (0 = default on, -1 allocates per message)")
+	verifyBatch := flag.Int("verify-batch", 0, "signature checks drained per verify-worker wakeup (0 = default 16, 1 or -1 = per-signature)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address and report heap/GC deltas in the stats tick (empty disables)")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
 	flag.Parse()
@@ -188,6 +209,7 @@ func run() int {
 		Capacity:   1 << 13,
 		BatchMax:   *netBatch,
 		Linger:     *netLinger,
+		ZeroCopy:   *netZeroCopy >= 0,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -212,6 +234,8 @@ func run() int {
 		ExecPipelineDepth: *execDepth,
 		VerifyThreads:     knob(*verifyThreads, 2),
 		WorkerThreads:     *workerThreads,
+		VerifyBatch:       *verifyBatch,
+		PooledEncode:      *pooledEncode,
 		Store:             st,
 		Directory:         dir,
 		Endpoint:          ep,
@@ -225,11 +249,27 @@ func run() int {
 	rep.Start()
 	fmt.Printf("replica %d/%d (%s) listening on %s\n", *id, *n, proto, ep.Addr())
 
+	profiling := *pprofAddr != ""
+	if profiling {
+		// DefaultServeMux carries the net/http/pprof handlers via the
+		// blank import; nothing else registers on it.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(*statsEvery)
 	defer tick.Stop()
 	var last uint64
+	var lastMem runtime.MemStats
+	if profiling {
+		runtime.ReadMemStats(&lastMem)
+	}
 	for {
 		select {
 		case <-stop:
@@ -240,12 +280,32 @@ func run() int {
 				s.LedgerHeight, s.View, s.NetDrops,
 				s.StoreFsyncs, time.Duration(s.StoreFsyncStallNS),
 				s.StoreCompactions, s.StoreCompactReclaimedBytes)
+			if profiling {
+				hits, misses := ep.FramePoolStats()
+				fmt.Printf("final-mem: framepool-hits=%d framepool-misses=%d encpool-hits=%d encpool-misses=%d verify-batched=%d\n",
+					hits, misses, s.EncodePoolHits, s.EncodePoolMisses, s.VerifyBatched)
+			}
 			return 0
 		case <-tick.C:
 			s := rep.Stats()
-			fmt.Printf("txns=%d (+%d) height=%d view=%d in=%d out=%d authfail=%d drops=%d compactions=%d\n",
+			line := fmt.Sprintf("txns=%d (+%d) height=%d view=%d in=%d out=%d authfail=%d drops=%d compactions=%d",
 				s.TxnsExecuted, s.TxnsExecuted-last, s.LedgerHeight, s.View,
 				s.MsgsIn, s.MsgsOut, s.AuthFailures, s.NetDrops, s.StoreCompactions)
+			if profiling {
+				// Heap and GC deltas since the previous tick: together with
+				// the pool counters these are the live view of what the
+				// zero-copy path saves (allocation pressure, pause time).
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				hits, misses := ep.FramePoolStats()
+				line += fmt.Sprintf(" heap=%dKiB gc=+%d pause=+%s framepool=%d/%d encpool=%d/%d verify-batched=%d",
+					m.HeapAlloc>>10, m.NumGC-lastMem.NumGC,
+					time.Duration(m.PauseTotalNs-lastMem.PauseTotalNs),
+					hits, hits+misses, s.EncodePoolHits, s.EncodePoolHits+s.EncodePoolMisses,
+					s.VerifyBatched)
+				lastMem = m
+			}
+			fmt.Println(line)
 			last = s.TxnsExecuted
 		}
 	}

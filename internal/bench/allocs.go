@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"resilientdb/internal/cluster"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/pool"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// allocs measures what the zero-copy hot path saves, in two layers:
+//
+//   - Microbenchmarks (testing.Benchmark with allocation accounting) on
+//     the three mechanisms in isolation: batch-frame decode + inbox
+//     dispatch with copying vs pooled arena-backed envelopes, outbound
+//     body encode with fresh vs pooled buffers, and signature
+//     verification with per-signature vs batch-drained verify workers.
+//   - A real-cluster A/B: the same in-process PBFT cluster run with the
+//     pre-pooling baseline (PooledEncode -1) and with pooling on,
+//     reporting heap allocations per transaction, live heap, and GC
+//     pause time over the measured window.
+//
+// The frame rows are the headline: a copied batch frame pays one buffer
+// plus a body and an authenticator copy per envelope, while the pooled
+// path pays one pooled arena for the whole frame (authenticators are
+// still copied — consensus engines retain them in commit certificates).
+func allocs(s Scale) (Outcome, error) {
+	warmup := 300 * time.Millisecond
+	window := 600 * time.Millisecond
+	clients := 32
+	if s == ScalePaper {
+		warmup = 1 * time.Second
+		window = 2 * time.Second
+		clients = 96
+	}
+
+	micro := Table{
+		Title:   "Zero-copy microbenchmarks (64-envelope batch frame, 256B bodies)",
+		Columns: []string{"path", "ns/op", "allocs/op", "bytes/op"},
+	}
+	metrics := map[string]float64{}
+
+	frameCopy := testing.Benchmark(benchFrameDecodeCopy)
+	framePooled := testing.Benchmark(benchFrameDecodePooled)
+	addMicroRow(&micro, metrics, "frame-decode-copy", "allocs_frame_copy", frameCopy)
+	addMicroRow(&micro, metrics, "frame-decode-pooled", "allocs_frame_pooled", framePooled)
+	if c := float64(frameCopy.AllocsPerOp()); c > 0 {
+		metrics["allocs_frame_reduction_pct"] =
+			100 * (1 - float64(framePooled.AllocsPerOp())/c)
+	}
+
+	encCopy := testing.Benchmark(benchEncodeCopy)
+	encPooled := testing.Benchmark(benchEncodePooled)
+	addMicroRow(&micro, metrics, "encode-copy", "allocs_encode_copy", encCopy)
+	addMicroRow(&micro, metrics, "encode-pooled", "allocs_encode_pooled", encPooled)
+
+	verSerial, err := benchVerify(1)
+	if err != nil {
+		return Outcome{}, err
+	}
+	verBatched, err := benchVerify(crypto.DefaultVerifyBatch)
+	if err != nil {
+		return Outcome{}, err
+	}
+	addMicroRow(&micro, metrics, "verify-per-sig", "allocs_verify_per_sig", verSerial)
+	addMicroRow(&micro, metrics, "verify-batched", "allocs_verify_batched", verBatched)
+
+	clusterTab := Table{
+		Title:   "Real-cluster allocation A/B (PBFT, in-process, pooled encode off vs on)",
+		Columns: []string{"row", "tput", "mallocs/txn", "heap", "gc pause"},
+	}
+	for _, r := range []struct {
+		name         string
+		pooledEncode int
+	}{
+		{name: "baseline", pooledEncode: -1},
+		{name: "pooled", pooledEncode: 0},
+	} {
+		res, mem, err := runAllocsCluster(r.pooledEncode, clients, warmup, window)
+		if err != nil {
+			return Outcome{}, err
+		}
+		mallocsPerTxn := 0.0
+		if res.Txns > 0 {
+			mallocsPerTxn = float64(mem.mallocs) / float64(res.Txns)
+		}
+		clusterTab.AddRow(r.name, ktps(res.Throughput),
+			fmt.Sprintf("%.0f", mallocsPerTxn),
+			fmt.Sprintf("%dKiB", mem.heapAlloc>>10),
+			time.Duration(mem.pauseNS).String())
+		metrics["allocs_cluster_tput_"+r.name] = res.Throughput
+		metrics["allocs_cluster_mallocs_per_txn_"+r.name] = mallocsPerTxn
+		metrics["allocs_cluster_heap_kib_"+r.name] = float64(mem.heapAlloc >> 10)
+		metrics["allocs_cluster_gc_pause_ms_"+r.name] = float64(mem.pauseNS) / 1e6
+	}
+	base := metrics["allocs_cluster_mallocs_per_txn_baseline"]
+	if pooled := metrics["allocs_cluster_mallocs_per_txn_pooled"]; base > 0 {
+		metrics["allocs_cluster_mallocs_reduction_pct"] = 100 * (1 - pooled/base)
+	}
+
+	return Outcome{Tables: []Table{micro, clusterTab}, Metrics: metrics}, nil
+}
+
+// addMicroRow books one microbenchmark result as a table row and as
+// metrics under the given key prefix.
+func addMicroRow(tab *Table, metrics map[string]float64, name, key string, r testing.BenchmarkResult) {
+	tab.AddRow(name,
+		fmt.Sprintf("%d", r.NsPerOp()),
+		fmt.Sprintf("%d", r.AllocsPerOp()),
+		fmt.Sprintf("%d", r.AllocedBytesPerOp()))
+	metrics[key+"_ns_per_op"] = float64(r.NsPerOp())
+	metrics[key+"_allocs_per_op"] = float64(r.AllocsPerOp())
+	metrics[key+"_bytes_per_op"] = float64(r.AllocedBytesPerOp())
+}
+
+// allocsBatchFrame builds the wire bytes of one 64-envelope batch frame
+// with 256-byte bodies — the shape a loaded TCP connection carries.
+func allocsBatchFrame() []byte {
+	body := make([]byte, 256)
+	auth := make([]byte, 32)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	envs := make([]*types.Envelope, 64)
+	for i := range envs {
+		envs[i] = &types.Envelope{
+			From: types.ReplicaNode(types.ReplicaID(i % 4)),
+			To:   types.ReplicaNode(0),
+			Type: types.MsgPrepare,
+			Body: body,
+			Auth: auth,
+		}
+	}
+	var w types.Writer
+	types.AppendBatchFrame(&w, envs)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// benchFrameDecodeCopy reads the batch frame with the copying decoder and
+// dispatches each envelope to its inbox class — the pre-pooling inbound
+// path.
+func benchFrameDecodeCopy(b *testing.B) {
+	frame := allocsBatchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		envs, err := types.ReadFrames(bytes.NewReader(frame))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, env := range envs {
+			_ = transport.Classify(env.From, 3)
+		}
+	}
+}
+
+// benchFrameDecodePooled is benchFrameDecodeCopy on the pooled zero-copy
+// decoder: envelopes alias one pooled arena and are released after
+// dispatch, so the buffer recycles.
+func benchFrameDecodePooled(b *testing.B) {
+	frame := allocsBatchFrame()
+	bufs := new(pool.BytePool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		envs, err := types.ReadFramesPooled(bytes.NewReader(frame), bufs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, env := range envs {
+			_ = transport.Classify(env.From, 3)
+			env.Release()
+		}
+	}
+}
+
+// allocsMessage is the outbound message the encode benchmarks marshal: a
+// Prepare, the highest-volume broadcast in a PBFT round.
+func allocsMessage() types.Message {
+	return &types.Prepare{View: 3, Seq: 12345, Digest: types.Digest{1, 2, 3}, Replica: 2}
+}
+
+// benchEncodeCopy marshals an outbound body with the allocating encoder.
+func benchEncodeCopy(b *testing.B) {
+	msg := allocsMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = types.MarshalBody(msg)
+	}
+}
+
+// benchEncodePooled marshals the same body into a pooled arena buffer and
+// releases it, as the replica's pooled send path does once the transport
+// has written the envelope.
+func benchEncodePooled(b *testing.B) {
+	msg := allocsMessage()
+	bufs := new(pool.BytePool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, arena := types.MarshalBodyArena(msg, bufs, 0)
+		arena.Release()
+	}
+}
+
+// benchVerify measures one verify-pool drain of 64 pending ED25519
+// signature checks — submitted like the input stage does, awaited in
+// order like the forwarders do — at the given batch-drain limit.
+// batchMax 1 is the per-signature baseline; DefaultVerifyBatch lets each
+// worker wakeup cover up to 16 checks.
+func benchVerify(batchMax int) (testing.BenchmarkResult, error) {
+	var seed [32]byte
+	seed[0] = 7
+	dir, err := crypto.NewDirectory(crypto.AllED25519(), seed)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	signer := dir.NodeAuth(types.ReplicaNode(1))
+	verifier := dir.NodeAuth(types.ReplicaNode(0))
+	msg := make([]byte, 256)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	sig, err := signer.Sign(types.ReplicaNode(0), msg)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		p := crypto.NewVerifyPoolBatch(verifier, 2, 256, batchMax)
+		defer p.Close()
+		pending := make([]*crypto.Pending, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range pending {
+				pending[j] = p.SubmitPooled(types.ReplicaNode(1), msg, sig)
+			}
+			for j := range pending {
+				if err := pending[j].Await(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return res, nil
+}
+
+// memDelta is the process-wide heap movement across a measured window.
+type memDelta struct {
+	mallocs   uint64
+	heapAlloc uint64
+	pauseNS   uint64
+}
+
+// runAllocsCluster runs one in-process PBFT cluster with the pooled
+// encode path on (0) or off (-1), a warmup window, then a measured
+// window bracketed by MemStats reads (after a forced GC, so the deltas
+// start from a settled heap).
+func runAllocsCluster(pooledEncode, clients int, warmup, window time.Duration) (cluster.Result, memDelta, error) {
+	wl := workload.Default()
+	wl.Records = 4096
+	c, err := cluster.New(cluster.Options{
+		N:                  4,
+		Clients:            clients,
+		Burst:              2,
+		BatchSize:          20,
+		ExecuteThreads:     2,
+		Workload:           wl,
+		CheckpointInterval: 25,
+		Seed:               13,
+		PreloadTable:       true,
+		PooledEncode:       pooledEncode,
+	})
+	if err != nil {
+		return cluster.Result{}, memDelta{}, err
+	}
+	c.Start()
+	defer c.Stop()
+	ctx := context.Background()
+	c.Run(ctx, warmup)
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := c.Run(ctx, window)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return res, memDelta{
+		mallocs:   m1.Mallocs - m0.Mallocs,
+		heapAlloc: m1.HeapAlloc,
+		pauseNS:   m1.PauseTotalNs - m0.PauseTotalNs,
+	}, nil
+}

@@ -156,6 +156,8 @@ func All() []Experiment {
 			Paper: "a stable checkpoint licenses discarding old state (Section 4.7), and off-memory storage only stays viable if its costs stay bounded (Section 5.7) — compaction rewrites live records so log size and restart replay track live data, not history", Run: compaction},
 		{ID: "readmix", Title: "Read path: consensus-ordered vs locally-served reads under YCSB mixes (real pipeline)",
 			Paper: "the paper orders every operation through consensus; serving read-only requests from a replica's last-executed snapshot skips the three-phase round — the seq-used column shows local reads consuming no sequence numbers", Run: readmix},
+		{ID: "allocs", Title: "Zero-copy hot path: pooled frames, arena decode, batched verification (allocation A/B)",
+			Paper: "the paper pre-allocates message buffers and pools them (Section 4.8 \"smart memory management\"); the microbenchmarks isolate each pooled mechanism and the cluster rows show heap allocations per transaction with pooling off vs on", Run: allocs},
 	}
 }
 

@@ -9,7 +9,8 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
-		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction", "readmix"}
+		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction", "readmix",
+		"allocs"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -236,6 +237,34 @@ func TestShapeReadMix(t *testing.T) {
 	}
 	if out.Metrics["readmix_seq_used_quorum_c"] <= 0 {
 		t.Fatal("consensus-ordered read-only traffic consumed no sequence numbers")
+	}
+}
+
+// TestShapeAllocs checks the zero-copy experiment's headline claims: the
+// pooled frame decode must cut allocations per operation by at least half
+// against the copying decoder, and the pooled cluster run must allocate
+// measurably less per transaction than the pre-pooling baseline.
+func TestShapeAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := allocs(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Metrics["allocs_frame_reduction_pct"]; got < 50 {
+		t.Fatalf("frame decode allocs reduction = %.1f%%, want ≥50%%", got)
+	}
+	if c, p := out.Metrics["allocs_encode_copy_allocs_per_op"], out.Metrics["allocs_encode_pooled_allocs_per_op"]; p >= c {
+		t.Fatalf("pooled encode allocates %.0f/op, copy %.0f/op — pooling saved nothing", p, c)
+	}
+	for _, key := range []string{"baseline", "pooled"} {
+		if out.Metrics["allocs_cluster_tput_"+key] <= 0 {
+			t.Fatalf("cluster row %s completed no transactions", key)
+		}
+	}
+	if got := out.Metrics["allocs_cluster_mallocs_reduction_pct"]; got <= 0 {
+		t.Fatalf("cluster mallocs/txn reduction = %.1f%%, want > 0", got)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"resilientdb/internal/consensus"
 	clientengine "resilientdb/internal/consensus/client"
 	"resilientdb/internal/crypto"
+	"resilientdb/internal/pool"
 	"resilientdb/internal/stats"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
@@ -45,6 +46,12 @@ type ClientConfig struct {
 	// cross-key snapshot (see types.ReadRequest). Requests carrying any
 	// write always go through consensus.
 	ReadMode string
+	// PooledEncode controls the pooled outbound encode path (Section 4.8
+	// buffer-pool management): 0 (default) marshals request bodies into
+	// pooled arena buffers recycled when the transport writes them out;
+	// negative allocates a fresh body per message (the pre-pooling
+	// baseline, kept for allocation A/B measurements).
+	PooledEncode int
 }
 
 // ClientStats is a snapshot of one client's counters.
@@ -69,6 +76,8 @@ type Client struct {
 	cfg      ClientConfig
 	engine   *clientengine.Engine
 	auth     crypto.Authenticator
+	encBufs  *pool.BytePool // outbound body arenas; nil when PooledEncode < 0
+	encHint  int            // largest body marshalled so far (single-goroutine use in Run)
 	latency  *stats.Histogram
 	readLat  *stats.Histogram
 	writeLat *stats.Histogram
@@ -103,14 +112,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		cfg:      cfg,
 		engine:   eng,
 		auth:     cfg.Directory.NodeAuth(types.ClientNode(cfg.ID)),
 		latency:  &stats.Histogram{},
 		readLat:  &stats.Histogram{},
 		writeLat: &stats.Histogram{},
-	}, nil
+	}
+	if cfg.PooledEncode >= 0 {
+		c.encBufs = new(pool.BytePool)
+	}
+	return c, nil
 }
 
 // Latency exposes the client's latency histogram.
@@ -188,13 +201,18 @@ func (c *Client) Run(ctx context.Context) {
 					return
 				}
 				if err := c.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+					env.Release()
 					continue
 				}
+				from := env.From
 				msg, err := types.DecodeBody(env.Type, env.Body)
+				// Decode copied every field, so the envelope (and any frame
+				// arena behind it) retires here.
+				env.Release()
 				if err != nil {
 					continue
 				}
-				outcome, acts := c.engine.OnMessage(env.From, msg)
+				outcome, acts := c.engine.OnMessage(from, msg)
 				c.dispatch(acts)
 				if outcome != nil {
 					c.record(time.Since(start), readOnly)
@@ -257,9 +275,11 @@ func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, re
 				return false
 			}
 			if err := c.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+				env.Release()
 				continue
 			}
 			m, err := types.DecodeBody(env.Type, env.Body)
+			env.Release() // decode copied every field; the envelope retires here
 			if err != nil {
 				continue
 			}
@@ -320,16 +340,32 @@ func (c *Client) dispatch(acts []consensus.Action) {
 }
 
 func (c *Client) transmit(from, to types.NodeID, msg types.Message) {
-	body := types.MarshalBody(msg)
+	var body []byte
+	var arena *types.Arena
+	if c.encBufs != nil {
+		// The high-water-mark hint keeps marshals in the right capacity
+		// class so steady-state encodes borrow instead of growing.
+		body, arena = types.MarshalBodyArena(msg, c.encBufs, c.encHint)
+		if len(body) > c.encHint {
+			c.encHint = len(body)
+		}
+	} else {
+		body = types.MarshalBody(msg)
+	}
 	sig, err := c.auth.Sign(to, body)
 	if err != nil {
+		arena.Release()
 		return
 	}
-	_ = c.cfg.Endpoint.Send(&types.Envelope{
-		From: from,
-		To:   to,
-		Type: msg.Type(),
-		Body: body,
-		Auth: sig,
-	})
+	env := types.AcquireEnvelope()
+	env.From = from
+	env.To = to
+	env.Type = msg.Type()
+	env.Body = body
+	env.Auth = sig
+	env.Attach(arena)
+	if err := c.cfg.Endpoint.Send(env); err != nil {
+		env.Release() // the send went nowhere; retire the envelope here
+	}
+	arena.Release() // drop the builder's reference
 }

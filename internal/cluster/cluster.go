@@ -111,6 +111,16 @@ type Options struct {
 	// consensus round (per-key freshness only — see types.ReadRequest for
 	// the exact semantics).
 	ReadMode string
+	// PooledEncode controls the pooled outbound encode path on replicas
+	// and clients alike (see replica.Config.PooledEncode): 0 (default) on,
+	// negative off — the pre-pooling baseline kept for allocation A/B
+	// measurements.
+	PooledEncode int
+	// VerifyBatch is the verify pool's batch-drain limit (see
+	// replica.Config.VerifyBatch): 0 means the default
+	// (crypto.DefaultVerifyBatch), 1 verifies per signature, negative
+	// disables batching explicitly.
+	VerifyBatch int
 	// Seed makes key material and workloads reproducible.
 	Seed int64
 	// PreloadTable loads the YCSB table into every store before starting.
@@ -359,6 +369,8 @@ func New(opts Options) (*Cluster, error) {
 			VerifyClientSigs:   true,
 			DisableOutOfOrder:  opts.DisableOutOfOrder,
 			ViewTimeout:        opts.ViewTimeout,
+			PooledEncode:       opts.PooledEncode,
+			VerifyBatch:        opts.VerifyBatch,
 		})
 		if err != nil {
 			return nil, err
@@ -378,15 +390,16 @@ func New(opts Options) (*Cluster, error) {
 		}
 		ep := c.net.Endpoint(types.ClientNode(id), 1, 1<<10)
 		cl, err := NewClient(ClientConfig{
-			ID:        id,
-			N:         opts.N,
-			Protocol:  proto,
-			Burst:     opts.Burst,
-			Timeout:   opts.ClientTimeout,
-			Directory: dir,
-			Endpoint:  ep,
-			Workload:  wl,
-			ReadMode:  opts.ReadMode,
+			ID:           id,
+			N:            opts.N,
+			Protocol:     proto,
+			Burst:        opts.Burst,
+			Timeout:      opts.ClientTimeout,
+			Directory:    dir,
+			Endpoint:     ep,
+			Workload:     wl,
+			ReadMode:     opts.ReadMode,
+			PooledEncode: opts.PooledEncode,
 		})
 		if err != nil {
 			return nil, err

@@ -139,6 +139,9 @@ func (noopAuth) Sign(types.NodeID, []byte) ([]byte, error) { return nil, nil }
 // Verify implements Authenticator; it accepts everything.
 func (noopAuth) Verify(types.NodeID, []byte, []byte) error { return nil }
 
+// VerifyBatch implements BatchVerifier; it accepts everything.
+func (noopAuth) VerifyBatch([]types.NodeID, [][]byte, [][]byte) error { return nil }
+
 // PerDestination implements Authenticator.
 func (noopAuth) PerDestination() bool { return false }
 

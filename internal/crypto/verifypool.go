@@ -2,6 +2,7 @@ package crypto
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"resilientdb/internal/types"
 )
@@ -18,11 +19,36 @@ import (
 // preserve message order (consensus engines expect per-connection FIFO)
 // can submit a window of messages, then await the results in submission
 // order while the verifications themselves run in parallel.
+//
+// When the authenticator implements BatchVerifier and the pool is built
+// with a batch window > 1, each worker drains up to that many pending
+// submissions per wakeup and verifies them as one batch: a single
+// dispatch and a single batched check amortizes the per-signature channel
+// and scheduling cost under load, while an idle pool still verifies each
+// message the moment it arrives. A rejected batch falls back to
+// per-signature verification so the failure is attributed to exactly the
+// message that caused it.
 type VerifyPool struct {
 	auth      Authenticator
+	batcher   BatchVerifier // nil disables batched verification
+	batchMax  int
 	jobs      chan verifyJob
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	donePool sync.Pool // chan error, cap 1
+	pendPool sync.Pool // *Pending
+	batched  atomic.Uint64
+}
+
+// BatchVerifier is the optional batched form of Authenticator.Verify.
+// VerifyBatch checks len(srcs) (src, msg, auth) triples and returns nil
+// only when every one verifies; any non-nil error rejects the whole
+// batch, and the caller re-verifies per signature to attribute it.
+// Implementations must accept mixed sources (the pool does not sort
+// client and replica traffic apart).
+type BatchVerifier interface {
+	VerifyBatch(srcs []types.NodeID, msgs, auths [][]byte) error
 }
 
 type verifyJob struct {
@@ -32,17 +58,38 @@ type verifyJob struct {
 	done chan error
 }
 
-// NewVerifyPool starts a pool of workers verifying with auth. queue bounds
-// the number of submitted-but-unclaimed jobs; Submit blocks (backpressure)
-// when it fills.
+// DefaultVerifyBatch is the batch window NewVerifyPoolBatch applies when
+// the caller passes 0.
+const DefaultVerifyBatch = 16
+
+// NewVerifyPool starts a pool of workers verifying with auth, one
+// signature at a time. queue bounds the number of submitted-but-unclaimed
+// jobs; Submit blocks (backpressure) when it fills.
 func NewVerifyPool(auth Authenticator, workers, queue int) *VerifyPool {
+	return NewVerifyPoolBatch(auth, workers, queue, 1)
+}
+
+// NewVerifyPoolBatch is NewVerifyPool with a batch window: each worker
+// claims up to batchMax pending submissions per wakeup and verifies them
+// with one BatchVerifier call when auth supports it. batchMax 0 means
+// DefaultVerifyBatch; 1 disables batching.
+func NewVerifyPoolBatch(auth Authenticator, workers, queue, batchMax int) *VerifyPool {
 	if workers < 1 {
 		workers = 1
 	}
 	if queue < workers {
 		queue = workers * 16
 	}
-	p := &VerifyPool{auth: auth, jobs: make(chan verifyJob, queue)}
+	if batchMax == 0 {
+		batchMax = DefaultVerifyBatch
+	}
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	p := &VerifyPool{auth: auth, batchMax: batchMax, jobs: make(chan verifyJob, queue)}
+	if b, ok := auth.(BatchVerifier); ok && batchMax > 1 {
+		p.batcher = b
+	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -52,8 +99,53 @@ func NewVerifyPool(auth Authenticator, workers, queue int) *VerifyPool {
 
 func (p *VerifyPool) worker() {
 	defer p.wg.Done()
+	if p.batcher == nil {
+		for j := range p.jobs {
+			j.done <- p.auth.Verify(j.src, j.msg, j.auth)
+		}
+		return
+	}
+	batch := make([]verifyJob, 0, p.batchMax)
+	srcs := make([]types.NodeID, 0, p.batchMax)
+	msgs := make([][]byte, 0, p.batchMax)
+	auths := make([][]byte, 0, p.batchMax)
 	for j := range p.jobs {
-		j.done <- p.auth.Verify(j.src, j.msg, j.auth)
+		batch = append(batch[:0], j)
+	drain:
+		// Claim whatever else is already queued, up to the window, without
+		// blocking — latency of the first message never waits on a fill.
+		for len(batch) < p.batchMax {
+			select {
+			case j2, ok := <-p.jobs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, j2)
+			default:
+				break drain
+			}
+		}
+		if len(batch) == 1 {
+			batch[0].done <- p.auth.Verify(batch[0].src, batch[0].msg, batch[0].auth)
+			continue
+		}
+		srcs, msgs, auths = srcs[:0], msgs[:0], auths[:0]
+		for _, b := range batch {
+			srcs = append(srcs, b.src)
+			msgs = append(msgs, b.msg)
+			auths = append(auths, b.auth)
+		}
+		if err := p.batcher.VerifyBatch(srcs, msgs, auths); err == nil {
+			p.batched.Add(uint64(len(batch)))
+			for _, b := range batch {
+				b.done <- nil
+			}
+		} else {
+			// The batch carries at least one bad signature; attribute it.
+			for _, b := range batch {
+				b.done <- p.auth.Verify(b.src, b.msg, b.auth)
+			}
+		}
 	}
 }
 
@@ -61,12 +153,54 @@ func (p *VerifyPool) worker() {
 // will be delivered on (nil error means the authenticator verified). The
 // channel is buffered: workers never block on delivery, and the caller
 // may await it whenever convenient. Submit must not be called after
-// Close.
+// Close. Hot paths that await every result should prefer SubmitPooled,
+// which recycles the result channel.
 func (p *VerifyPool) Submit(src types.NodeID, msg, auth []byte) <-chan error {
 	done := make(chan error, 1)
 	p.jobs <- verifyJob{src: src, msg: msg, auth: auth, done: done}
 	return done
 }
+
+// Pending is one in-flight verification submitted with SubmitPooled.
+// Await must be called exactly once; it returns the result and recycles
+// both the Pending and its channel back into the pool.
+type Pending struct {
+	p  *VerifyPool
+	ch chan error
+}
+
+// Await blocks for the verification result (nil means verified) and
+// recycles the Pending. The Pending must not be touched afterwards.
+func (pd *Pending) Await() error {
+	err := <-pd.ch
+	p := pd.p
+	ch := pd.ch
+	pd.p, pd.ch = nil, nil
+	p.donePool.Put(ch)
+	p.pendPool.Put(pd)
+	return err
+}
+
+// SubmitPooled enqueues one verification like Submit but hands back a
+// pooled Pending instead of a fresh channel, making the submit/await
+// round allocation-free in steady state. Must not be called after Close.
+func (p *VerifyPool) SubmitPooled(src types.NodeID, msg, auth []byte) *Pending {
+	pd, _ := p.pendPool.Get().(*Pending)
+	if pd == nil {
+		pd = &Pending{}
+	}
+	ch, _ := p.donePool.Get().(chan error)
+	if ch == nil {
+		ch = make(chan error, 1)
+	}
+	pd.p, pd.ch = p, ch
+	p.jobs <- verifyJob{src: src, msg: msg, auth: auth, done: ch}
+	return pd
+}
+
+// BatchedVerifies returns how many signatures were accepted via batched
+// verification (per-signature fallbacks and singleton wakeups excluded).
+func (p *VerifyPool) BatchedVerifies() uint64 { return p.batched.Load() }
 
 // Close drains outstanding jobs and stops the workers. Results already
 // promised by Submit are still delivered.

@@ -1,0 +1,44 @@
+package crypto
+
+import (
+	"testing"
+
+	"resilientdb/internal/types"
+)
+
+// benchVerifyPool measures the submit/await round for a window of
+// signatures at the given batch limit; batchMax 1 is the per-signature
+// baseline the batched drain is compared against.
+func benchVerifyPool(b *testing.B, batchMax int) {
+	dir, err := NewDirectory(AllED25519(), [32]byte{5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	signer := dir.NodeAuth(types.ReplicaNode(1))
+	verifier := dir.NodeAuth(types.ReplicaNode(0))
+	msg := []byte("benchmark verification message")
+	sig, err := signer.Sign(types.ReplicaNode(0), msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := NewVerifyPoolBatch(verifier, 2, 256, batchMax)
+	defer pool.Close()
+
+	const window = 64
+	pending := make([]*Pending, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range pending {
+			pending[j] = pool.SubmitPooled(types.ReplicaNode(1), msg, sig)
+		}
+		for _, pd := range pending {
+			if err := pd.Await(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkVerifyPoolPerSignature(b *testing.B) { benchVerifyPool(b, 1) }
+func BenchmarkVerifyPoolBatched(b *testing.B)      { benchVerifyPool(b, DefaultVerifyBatch) }

@@ -90,10 +90,19 @@ func (p *Pool[T]) Stats() (hits, misses uint64) {
 }
 
 // BytePool recycles byte slices bucketed by capacity class. It backs the
-// encoding buffers of the output threads, where message sizes vary with
-// batch size and payload (Sections 5.3 and 5.5).
+// encoding buffers of the output threads and the zero-copy frame arenas
+// of the receive path, where message sizes vary with batch size and
+// payload (Sections 5.3 and 5.5). Hit/miss counters mirror Pool's so the
+// node stats tick and the allocs benchmark can observe reuse.
 type BytePool struct {
 	pools [numClasses]sync.Pool
+	// boxes recycles the *[]byte headers the class pools store, so a
+	// steady-state Get/Put cycle allocates nothing at all — without it
+	// every Put would heap-allocate a fresh header for its slice.
+	boxes sync.Pool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 const (
@@ -124,15 +133,26 @@ func classFor(n int) int {
 func (b *BytePool) Get(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
+		b.misses.Add(1)
 		return make([]byte, 0, n)
 	}
 	if v := b.pools[c].Get(); v != nil {
-		s, ok := v.(*[]byte)
-		if ok && cap(*s) >= n {
-			return (*s)[:0]
+		if p, ok := v.(*[]byte); ok && cap(*p) >= n {
+			s := *p
+			*p = nil
+			b.boxes.Put(p)
+			b.hits.Add(1)
+			return s[:0]
 		}
 	}
+	b.misses.Add(1)
 	return make([]byte, 0, 1<<(c+minClassBits))
+}
+
+// Stats returns the cumulative hit and miss counts. A miss is a Get that
+// had to allocate — either an empty class or an out-of-range size.
+func (b *BytePool) Stats() (hits, misses uint64) {
+	return b.hits.Load(), b.misses.Load()
 }
 
 // Put recycles a slice obtained from Get.
@@ -159,6 +179,12 @@ func (b *BytePool) Put(s []byte) {
 			return
 		}
 	}
-	s = s[:0]
-	b.pools[c].Put(&s)
+	var p *[]byte
+	if v := b.boxes.Get(); v != nil {
+		p = v.(*[]byte)
+	} else {
+		p = new([]byte)
+	}
+	*p = s[:0]
+	b.pools[c].Put(p)
 }

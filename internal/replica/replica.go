@@ -140,6 +140,22 @@ type Config struct {
 	// ever sees authenticated messages; 0 verifies inline on the
 	// worker-thread, the paper's baseline assignment (Section 4.3).
 	VerifyThreads int
+	// VerifyBatch is the verify pool's batch window: each pool worker
+	// claims up to this many pending submissions per wakeup and checks
+	// them with one batched call (crypto.BatchVerifier), amortizing the
+	// dispatch cost per signature under load. 0 means
+	// crypto.DefaultVerifyBatch; 1 verifies strictly per signature.
+	// Only meaningful with VerifyThreads > 0.
+	VerifyBatch int
+	// PooledEncode controls the pooled outbound encode path (Section 4.8
+	// buffer-pool management on the send side): broadcast and sendTo
+	// marshal bodies into arena-backed buffers from a per-replica byte
+	// pool, reference-counted per destination envelope and recycled when
+	// the transport writer (or in-process receiver) retires the last one.
+	// 0 (the default) enables it; negative disables it, making every send
+	// build a fresh body buffer — the pre-pooling behavior, kept as the
+	// allocs benchmark's baseline.
+	PooledEncode int
 	// ReplicaInboxes is the number of input-threads for replica traffic
 	// (default 2).
 	ReplicaInboxes int
@@ -195,6 +211,9 @@ func (c *Config) fill() error {
 	}
 	if c.VerifyThreads < 0 {
 		return fmt.Errorf("replica: negative VerifyThreads")
+	}
+	if c.VerifyBatch < 0 {
+		c.VerifyBatch = 1 // negative = explicitly disabled, per-signature
 	}
 	if c.WorkerThreads < 0 {
 		return fmt.Errorf("replica: negative WorkerThreads")
@@ -284,8 +303,8 @@ type Stats struct {
 	ReadsExecuted  uint64
 	LocalReads     uint64
 	LocalReadDrops uint64
-	MsgsIn        uint64
-	MsgsOut       uint64
+	MsgsIn         uint64
+	MsgsOut        uint64
 	// AuthFailures counts envelopes whose authenticator failed
 	// verification and client requests with bad signatures — the real
 	// "someone is forging traffic" signal.
@@ -349,6 +368,14 @@ type Stats struct {
 	StoreCompactFailures       uint64
 	StoreCompactReclaimedBytes uint64
 	StoreCompactStallNS        uint64
+	// EncodePoolHits and EncodePoolMisses are the outbound encode pool's
+	// reuse counters (both zero when PooledEncode is disabled): a miss is
+	// a send that had to allocate its body buffer. VerifyBatched counts
+	// signatures accepted via the verify pool's batched path; against
+	// MsgsIn it shows how often verification wakeups were amortized.
+	EncodePoolHits   uint64
+	EncodePoolMisses uint64
+	VerifyBatched    uint64
 }
 
 // workItem is the union flowing into the worker lanes: either a decoded
@@ -365,12 +392,14 @@ type workItem struct {
 	verified bool
 }
 
-// verifiedItem pairs an envelope with its in-flight verification result;
-// the per-inbox forwarder awaits results in submission order, preserving
-// inbox FIFO while verification itself runs in parallel.
+// verifiedItem pairs an envelope with its in-flight verification; the
+// per-inbox forwarder awaits results in submission order, preserving
+// inbox FIFO while verification itself runs in parallel. The pending
+// handle is pooled — Await recycles it — so the verify stage allocates
+// nothing per message in steady state.
 type verifiedItem struct {
 	env *types.Envelope
-	res <-chan error
+	res *crypto.Pending
 }
 
 // execItem carries one committed batch into the execution stage.
@@ -501,6 +530,15 @@ type Replica struct {
 
 	reqPool *pool.Pool[types.ClientRequest]
 
+	// encBufs backs the pooled outbound encode path (nil when
+	// Config.PooledEncode is negative): broadcast/sendTo bodies are
+	// marshaled into arena-backed buffers recycled here once the last
+	// destination envelope retires. encHint tracks the largest body seen,
+	// so marshals borrow from the right capacity class up front instead of
+	// growing out of an undersized buffer on every large batch.
+	encBufs *pool.BytePool
+	encHint atomic.Int64
+
 	// Execution-side dedup: last executed client sequence per client.
 	lastExec map[types.ClientID]uint64
 
@@ -614,6 +652,9 @@ func New(cfg Config) (*Replica, error) {
 			*cr = types.ClientRequest{}
 		}, 1024, 1<<16),
 	}
+	if cfg.PooledEncode >= 0 {
+		r.encBufs = new(pool.BytePool)
+	}
 	r.workQs = make([]chan workItem, lanes)
 	for i := range r.workQs {
 		r.workQs[i] = make(chan workItem, 1<<13)
@@ -722,6 +763,12 @@ func (r *Replica) Stats() Stats {
 		s.StoreCompactReclaimedBytes = cs.ReclaimedBytes
 		s.StoreCompactStallNS = cs.StallNS
 	}
+	if r.encBufs != nil {
+		s.EncodePoolHits, s.EncodePoolMisses = r.encBufs.Stats()
+	}
+	if r.verifyPool != nil {
+		s.VerifyBatched = r.verifyPool.BatchedVerifies()
+	}
 	return s
 }
 
@@ -748,7 +795,7 @@ func (r *Replica) Start() {
 	// submission order and routes only authenticated envelopes onward.
 	nIn := r.cfg.Endpoint.Inboxes()
 	if r.cfg.VerifyThreads > 0 {
-		r.verifyPool = crypto.NewVerifyPool(r.auth, r.cfg.VerifyThreads, r.cfg.VerifyThreads*64)
+		r.verifyPool = crypto.NewVerifyPoolBatch(r.auth, r.cfg.VerifyThreads, r.cfg.VerifyThreads*64, r.cfg.VerifyBatch)
 		r.verifyQs = make([]chan verifiedItem, nIn)
 		for i := range r.verifyQs {
 			r.verifyQs[i] = make(chan verifiedItem, 256)
@@ -837,9 +884,6 @@ func (r *Replica) Stop() {
 		// Input loops closed their verify queues on exit; wait for the
 		// forwarders to drain them before the queues they feed close.
 		r.verifyWg.Wait()
-		if r.verifyPool != nil {
-			r.verifyPool.Close()
-		}
 
 		r.batchQ.Close()
 		for _, q := range r.workQs {
@@ -847,6 +891,12 @@ func (r *Replica) Stop() {
 		}
 		close(r.ckptQ)
 		r.stage1Wg.Wait()
+
+		// Batch-threads fan client-signature checks through the verify
+		// pool, so it must outlive stage 1; close it only once they exit.
+		if r.verifyPool != nil {
+			r.verifyPool.Close()
+		}
 
 		r.execIn.Close()
 		r.execWg.Wait()

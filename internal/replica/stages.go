@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"resilientdb/internal/consensus"
+	"resilientdb/internal/crypto"
 	"resilientdb/internal/store"
 	"resilientdb/internal/types"
 	"resilientdb/internal/workload"
@@ -27,72 +28,14 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 		r.msgsIn.Add(1)
 		switch env.Type {
 		case types.MsgClientRequest:
-			msg, err := types.DecodeBody(env.Type, env.Body)
-			if err != nil {
-				r.decodeFailures.Add(1)
-				break
-			}
-			req, ok := msg.(*types.ClientRequest)
-			if !ok {
-				break
-			}
-			if r.isPrimaryHint() {
-				if r.cfg.BatchThreads > 0 {
-					r.batchQ.Push(req)
-				} else {
-					// 0B mode: batch assembly lives on lane 0.
-					select {
-					case r.workQs[0] <- workItem{req: req}:
-					case <-r.stop:
-					}
-				}
-			} else {
-				// A client that resorts to contacting backups signals a
-				// stalled primary; remember it for the watchdog.
-				r.pendingHint.Store(true)
-			}
+			r.handleClientRequest(env)
 		case types.MsgReadRequest:
-			// Locally served read (the consensus-bypassing read path): the
-			// client asked this one replica for current values. The input
-			// stage authenticates and decodes, then hands the request to the
-			// dedicated read lane — a local read never touches a consensus
-			// lane and never consumes a sequence number, and a slow
-			// (disk-bound) multi-key read never head-of-line blocks the
-			// client inbox behind its store reads.
-			if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
-				r.authFailures.Add(1)
-				break
-			}
-			msg, err := types.DecodeBody(env.Type, env.Body)
-			if err != nil {
-				r.decodeFailures.Add(1)
-				break
-			}
-			req, ok := msg.(*types.ReadRequest)
-			if !ok {
-				break
-			}
-			// Bind the claimed client to the authenticated sender, mirroring
-			// the signed-Client binding the ordered ClientRequest path
-			// enforces. The authenticated reply goes to req.Client and
-			// ClientSeq values are guessable, so without this check a
-			// malicious client could plant answers for attacker-chosen keys
-			// in a victim's pending read.
-			if env.From != types.ClientNode(req.Client) {
-				r.authFailures.Add(1)
-				break
-			}
-			select {
-			case r.readQ <- req:
-			default:
-				// The read lane is saturated: drop rather than block
-				// consensus-bound traffic behind it. The client times out
-				// and rotates to another replica.
-				r.localReadDrops.Add(1)
-			}
+			r.handleReadRequest(env)
 		case types.MsgCommitCert:
 			if pend != nil {
-				pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
+				// Ownership moves to the forwarder, which releases the
+				// envelope after routing (or on auth failure).
+				pend <- verifiedItem{env: env, res: r.verifyPool.SubmitPooled(env.From, env.Body, env.Auth)}
 				break
 			}
 			r.route(env, false)
@@ -100,8 +43,84 @@ func (r *Replica) inputClientLoop(inbox <-chan *types.Envelope, pend chan<- veri
 			// An unexpected type on the client inbox is malformed traffic,
 			// not an authentication failure.
 			r.decodeFailures.Add(1)
+			env.Release()
 		}
 		r.addBusy(StageInput, time.Since(t0))
+	}
+}
+
+// handleClientRequest decodes one client request off the client inbox and
+// hands the decoded copy to the batch stage. Decoding copies every field
+// out of the envelope, so whatever the outcome the envelope retires here —
+// its frame arena may be recycled the moment this returns.
+func (r *Replica) handleClientRequest(env *types.Envelope) {
+	defer env.Release()
+	msg, err := types.DecodeBody(env.Type, env.Body)
+	if err != nil {
+		r.decodeFailures.Add(1)
+		return
+	}
+	req, ok := msg.(*types.ClientRequest)
+	if !ok {
+		return
+	}
+	if r.isPrimaryHint() {
+		if r.cfg.BatchThreads > 0 {
+			r.batchQ.Push(req)
+		} else {
+			// 0B mode: batch assembly lives on lane 0.
+			select {
+			case r.workQs[0] <- workItem{req: req}:
+			case <-r.stop:
+			}
+		}
+	} else {
+		// A client that resorts to contacting backups signals a
+		// stalled primary; remember it for the watchdog.
+		r.pendingHint.Store(true)
+	}
+}
+
+// handleReadRequest services a locally served read (the
+// consensus-bypassing read path): the client asked this one replica for
+// current values. The input stage authenticates and decodes, then hands
+// the request to the dedicated read lane — a local read never touches a
+// consensus lane and never consumes a sequence number, and a slow
+// (disk-bound) multi-key read never head-of-line blocks the client inbox
+// behind its store reads. The envelope retires here on every path: the
+// read lane only sees the decoded (copied) request.
+func (r *Replica) handleReadRequest(env *types.Envelope) {
+	defer env.Release()
+	if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
+		r.authFailures.Add(1)
+		return
+	}
+	msg, err := types.DecodeBody(env.Type, env.Body)
+	if err != nil {
+		r.decodeFailures.Add(1)
+		return
+	}
+	req, ok := msg.(*types.ReadRequest)
+	if !ok {
+		return
+	}
+	// Bind the claimed client to the authenticated sender, mirroring
+	// the signed-Client binding the ordered ClientRequest path
+	// enforces. The authenticated reply goes to req.Client and
+	// ClientSeq values are guessable, so without this check a
+	// malicious client could plant answers for attacker-chosen keys
+	// in a victim's pending read.
+	if env.From != types.ClientNode(req.Client) {
+		r.authFailures.Add(1)
+		return
+	}
+	select {
+	case r.readQ <- req:
+	default:
+		// The read lane is saturated: drop rather than block
+		// consensus-bound traffic behind it. The client times out
+		// and rotates to another replica.
+		r.localReadDrops.Add(1)
 	}
 }
 
@@ -118,7 +137,7 @@ func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope, pend chan<- ver
 		t0 := time.Now()
 		r.msgsIn.Add(1)
 		if pend != nil {
-			pend <- verifiedItem{env: env, res: r.verifyPool.Submit(env.From, env.Body, env.Auth)}
+			pend <- verifiedItem{env: env, res: r.verifyPool.SubmitPooled(env.From, env.Body, env.Auth)}
 		} else {
 			r.route(env, false)
 		}
@@ -167,6 +186,7 @@ func (r *Replica) route(env *types.Envelope, verified bool) {
 	msg, err := types.DecodeBody(env.Type, env.Body)
 	if err != nil {
 		r.decodeFailures.Add(1)
+		env.Release()
 		return
 	}
 	q := r.workQs[r.laneOf(msg)]
@@ -175,7 +195,10 @@ func (r *Replica) route(env *types.Envelope, verified bool) {
 	}
 	select {
 	case q <- workItem{env: env, msg: msg, verified: verified}:
+		// Ownership moves to the worker lane, which releases the envelope
+		// after processing it.
 	case <-r.stop:
+		env.Release()
 	}
 }
 
@@ -226,8 +249,9 @@ func (r *Replica) laneOf(msg types.Message) int {
 func (r *Replica) verifyForwardLoop(pend <-chan verifiedItem) {
 	defer r.verifyWg.Done()
 	for it := range pend {
-		if err := <-it.res; err != nil {
+		if err := it.res.Await(); err != nil {
 			r.authFailures.Add(1)
+			it.env.Release()
 			continue
 		}
 		r.route(it.env, true)
@@ -280,15 +304,7 @@ func (r *Replica) propose(reqs []types.ClientRequest) {
 		return
 	}
 	if r.cfg.VerifyClientSigs {
-		kept := reqs[:0]
-		for i := range reqs {
-			if err := r.auth.Verify(types.ClientNode(reqs[i].Client), reqs[i].SigningBytes(), reqs[i].Sig); err != nil {
-				r.authFailures.Add(1)
-				continue
-			}
-			kept = append(kept, reqs[i])
-		}
-		reqs = kept
+		reqs = r.verifyClientSigs(reqs)
 		if len(reqs) == 0 {
 			return
 		}
@@ -319,6 +335,39 @@ func (r *Replica) propose(reqs []types.ClientRequest) {
 			return
 		}
 	}
+}
+
+// verifyClientSigs checks every request's client signature and returns the
+// survivors in order. With a verify pool available the checks fan out
+// across its workers — submitted in order, awaited in order — so one RSA
+// verify on the batch-thread no longer serializes the whole batch; without
+// a pool (VerifyThreads <= 0) the checks run inline, which is the paper's
+// cost assignment for the 0V ablation.
+func (r *Replica) verifyClientSigs(reqs []types.ClientRequest) []types.ClientRequest {
+	if r.verifyPool == nil || len(reqs) == 1 {
+		kept := reqs[:0]
+		for i := range reqs {
+			if err := r.auth.Verify(types.ClientNode(reqs[i].Client), reqs[i].SigningBytes(), reqs[i].Sig); err != nil {
+				r.authFailures.Add(1)
+				continue
+			}
+			kept = append(kept, reqs[i])
+		}
+		return kept
+	}
+	pending := make([]*crypto.Pending, len(reqs))
+	for i := range reqs {
+		pending[i] = r.verifyPool.SubmitPooled(types.ClientNode(reqs[i].Client), reqs[i].SigningBytes(), reqs[i].Sig)
+	}
+	kept := reqs[:0]
+	for i := range reqs {
+		if err := pending[i].Await(); err != nil {
+			r.authFailures.Add(1)
+			continue
+		}
+		kept = append(kept, reqs[i])
+	}
+	return kept
 }
 
 // awaitProgress parks the calling batch-thread until the pipeline makes
@@ -413,6 +462,12 @@ func (r *Replica) laneLoop(lane int) {
 // authenticated the envelope (verified true) it is not checked again.
 func (r *Replica) processItem(item workItem) {
 	env := item.env
+	// The lane is the envelope's final owner. Both things that outlive
+	// this call — the decoded message and env.Auth — are copies (decode
+	// copies every message field; Envelope.decode copies Auth precisely
+	// because engines retain authenticators in commit certificates), so
+	// the frame arena may be recycled when this returns.
+	defer env.Release()
 	if !item.verified {
 		if err := r.auth.Verify(env.From, env.Body, env.Auth); err != nil {
 			r.authFailures.Add(1)
@@ -852,15 +907,20 @@ func (r *Replica) execShardLoop(shard int) {
 
 // broadcast signs and enqueues msg for every other replica. Under a
 // digital-signature scheme the body is signed once and reused; under CMAC
-// a fresh MAC is computed per destination (the MAC-vector cost).
+// a fresh MAC is computed per destination (the MAC-vector cost). With
+// pooled encode enabled, the body is marshalled into a pooled buffer whose
+// arena every destination's envelope retains; the buffer returns to the
+// pool when the last envelope retires (output write, inbox drop, or the
+// receiving stage's release).
 func (r *Replica) broadcast(msg types.Message) {
-	body := types.MarshalBody(msg)
+	body, arena := r.marshalOut(msg)
 	mt := msg.Type()
 	var shared []byte
 	if !r.auth.PerDestination() {
 		sig, err := r.auth.Sign(types.ReplicaNode(0), body)
 		if err != nil {
 			r.authFailures.Add(1)
+			arena.Release()
 			return
 		}
 		shared = sig
@@ -879,31 +939,61 @@ func (r *Replica) broadcast(msg types.Message) {
 			}
 			auth = sig
 		}
-		r.enqueueOut(&types.Envelope{
-			From: types.ReplicaNode(r.cfg.ID),
-			To:   types.ReplicaNode(dst),
-			Type: mt,
-			Body: body,
-			Auth: auth,
-		})
+		env := types.AcquireEnvelope()
+		env.From = types.ReplicaNode(r.cfg.ID)
+		env.To = types.ReplicaNode(dst)
+		env.Type = mt
+		env.Body = body
+		env.Auth = auth
+		env.Attach(arena)
+		r.enqueueOut(env)
 	}
+	// Drop the builder's reference: from here only the envelopes keep the
+	// buffer alive.
+	arena.Release()
 }
 
 // sendTo signs and enqueues msg for a single destination.
 func (r *Replica) sendTo(to types.NodeID, msg types.Message) {
-	body := types.MarshalBody(msg)
+	body, arena := r.marshalOut(msg)
 	sig, err := r.auth.Sign(to, body)
 	if err != nil {
 		r.authFailures.Add(1)
+		arena.Release()
 		return
 	}
-	r.enqueueOut(&types.Envelope{
-		From: types.ReplicaNode(r.cfg.ID),
-		To:   to,
-		Type: msg.Type(),
-		Body: body,
-		Auth: sig,
-	})
+	env := types.AcquireEnvelope()
+	env.From = types.ReplicaNode(r.cfg.ID)
+	env.To = to
+	env.Type = msg.Type()
+	env.Body = body
+	env.Auth = sig
+	env.Attach(arena)
+	r.enqueueOut(env)
+	arena.Release()
+}
+
+// marshalOut encodes an outbound body, into a pooled arena buffer when
+// pooled encode is on (Config.PooledEncode >= 0) and into a fresh
+// allocation otherwise. The returned arena carries the builder's
+// reference — nil when pooling is off, which Attach and Release both
+// tolerate — and the caller must Release it exactly once after attaching
+// it to every envelope that shares the body.
+func (r *Replica) marshalOut(msg types.Message) ([]byte, *types.Arena) {
+	if r.encBufs == nil {
+		return types.MarshalBody(msg), nil
+	}
+	// Seed the pooled buffer with the largest body seen so far: a marshal
+	// that outgrows its buffer reallocates on append and strands the
+	// undersized slice, so guessing high keeps the path allocation-free
+	// (the hint is a high-water mark, and capacity classes round up
+	// anyway).
+	hint := int(r.encHint.Load())
+	body, arena := types.MarshalBodyArena(msg, r.encBufs, hint)
+	if n := int64(len(body)); n > int64(hint) {
+		r.encHint.Store(n)
+	}
+	return body, arena
 }
 
 // enqueueOut places an envelope on the output queue owned by the
@@ -918,12 +1008,14 @@ func (r *Replica) enqueueOut(env *types.Envelope) {
 	r.outMu.RLock()
 	defer r.outMu.RUnlock()
 	if r.outClosed {
+		env.Release()
 		return
 	}
 	select {
 	case r.outQs[idx] <- env:
 		r.msgsOut.Add(1)
 	case <-r.stop:
+		env.Release()
 	}
 }
 
@@ -931,7 +1023,12 @@ func (r *Replica) outputLoop(q chan *types.Envelope) {
 	defer r.outWg.Done()
 	for env := range q {
 		t0 := time.Now()
-		_ = r.cfg.Endpoint.Send(env) // dead peers are dropped silently
+		// A successful Send hands ownership to the transport (the TCP
+		// writer or the in-process receiver releases it); on error the
+		// envelope went nowhere and retires here.
+		if err := r.cfg.Endpoint.Send(env); err != nil {
+			env.Release() // dead peers are dropped silently
+		}
 		r.addBusy(StageOutput, time.Since(t0))
 	}
 }

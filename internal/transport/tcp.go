@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resilientdb/internal/pool"
 	"resilientdb/internal/types"
 )
 
@@ -64,6 +65,14 @@ type TCPConfig struct {
 	// outpaces the writer), while an idle connection pays no added
 	// latency. Positive values trade latency for fuller batches.
 	Linger time.Duration
+	// ZeroCopy switches the receive path to pooled zero-copy decode
+	// (Section 4.8 buffer-pool management): frame buffers come from a
+	// per-endpoint pool, decoded envelopes alias them, and the buffer
+	// returns to the pool when every consumer has called Release on its
+	// envelope. Consumers that never Release only forfeit reuse — the
+	// buffer falls to the garbage collector — so the mode is safe with
+	// release-unaware receivers, just not profitable.
+	ZeroCopy bool
 }
 
 func (c *TCPConfig) fill() {
@@ -106,6 +115,7 @@ type TCPEndpoint struct {
 	ln      net.Listener
 	inboxes []chan *types.Envelope
 	drops   atomic.Uint64
+	frames  *pool.BytePool // inbound frame arenas; nil unless ZeroCopy
 
 	mu       sync.Mutex
 	addrs    map[types.NodeID]string
@@ -148,6 +158,9 @@ func NewTCPWithConfig(cfg TCPConfig) (*TCPEndpoint, error) {
 		peers:    make(map[types.NodeID]*tcpPeer),
 		accepted: make(map[net.Conn]bool),
 		stopW:    make(chan struct{}),
+	}
+	if cfg.ZeroCopy {
+		e.frames = new(pool.BytePool)
 	}
 	for k, v := range cfg.Addrs {
 		e.addrs[k] = v
@@ -205,6 +218,15 @@ func (e *TCPEndpoint) Inboxes() int { return len(e.inboxes) }
 // full when they arrived.
 func (e *TCPEndpoint) Drops() uint64 { return e.drops.Load() }
 
+// FramePoolStats returns the inbound frame pool's cumulative hit and miss
+// counts. Both are zero when ZeroCopy is off.
+func (e *TCPEndpoint) FramePoolStats() (hits, misses uint64) {
+	if e.frames == nil {
+		return 0, 0
+	}
+	return e.frames.Stats()
+}
+
 func (e *TCPEndpoint) acceptLoop() {
 	defer e.readWg.Done()
 	for {
@@ -234,7 +256,13 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		envs, err := types.ReadFrames(conn)
+		var envs []*types.Envelope
+		var err error
+		if e.frames != nil {
+			envs, err = types.ReadFramesPooled(conn, e.frames)
+		} else {
+			envs, err = types.ReadFrames(conn)
+		}
 		if err != nil {
 			return
 		}
@@ -255,11 +283,15 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		}
 		e.mu.Unlock()
 		if closed {
+			for _, env := range envs {
+				env.Release()
+			}
 			return
 		}
 		for _, env := range envs {
 			if env.Type == 0 {
 				// Hello frame: its only job was to teach us the return path.
+				env.Release()
 				continue
 			}
 			idx := Classify(env.From, len(e.inboxes))
@@ -267,8 +299,10 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 			// each drop is counted so overload is observable.
 			select {
 			case e.inboxes[idx] <- env:
+				// Ownership moves to the inbox consumer, which releases it.
 			default:
 				e.drops.Add(1)
+				env.Release()
 			}
 		}
 	}
@@ -431,7 +465,9 @@ func (e *TCPEndpoint) writeLoop(to types.NodeID, p *tcpPeer) {
 
 // writeBatch encodes the batch as one frame — single-envelope framing for
 // a batch of one — and writes it with a single Write call. On error the
-// peer is torn down and false is returned.
+// peer is torn down and false is returned. Either way the writer is the
+// envelopes' final owner and releases them; envelopes still queued behind
+// a failed write are left for the garbage collector.
 func (e *TCPEndpoint) writeBatch(to types.NodeID, p *tcpPeer, w *types.Writer, batch []*types.Envelope) bool {
 	if len(batch) == 0 {
 		return true
@@ -442,7 +478,11 @@ func (e *TCPEndpoint) writeBatch(to types.NodeID, p *tcpPeer, w *types.Writer, b
 	} else {
 		types.AppendBatchFrame(w, batch)
 	}
-	if _, err := p.conn.Write(w.Bytes()); err != nil {
+	_, err := p.conn.Write(w.Bytes())
+	for _, env := range batch {
+		env.Release()
+	}
+	if err != nil {
 		e.dropPeer(to, p)
 		return false
 	}

@@ -109,7 +109,8 @@ func (n *Inproc) deliver(env *types.Envelope) error {
 	n.mu.RLock()
 	if n.down[env.From] || n.down[env.To] {
 		n.mu.RUnlock()
-		return nil // silently dropped, like a dead host
+		env.Release() // the drop is this envelope's terminal point
+		return nil    // silently dropped, like a dead host
 	}
 	ep, ok := n.endpoints[env.To]
 	n.mu.RUnlock()
@@ -152,6 +153,7 @@ func (e *inprocEndpoint) receive(env *types.Envelope) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
+		env.Release()
 		return
 	}
 	idx := Classify(env.From, len(e.inboxes))
@@ -159,8 +161,10 @@ func (e *inprocEndpoint) receive(env *types.Envelope) {
 	// protocols tolerate message loss by design (clients retransmit).
 	select {
 	case e.inboxes[idx] <- env:
+		// Ownership moves to the inbox consumer, which releases it.
 	default:
 		e.drops.Add(1)
+		env.Release()
 	}
 }
 

@@ -1,0 +1,85 @@
+package types_test
+
+// Allocation-accounting benchmarks for the zero-copy hot path, the
+// package-level counterparts of the `allocs` bench experiment: run with
+// -benchmem to compare allocs/op between the copying and pooled forms.
+
+import (
+	"bytes"
+	"testing"
+
+	"resilientdb/internal/pool"
+	"resilientdb/internal/types"
+)
+
+func benchFrame(b *testing.B) []byte {
+	b.Helper()
+	envs := make([]*types.Envelope, 0, 64)
+	for i := 0; i < 64; i++ {
+		envs = append(envs, &types.Envelope{
+			From: types.ReplicaNode(1),
+			To:   types.ReplicaNode(0),
+			Type: types.MsgPrepare,
+			Body: bytes.Repeat([]byte{byte(i)}, 256),
+			Auth: bytes.Repeat([]byte{0xA5}, 32),
+		})
+	}
+	var w types.Writer
+	types.AppendBatchFrame(&w, envs)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func BenchmarkFrameDecodeCopy(b *testing.B) {
+	frame := benchFrame(b)
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, err := types.ReadFrames(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecodePooled(b *testing.B) {
+	frame := benchFrame(b)
+	r := bytes.NewReader(frame)
+	bufs := new(pool.BytePool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		envs, err := types.ReadFramesPooled(r, bufs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range envs {
+			e.Release()
+		}
+	}
+}
+
+func benchMessage() types.Message {
+	return &types.Prepare{View: 3, Seq: 12345, Digest: types.Digest{1, 2, 3}, Replica: 2}
+}
+
+func BenchmarkMarshalBodyCopy(b *testing.B) {
+	msg := benchMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = types.MarshalBody(msg)
+	}
+}
+
+func BenchmarkMarshalBodyArena(b *testing.B) {
+	msg := benchMessage()
+	bufs := new(pool.BytePool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, arena := types.MarshalBodyArena(msg, bufs, 0)
+		arena.Release()
+	}
+}

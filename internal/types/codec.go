@@ -18,22 +18,59 @@ func Encode(w *Writer, msg Message) {
 }
 
 // EncodeToBytes returns the tagged encoding of msg in a fresh buffer.
+// Callers that append into an existing Writer anyway should call Encode
+// directly and skip the intermediate buffer.
 func EncodeToBytes(msg Message) []byte {
-	var w Writer
-	Encode(&w, msg)
+	w := GetWriter()
+	Encode(w, msg)
 	out := make([]byte, w.Len())
 	copy(out, w.Bytes())
+	PutWriter(w)
 	return out
 }
 
 // MarshalBody returns the body encoding of msg without the type tag. It is
-// the canonical input for signing and MAC computation.
+// the canonical input for signing and MAC computation. Callers that feed
+// the bytes straight into a Writer should use AppendBody instead.
 func MarshalBody(msg Message) []byte {
-	var w Writer
-	msg.marshal(&w)
+	w := GetWriter()
+	msg.marshal(w)
 	out := make([]byte, w.Len())
 	copy(out, w.Bytes())
+	PutWriter(w)
 	return out
+}
+
+// AppendBody appends the body encoding of msg to w — the append-into-
+// Writer form of MarshalBody, with no intermediate buffer or copy.
+func AppendBody(w *Writer, msg Message) { msg.marshal(w) }
+
+// MarshalBodyArena marshals msg into a buffer borrowed from bufs and
+// returns the encoded body along with the arena owning it. The arena
+// starts with one reference — the caller's. Attach it to every envelope
+// that will carry the body, then release the caller's reference; the
+// buffer returns to bufs when the last envelope retires. sizeHint
+// preallocates the borrowed buffer (growth past it falls back to a
+// heap-allocated buffer, which the arena still recycles on release).
+func MarshalBodyArena(msg Message, bufs FrameBuffers, sizeHint int) ([]byte, *Arena) {
+	if sizeHint < 256 {
+		sizeHint = 256
+	}
+	// The Writer itself comes from the pool too: handing a stack Writer's
+	// address to the Message interface makes it escape, which would put
+	// one heap allocation back on every pooled encode. The writer's own
+	// scratch buffer is parked and restored around the arena swap — other
+	// GetWriter users (digests, signing bytes) rely on pooled writers
+	// keeping their grown capacity, so returning one with a nil buffer
+	// would put re-growth allocations back on every digest.
+	w := GetWriter()
+	scratch := w.buf
+	w.buf = bufs.Get(sizeHint)
+	msg.marshal(w)
+	buf := w.buf
+	w.buf = scratch
+	PutWriter(w)
+	return buf, NewArena(buf, bufs)
 }
 
 // newMessage allocates the concrete message for a type tag.
@@ -90,12 +127,35 @@ func Decode(b []byte) (Message, error) {
 }
 
 // DecodeBody parses an untagged body encoding for a known message type.
+// Every byte-slice field of the result is a copy, safe to retain.
 func DecodeBody(t MsgType, b []byte) (Message, error) {
 	msg, err := newMessage(t)
 	if err != nil {
 		return nil, err
 	}
 	r := NewReader(b)
+	msg.unmarshal(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decoding %s body: %w", t, err)
+	}
+	return msg, nil
+}
+
+// DecodeBodyAlias parses an untagged body like DecodeBody but in alias
+// mode: the result's byte-slice fields (transaction payloads, values,
+// signatures) are subslices of b, not copies. The caller must guarantee
+// b outlives every use of the message — in particular it must NOT hand
+// the message to a consensus engine, which logs request batches until
+// the next stable checkpoint, or to the store. The replica pipeline
+// therefore decodes bodies in copy mode and reserves aliasing for the
+// envelope layer; this entry point serves callers with strictly scoped
+// message lifetimes (and the decode benchmarks that bound the copy cost).
+func DecodeBodyAlias(t MsgType, b []byte) (Message, error) {
+	msg, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	r := NewAliasReader(b)
 	msg.unmarshal(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decoding %s body: %w", t, err)
@@ -112,6 +172,15 @@ type Envelope struct {
 	Type MsgType
 	Body []byte
 	Auth []byte
+
+	// arena, when non-nil, owns the pooled buffer Body aliases; pooled
+	// marks envelopes that return to the envelope pool on Release. Auth
+	// never aliases an arena — consensus engines retain authenticators in
+	// commit certificates past any frame's lifetime, so decode always
+	// copies it. Envelopes are single-owner values: whoever holds one
+	// either passes it on or releases it, exactly once.
+	arena  *Arena
+	pooled bool
 }
 
 // EncodedSize returns the number of bytes WriteFrame will emit.
@@ -128,13 +197,15 @@ func (e *Envelope) encode(w *Writer) {
 	w.Blob(e.Auth)
 }
 
-// decode parses the envelope wire form from r in place.
+// decode parses the envelope wire form from r in place. Body follows r's
+// mode (aliased in alias mode); Auth is always copied because engines
+// retain it in commit certificates beyond the frame's lifetime.
 func (e *Envelope) decode(r *Reader) {
 	e.From = NodeID(r.U32())
 	e.To = NodeID(r.U32())
 	e.Type = MsgType(r.U8())
 	e.Body = r.Blob()
-	e.Auth = r.Blob()
+	e.Auth = r.CopyBlob()
 }
 
 // decodeEnvelope parses the envelope wire form.
@@ -184,9 +255,10 @@ func AppendBatchFrame(w *Writer, envs []*Envelope) {
 // WriteFrame writes a length-prefixed envelope to w. It is the TCP framing
 // used by the transport layer.
 func WriteFrame(w io.Writer, e *Envelope) error {
-	var wr Writer
-	AppendFrame(&wr, e)
+	wr := GetWriter()
+	AppendFrame(wr, e)
 	_, err := w.Write(wr.Bytes())
+	PutWriter(wr)
 	if err != nil {
 		return fmt.Errorf("writing frame: %w", err)
 	}
@@ -195,9 +267,10 @@ func WriteFrame(w io.Writer, e *Envelope) error {
 
 // WriteBatchFrame writes one batch frame carrying all of envs to w.
 func WriteBatchFrame(w io.Writer, envs []*Envelope) error {
-	var wr Writer
-	AppendBatchFrame(&wr, envs)
+	wr := GetWriter()
+	AppendBatchFrame(wr, envs)
 	_, err := w.Write(wr.Bytes())
+	PutWriter(wr)
 	if err != nil {
 		return fmt.Errorf("writing batch frame: %w", err)
 	}
@@ -245,6 +318,58 @@ func ReadFrames(r io.Reader) ([]*Envelope, error) {
 	if rd.Remaining() != 0 {
 		return nil, fmt.Errorf("decoding batch frame: %d trailing bytes", rd.Remaining())
 	}
+	return envs, nil
+}
+
+// ReadFramesPooled reads one frame like ReadFrames but borrows the frame
+// buffer from bufs and decodes in zero-copy mode: envelope structs come
+// from the envelope pool, each Body aliases the shared frame buffer, and
+// each envelope holds a reference on the frame's arena. The caller owns
+// the returned envelopes and must Release every one exactly once; the
+// buffer returns to bufs when the last reference drops. Auth is copied
+// regardless (engines retain it), and messages decoded from Body with
+// DecodeBody are copies, so only Body itself is lifetime-bound.
+func ReadFramesPooled(r io.Reader, bufs FrameBuffers) ([]*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err // io.EOF propagates untouched for clean shutdown
+	}
+	n := uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3])
+	batch := n&batchFrameBit != 0
+	n &^= batchFrameBit
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrOversized, n)
+	}
+	body := bufs.Get(int(n))[:n]
+	arena := NewArena(body, bufs) // the reader's reference
+	if _, err := io.ReadFull(r, body); err != nil {
+		arena.Release()
+		return nil, fmt.Errorf("reading frame body: %w", err)
+	}
+	rd := NewAliasReader(body)
+	count := 1
+	if batch {
+		count = rd.count(minEnvelopeSize)
+	}
+	envs := make([]*Envelope, 0, count)
+	for i := 0; i < count; i++ {
+		e := AcquireEnvelope()
+		e.decode(rd)
+		e.Attach(arena)
+		envs = append(envs, e)
+	}
+	err := rd.Err()
+	if err == nil && batch && rd.Remaining() != 0 {
+		err = fmt.Errorf("%d trailing bytes", rd.Remaining())
+	}
+	if err != nil {
+		for _, e := range envs {
+			e.Release()
+		}
+		arena.Release()
+		return nil, fmt.Errorf("decoding frame: %w", err)
+	}
+	arena.Release() // hand over to the envelopes' references
 	return envs, nil
 }
 

@@ -493,7 +493,7 @@ func unmarshalReadResults(r *Reader) []ReadResult {
 // replicas and attach forged read values. With no reads the digest is
 // byte-identical to the historical write-only form.
 func ResponseDigest(seq SeqNum, client ClientID, clientSeq uint64, reads []ReadResult) Digest {
-	var w Writer
+	w := GetWriter()
 	w.U64(uint64(seq))
 	w.U32(uint32(client))
 	w.U64(clientSeq)
@@ -505,7 +505,9 @@ func ResponseDigest(seq SeqNum, client ClientID, clientSeq uint64, reads []ReadR
 		w.U8(found)
 		w.Blob(reads[i].Value)
 	}
-	return sha256.Sum256(w.Bytes())
+	d := sha256.Sum256(w.Bytes())
+	PutWriter(w)
+	return d
 }
 
 // ClientResponse is a replica's reply for one client request. PBFT clients

@@ -1,0 +1,5 @@
+//go:build !race
+
+package types
+
+const raceEnabled = false

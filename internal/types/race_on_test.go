@@ -1,0 +1,8 @@
+//go:build race
+
+package types
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which sync.Pool randomly drops Puts and pool-occupancy tests
+// become nondeterministic.
+const raceEnabled = true

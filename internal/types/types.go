@@ -205,12 +205,13 @@ func (b *Block) Hash() Digest {
 // the critical path.
 func BatchDigest(reqs []ClientRequest) Digest {
 	h := sha256.New()
-	var w Writer
+	w := GetWriter()
 	for i := range reqs {
 		w.Reset()
-		reqs[i].marshal(&w)
+		reqs[i].marshal(w)
 		h.Write(w.Bytes())
 	}
+	PutWriter(w)
 	var d Digest
 	h.Sum(d[:0])
 	return d
@@ -221,13 +222,14 @@ func BatchDigest(reqs []ClientRequest) Digest {
 // digests. It exists as the ablation baseline for BatchDigest.
 func PerRequestBatchDigest(reqs []ClientRequest) Digest {
 	outer := sha256.New()
-	var w Writer
+	w := GetWriter()
 	for i := range reqs {
 		w.Reset()
-		reqs[i].marshal(&w)
+		reqs[i].marshal(w)
 		d := sha256.Sum256(w.Bytes())
 		outer.Write(d[:])
 	}
+	PutWriter(w)
 	var d Digest
 	outer.Sum(d[:0])
 	return d

@@ -61,13 +61,20 @@ func (w *Writer) Blob(b []byte) {
 // after the first failure every subsequent call returns zero values, so
 // decoders can run straight-line and check Err once at the end.
 type Reader struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	err   error
+	alias bool
 }
 
 // NewReader returns a Reader over b. The Reader does not copy b.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// NewAliasReader returns a Reader in alias mode: Blob returns subslices
+// of b instead of copies, so nothing decoded through it may outlive b.
+// Fields that must survive the input buffer use CopyBlob regardless of
+// mode.
+func NewAliasReader(b []byte) *Reader { return &Reader{buf: b, alias: true} }
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -140,10 +147,23 @@ func (r *Reader) Bytes32() Digest {
 	return d
 }
 
-// Blob reads a u32 length prefix and the bytes it announces. The returned
-// slice is a copy, so the caller may retain it after the input buffer is
-// recycled into a pool.
+// Blob reads a u32 length prefix and the bytes it announces. In the
+// default mode the returned slice is a copy, so the caller may retain it
+// after the input buffer is recycled into a pool; in alias mode (see
+// NewAliasReader) it is a capacity-clipped subslice of the input and
+// must not outlive it.
 func (r *Reader) Blob() []byte {
+	return r.blob(r.alias)
+}
+
+// CopyBlob reads a blob and always copies it, even in alias mode. It is
+// for fields that are retained past the frame's lifetime — envelope
+// authenticators stored in commit certificates, for one.
+func (r *Reader) CopyBlob() []byte {
+	return r.blob(false)
+}
+
+func (r *Reader) blob(alias bool) []byte {
 	n := r.U32()
 	if r.err != nil {
 		return nil
@@ -155,6 +175,11 @@ func (r *Reader) Blob() []byte {
 	b := r.take(int(n))
 	if b == nil {
 		return nil
+	}
+	if alias {
+		// Clip capacity so an append on the decoded field cannot bleed
+		// into the bytes that follow it in the shared buffer.
+		return b[:n:n]
 	}
 	out := make([]byte, n)
 	copy(out, b)
