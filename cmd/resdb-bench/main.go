@@ -49,6 +49,11 @@
 // read-only local row, the evidence that local reads consume no sequence
 // numbers.
 //
+// The faults experiment runs the chaos scenario matrix (internal/chaos)
+// and reports per-scenario degraded throughput and recovery time; -chaos
+// layers an ambient link fault under every scenario so the matrix can be
+// rerun on an already-degraded network.
+//
 // -json-dir additionally writes each experiment's metrics as
 // BENCH_<id>.json into the given directory — the machine-readable
 // artifact CI archives.
@@ -63,6 +68,7 @@ import (
 	"path/filepath"
 
 	"resilientdb/internal/bench"
+	"resilientdb/internal/chaos"
 	"resilientdb/internal/transport"
 )
 
@@ -84,6 +90,7 @@ func run() int {
 	execDepth := flag.Int("exec-pipeline-depth", bench.DiskTuning.Depth, "diskpipe: cross-batch execution pipelining depth for the sharded-store row")
 	compactRatio := flag.Float64("store-compact-ratio", 0, "compaction/diskpipe: garbage ratio past which a shard log is compacted (0 = store default 0.5, negative disables)")
 	compactMin := flag.Int64("store-compact-min-bytes", 0, "compaction/diskpipe: log size floor for threshold-driven compaction (0 = store default 1 MiB, negative removes the floor)")
+	chaosSpec := flag.String("chaos", "", "faults: ambient link fault layered under every scenario, drop=P,dup=P,corrupt=P,delay=D,reorder=D,seed=N (empty = fault-free between injections)")
 	jsonDir := flag.String("json-dir", "", "also write each experiment's metrics as BENCH_<id>.json into this directory")
 	flag.Parse()
 
@@ -106,6 +113,15 @@ func run() int {
 	}
 	bench.DiskTuning.CompactRatio = *compactRatio
 	bench.DiskTuning.CompactMinBytes = *compactMin
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		bench.ChaosTuning.BaseFault = spec.Fault
+		bench.ChaosTuning.Seed = spec.Seed
+	}
 
 	if *list {
 		for _, e := range bench.All() {

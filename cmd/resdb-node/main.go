@@ -101,6 +101,7 @@ import (
 	"syscall"
 	"time"
 
+	"resilientdb/internal/chaos"
 	"resilientdb/internal/crypto"
 	"resilientdb/internal/replica"
 	"resilientdb/internal/store"
@@ -168,6 +169,7 @@ func run() int {
 	netZeroCopy := flag.Int("net-zerocopy", 0, "zero-copy inbound frame decode from pooled buffers (0 = default on, -1 copies every frame)")
 	pooledEncode := flag.Int("pooled-encode", 0, "pooled outbound body encode (0 = default on, -1 allocates per message)")
 	verifyBatch := flag.Int("verify-batch", 0, "signature checks drained per verify-worker wakeup (0 = default 16, 1 or -1 = per-signature)")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec for this replica's outbound traffic: drop=P,dup=P,corrupt=P,delay=D,reorder=D,byz=mode@replica,seed=N (empty disables; see internal/chaos)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address and report heap/GC deltas in the stats tick (empty disables)")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
@@ -216,6 +218,18 @@ func run() int {
 		return 1
 	}
 
+	// The chaos fabric wraps only the endpoint handed to the replica, so
+	// ep stays typed *transport.TCP for Addr and the frame-pool stats.
+	repEP := transport.Endpoint(ep)
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		repEP = spec.Fabric().WrapEndpoint(types.ReplicaID(*id), repEP, dir)
+	}
+
 	execThreads := knob(*execShards, 1)
 	st, err := buildStore(*storeBackend, *storeDir, *id, *storeShards, execThreads, *storeSync, *storeCompactRatio, *storeCompactMin, *storeReadIndex >= 0)
 	if err != nil {
@@ -238,7 +252,7 @@ func run() int {
 		PooledEncode:      *pooledEncode,
 		Store:             st,
 		Directory:         dir,
-		Endpoint:          ep,
+		Endpoint:          repEP,
 		VerifyClientSigs:  true,
 		ViewTimeout:       2 * time.Second,
 	})

@@ -158,6 +158,8 @@ func All() []Experiment {
 			Paper: "the paper orders every operation through consensus; serving read-only requests from a replica's last-executed snapshot skips the three-phase round — the seq-used column shows local reads consuming no sequence numbers", Run: readmix},
 		{ID: "allocs", Title: "Zero-copy hot path: pooled frames, arena decode, batched verification (allocation A/B)",
 			Paper: "the paper pre-allocates message buffers and pools them (Section 4.8 \"smart memory management\"); the microbenchmarks isolate each pooled mechanism and the cluster rows show heap allocations per transaction with pooling off vs on", Run: allocs},
+		{ID: "faults", Title: "Fault matrix: degraded throughput and recovery time per injected fault class (chaos harness)",
+			Paper: "the paper evaluates replica failures (Figure 17) and argues the pipeline dips rather than collapses under a crashed backup; the chaos matrix generalizes that run to Byzantine, network, and storage fault classes and adds recovery-time and safety-invariant columns", Run: faults},
 	}
 }
 

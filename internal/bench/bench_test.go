@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
+
+	"resilientdb/internal/chaos"
 )
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
 		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction", "readmix",
-		"allocs"}
+		"allocs", "faults"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -286,5 +289,40 @@ func TestRunAndRenderProducesOutput(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Ablation") {
 		t.Fatalf("output missing table title:\n%s", buf.String())
+	}
+}
+
+// TestShapeFaults runs the chaos fault matrix through the bench wrapper:
+// every scenario must report throughput in all three windows and zero
+// invariant violations — a violation means the numbers describe a broken
+// cluster.
+func TestShapeFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	old := ChaosTuning
+	ChaosTuning = chaos.Tuning{
+		Warmup:  300 * time.Millisecond,
+		Fault:   time.Second,
+		Recover: 900 * time.Millisecond,
+		Records: 512,
+		Seed:    13,
+	}
+	defer func() { ChaosTuning = old }()
+	out, err := faults(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range chaos.DefaultMatrix() {
+		key := strings.ReplaceAll(sc.Name, "-", "_")
+		if out.Metrics["faults_baseline_tput_"+key] <= 0 {
+			t.Errorf("%s: no baseline throughput", sc.Name)
+		}
+		if v := out.Metrics["faults_violations_"+key]; v != 0 {
+			t.Errorf("%s: %v invariant violations", sc.Name, v)
+		}
+		if _, ok := out.Metrics["faults_recovery_s_"+key]; !ok {
+			t.Errorf("%s: no recovery time recorded", sc.Name)
+		}
 	}
 }

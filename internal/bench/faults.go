@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"resilientdb/internal/chaos"
+)
+
+// ChaosTuning overrides the windows and load the faults experiment hands
+// to the chaos runner; zero fields keep the runner defaults (the -chaos
+// flag on resdb-bench layers its ambient link fault in here as
+// BaseFault). It is a package variable so the driver can configure it
+// before Run without threading chaos types through the Experiment API.
+var ChaosTuning chaos.Tuning
+
+// faults runs the chaos scenario matrix — every fault class under live
+// Zipfian load — and reports the degraded-mode cost of each: throughput
+// during the fault and after healing relative to the fault-free warmup,
+// plus how long liveness took to come back. The invariant checks the
+// test suite enforces (ledger equality, no lost acked writes, bounded
+// recovery) run here too; a violation count other than 0 in any row
+// means the run is reporting numbers for a broken cluster and must not
+// be trusted.
+func faults(s Scale) (Outcome, error) {
+	tn := ChaosTuning
+	if s == ScalePaper && tn == (chaos.Tuning{}) {
+		tn = chaos.Tuning{
+			Warmup:  time.Second,
+			Fault:   3 * time.Second,
+			Recover: 2 * time.Second,
+			Records: 4096,
+			Clients: 8,
+		}
+	}
+
+	tab := Table{
+		Title: "Fault matrix: throughput under injected faults and recovery after healing (PBFT, N=4, live Zipfian load)",
+		Columns: []string{"scenario", "class", "baseline", "fault", "recovered",
+			"recovery", "view", "evidence", "violations"},
+	}
+	metrics := map[string]float64{}
+
+	for _, sc := range chaos.DefaultMatrix() {
+		rep, err := chaos.RunScenario(sc, tn)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("faults: scenario %s: %w", sc.Name, err)
+		}
+		tab.AddRow(rep.Scenario, rep.Class,
+			ktps(rep.BaselineTput), ktps(rep.FaultTput), ktps(rep.RecoveredTput),
+			fmt.Sprintf("%.2fs", rep.RecoverySeconds),
+			fmt.Sprintf("%d", rep.FinalView),
+			fmt.Sprintf("%d", rep.Evidence),
+			fmt.Sprintf("%d", len(rep.Violations)))
+
+		key := strings.ReplaceAll(rep.Scenario, "-", "_")
+		metrics["faults_baseline_tput_"+key] = rep.BaselineTput
+		metrics["faults_fault_tput_"+key] = rep.FaultTput
+		metrics["faults_recovered_tput_"+key] = rep.RecoveredTput
+		metrics["faults_recovery_s_"+key] = rep.RecoverySeconds
+		metrics["faults_final_view_"+key] = float64(rep.FinalView)
+		metrics["faults_violations_"+key] = float64(len(rep.Violations))
+	}
+
+	return Outcome{Tables: []Table{tab}, Metrics: metrics}, nil
+}

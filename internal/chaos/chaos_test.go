@@ -1,0 +1,267 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/store"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+func testDirectory(t *testing.T) *crypto.Directory {
+	t.Helper()
+	var seed [32]byte
+	seed[0] = 7
+	dir, err := crypto.NewDirectory(crypto.Recommended(), seed)
+	if err != nil {
+		t.Fatalf("directory: %v", err)
+	}
+	return dir
+}
+
+// fabricPair wires two replica endpoints through one fabric: sender 0 is
+// wrapped (the unit under test), receiver 1 is raw.
+func fabricPair(t *testing.T, f *Fabric) (transport.Endpoint, transport.Endpoint) {
+	t.Helper()
+	net := transport.NewInproc()
+	dir := testDirectory(t)
+	sender := f.WrapEndpoint(0, net.Endpoint(types.ReplicaNode(0), 1, 64), dir)
+	receiver := net.Endpoint(types.ReplicaNode(1), 1, 64)
+	t.Cleanup(func() {
+		f.Drain()
+		sender.Close()
+		receiver.Close()
+	})
+	return sender, receiver
+}
+
+func testEnvelope() *types.Envelope {
+	return &types.Envelope{
+		From: types.ReplicaNode(0),
+		To:   types.ReplicaNode(1),
+		Type: types.MsgPrepare,
+		Body: []byte{1, 2, 3},
+		Auth: []byte{4, 5, 6},
+	}
+}
+
+func recvWithin(t *testing.T, ep transport.Endpoint, d time.Duration) *types.Envelope {
+	t.Helper()
+	select {
+	case env := <-ep.Inbox(0):
+		return env
+	case <-time.After(d):
+		return nil
+	}
+}
+
+func TestFabricPassThrough(t *testing.T) {
+	f := NewFabric(1)
+	sender, receiver := fabricPair(t, f)
+	if err := sender.Send(testEnvelope()); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	env := recvWithin(t, receiver, time.Second)
+	if env == nil {
+		t.Fatal("fault-free fabric did not deliver")
+	}
+	if !bytes.Equal(env.Body, []byte{1, 2, 3}) {
+		t.Fatalf("body mutated in transit: %v", env.Body)
+	}
+}
+
+func TestFabricDrop(t *testing.T) {
+	f := NewFabric(1)
+	f.SetDefault(LinkFault{Drop: 1})
+	sender, receiver := fabricPair(t, f)
+	if err := sender.Send(testEnvelope()); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if env := recvWithin(t, receiver, 50*time.Millisecond); env != nil {
+		t.Fatal("drop=1 still delivered")
+	}
+	if got := f.Stats().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestFabricPartition(t *testing.T) {
+	f := NewFabric(1)
+	f.Isolate(types.ReplicaNode(1))
+	sender, receiver := fabricPair(t, f)
+	if err := sender.Send(testEnvelope()); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if env := recvWithin(t, receiver, 50*time.Millisecond); env != nil {
+		t.Fatal("partitioned link still delivered")
+	}
+	if got := f.Stats().PartitionDrops; got != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", got)
+	}
+	f.HealPartition()
+	if err := sender.Send(testEnvelope()); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	if env := recvWithin(t, receiver, time.Second); env == nil {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestFabricDuplicateAndDelay(t *testing.T) {
+	f := NewFabric(1)
+	f.SetLink(types.ReplicaNode(0), types.ReplicaNode(1), LinkFault{Duplicate: 1, Delay: time.Millisecond})
+	sender, receiver := fabricPair(t, f)
+	if err := sender.Send(testEnvelope()); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if env := recvWithin(t, receiver, time.Second); env == nil {
+			t.Fatalf("copy %d of duplicated envelope never arrived", i)
+		}
+	}
+	s := f.Stats()
+	if s.Duplicated != 1 || s.Delayed == 0 {
+		t.Fatalf("stats = %+v, want 1 duplicate and some delays", s)
+	}
+}
+
+// TestFabricCorruptReSigns checks the malformed-flood contract: the
+// corrupted body must still authenticate as the sender (it lands in the
+// receiver's DecodeFailures split, not AuthFailures) and must fail
+// decoding for the original message type.
+func TestFabricCorruptReSigns(t *testing.T) {
+	f := NewFabric(1)
+	f.SetDefault(LinkFault{Corrupt: 1})
+	sender, receiver := fabricPair(t, f)
+	dir := testDirectory(t)
+
+	orig := testEnvelope()
+	if err := sender.Send(orig); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	env := recvWithin(t, receiver, time.Second)
+	if env == nil {
+		t.Fatal("corrupted envelope never delivered")
+	}
+	if bytes.Equal(env.Body, []byte{1, 2, 3}) {
+		t.Fatal("corrupt=1 left the body untouched")
+	}
+	verifier := dir.NodeAuth(types.ReplicaNode(1))
+	if err := verifier.Verify(env.From, env.Body, env.Auth); err != nil {
+		t.Fatalf("corrupted body does not authenticate: %v", err)
+	}
+	if _, err := types.DecodeBody(env.Type, env.Body); err == nil {
+		t.Fatal("corrupted body still decodes")
+	}
+	if got := f.Stats().Corrupted; got != 1 {
+		t.Fatalf("Corrupted = %d, want 1", got)
+	}
+}
+
+func TestStoreFaultsFailEvery(t *testing.T) {
+	sf := NewStoreFaults()
+	st := sf.WrapStore(store.NewMemStore(16))
+	sf.SetFailEvery(2)
+	var failed int
+	for i := 0; i < 6; i++ {
+		if err := st.Put(uint64(i), []byte{byte(i)}); err != nil {
+			if !errors.Is(err, ErrInjectedWrite) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("failed writes = %d, want 3 of 6 at fail-every-2", failed)
+	}
+	sf.SetFailEvery(0)
+	if err := st.Put(99, []byte{9}); err != nil {
+		t.Fatalf("write after disabling injection: %v", err)
+	}
+	if _, err := st.Get(99); err != nil {
+		t.Fatalf("read-through: %v", err)
+	}
+}
+
+// TestStoreFaultsCapabilities checks the wrapper preserves exactly the
+// optional interfaces each backend implements — the replica type-asserts
+// them, so a lost capability silently degrades the pipeline and a gained
+// one lies about durability stats.
+func TestStoreFaultsCapabilities(t *testing.T) {
+	sf := NewStoreFaults()
+
+	mem := sf.WrapStore(store.NewMemStore(16))
+	if _, ok := mem.(store.Batcher); !ok {
+		t.Error("wrapped MemStore lost Batcher")
+	}
+	if _, ok := mem.(store.SyncStatser); ok {
+		t.Error("wrapped MemStore gained SyncStatser")
+	}
+
+	for _, backend := range []string{"disk", "sharded"} {
+		inner, err := store.OpenBackend(store.BackendConfig{Backend: backend, Dir: t.TempDir(), ExecShards: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		wrapped := sf.WrapStore(inner)
+		if _, ok := wrapped.(store.SyncStatser); !ok {
+			t.Errorf("wrapped %s lost SyncStatser", backend)
+		}
+		if _, ok := wrapped.(store.Compactor); !ok {
+			t.Errorf("wrapped %s lost Compactor", backend)
+		}
+		if _, ok := wrapped.(store.Batcher); ok != (backend == "sharded") {
+			t.Errorf("wrapped %s Batcher = %v", backend, ok)
+		}
+		if err := wrapped.Close(); err != nil {
+			t.Fatalf("close %s: %v", backend, err)
+		}
+	}
+}
+
+func TestMalformedFramesAllFailFrameDecode(t *testing.T) {
+	for i, frame := range MalformedFrames() {
+		if envs, err := types.ReadFrames(bytes.NewReader(frame)); err == nil {
+			t.Errorf("frame %d decoded into %d envelopes, want error", i, len(envs))
+		}
+	}
+}
+
+func TestMalformedBodiesAllFailBodyDecode(t *testing.T) {
+	kinds := []types.MsgType{types.MsgClientRequest, types.MsgPrePrepare, types.MsgPrepare, types.MsgCommit, types.MsgClientResponse}
+	for i, body := range MalformedBodies() {
+		for _, kind := range kinds {
+			if _, err := types.DecodeBody(kind, body); err == nil {
+				t.Errorf("body %d decoded as %v, want error", i, kind)
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("drop=0.1, delay=2ms,reorder=5ms,dup=0.02,corrupt=0.005,byz=mute@0,seed=7")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := Spec{
+		Fault:     LinkFault{Drop: 0.1, Delay: 2 * time.Millisecond, Reorder: 5 * time.Millisecond, Duplicate: 0.02, Corrupt: 0.005},
+		Byz:       ByzMutePrimary,
+		ByzTarget: 0,
+		Seed:      7,
+	}
+	if sp != want {
+		t.Fatalf("parsed %+v, want %+v", sp, want)
+	}
+	if sp2, err := ParseSpec(""); err != nil || sp2 != (Spec{}) {
+		t.Fatalf("empty spec: %+v, %v", sp2, err)
+	}
+	for _, bad := range []string{"drop=2", "nope=1", "byz=mute", "byz=wat@1", "delay=fast", "drop"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package chaos
+
+// This file is the malformed-wire corpus: the bytes the fabric's Corrupt
+// fault injects, plus seed inputs for the frame- and body-decoding fuzz
+// targets in internal/types. Keeping the corpus here means the fuzzers
+// start from exactly the garbage the chaos scenarios exercise at runtime.
+
+// malformedBody returns a fresh body that no message type decodes: every
+// unmarshal starts by reading at least one u32, so three bytes always
+// leave the reader short. The receiver's verify stage passes it (the
+// fabric re-signs it) and the decode stage counts it in DecodeFailures.
+func malformedBody() []byte { return []byte{0xFF, 0xFE, 0xFD} }
+
+// MalformedBodies returns decode-failing message bodies for fuzz seeding:
+// the runtime injection garbage plus truncation and trailing-byte shapes.
+func MalformedBodies() [][]byte {
+	return [][]byte{
+		malformedBody(),
+		{},                       // empty body
+		{0x00},                   // one byte: short of any field
+		{0x00, 0x00, 0x00},       // three zero bytes: short u32
+		{0xFF, 0xFF, 0xFF, 0xFF}, // huge first count/field
+		{0x00, 0x00, 0x00, 0x01}, // count 1 with no elements behind it
+		make([]byte, 64),         // zeros: plausible prefix, bad tail
+	}
+}
+
+// MalformedFrames returns wire-level frames (length prefix included) that
+// must make types.ReadFrames and types.ReadFramesPooled return an error —
+// never panic or over-allocate. Shapes: truncated prefix, oversized
+// length, forged batch counts, truncated payloads, and trailing bytes.
+func MalformedFrames() [][]byte {
+	// Minimal valid envelope payload: from=0, to=0, type=1, empty body
+	// blob, empty auth blob — 17 bytes, the minEnvelopeSize wire form.
+	minEnv := []byte{
+		0, 0, 0, 0, // from
+		0, 0, 0, 0, // to
+		1,          // type
+		0, 0, 0, 0, // body len
+		0, 0, 0, 0, // auth len
+	}
+	frame := func(prefix uint32, payload []byte) []byte {
+		out := []byte{byte(prefix >> 24), byte(prefix >> 16), byte(prefix >> 8), byte(prefix)}
+		return append(out, payload...)
+	}
+	const batchBit = 1 << 31
+	return [][]byte{
+		{},                         // no prefix at all
+		{0x00},                     // truncated prefix
+		frame(1<<28+1, nil),        // length beyond maxFrameLen
+		frame(0, nil),              // empty single frame
+		frame(10, []byte{1, 2, 3}), // truncated payload
+		frame(uint32(len(minEnv)+2), append(append([]byte{}, minEnv...), 0xAA, 0xBB)), // trailing bytes
+		frame(batchBit|4, []byte{0x00, 0xFF, 0xFF, 0xFF}),                             // forged huge batch count
+		frame(batchBit|4, []byte{0x00, 0x00, 0x00, 0x01}),                             // batch count 1, no envelope
+		frame(batchBit|0, nil),                             // batch frame with no count
+		frame(uint32(len(minEnv)), minEnv[:len(minEnv)-1]), // envelope short one byte
+	}
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"resilientdb/internal/store"
+)
+
+// ErrInjectedWrite is the error returned by writes that StoreFaults chose
+// to fail.
+var ErrInjectedWrite = errors.New("chaos: injected write error")
+
+// StoreFaults injects disk-layer faults into a wrapped store.Store:
+// a per-write stall (modelling a saturated or degraded device) and a
+// deterministic fail-every-Nth write error. Faults can be flipped while
+// the store is in use; counters are atomic.
+type StoreFaults struct {
+	stallNS   atomic.Int64
+	failEvery atomic.Int64
+	writeSeq  atomic.Uint64
+
+	Stalls         atomic.Uint64
+	InjectedErrors atomic.Uint64
+}
+
+// NewStoreFaults returns a fault-free injector.
+func NewStoreFaults() *StoreFaults { return &StoreFaults{} }
+
+// SetWriteStall makes every Put/PutMany sleep for d before touching the
+// store; 0 disables the stall.
+func (sf *StoreFaults) SetWriteStall(d time.Duration) { sf.stallNS.Store(int64(d)) }
+
+// SetFailEvery makes every nth write (counted across Put and PutMany
+// calls) fail with ErrInjectedWrite without reaching the store; 0
+// disables injection. Counting is deterministic, so tests can assert the
+// exact number of injected failures.
+func (sf *StoreFaults) SetFailEvery(n int) { sf.failEvery.Store(int64(n)) }
+
+// before runs the fault schedule for one write call and reports whether
+// the write should fail.
+func (sf *StoreFaults) before() error {
+	if d := sf.stallNS.Load(); d > 0 {
+		sf.Stalls.Add(1)
+		time.Sleep(time.Duration(d))
+	}
+	if n := sf.failEvery.Load(); n > 0 {
+		if sf.writeSeq.Add(1)%uint64(n) == 0 {
+			sf.InjectedErrors.Add(1)
+			return ErrInjectedWrite
+		}
+	}
+	return nil
+}
+
+// WrapStore wraps st with sf's write-fault injection. The wrapper
+// preserves the inner store's optional capabilities exactly — the replica
+// type-asserts store.Batcher, store.SyncStatser, and store.Compactor, so
+// a wrapped ShardedDiskStore must still advertise all three and a
+// wrapped MemStore must not grow SyncStats it cannot honestly report.
+// Its signature (modulo the receiver) matches cluster.Options.StoreWrapper.
+func (sf *StoreFaults) WrapStore(st store.Store) store.Store {
+	base := faultStore{inner: st, sf: sf}
+	b, isB := st.(store.Batcher)
+	s, isS := st.(store.SyncStatser)
+	c, isC := st.(store.Compactor)
+	switch {
+	case isB && isS && isC: // ShardedDiskStore
+		return &faultStoreBSC{faultStore: base, b: b, s: s, c: c}
+	case isS && isC: // DiskStore
+		return &faultStoreSC{faultStore: base, s: s, c: c}
+	case isB: // MemStore
+		return &faultStoreB{faultStore: base, b: b}
+	default:
+		return &faultStore{inner: st, sf: sf}
+	}
+}
+
+// faultStore is the capability-free core wrapper; reads pass through
+// untouched (the harness targets the write/durability path).
+type faultStore struct {
+	inner store.Store
+	sf    *StoreFaults
+}
+
+func (f *faultStore) Put(key uint64, value []byte) error {
+	if err := f.sf.before(); err != nil {
+		return err
+	}
+	return f.inner.Put(key, value)
+}
+
+func (f *faultStore) Get(key uint64) ([]byte, error) { return f.inner.Get(key) }
+func (f *faultStore) Len() int                       { return f.inner.Len() }
+func (f *faultStore) Close() error                   { return f.inner.Close() }
+
+func (f *faultStore) putMany(b store.Batcher, kvs []store.KV) error {
+	if err := f.sf.before(); err != nil {
+		return err
+	}
+	return b.PutMany(kvs)
+}
+
+type faultStoreB struct {
+	faultStore
+	b store.Batcher
+}
+
+func (f *faultStoreB) PutMany(kvs []store.KV) error { return f.putMany(f.b, kvs) }
+
+type faultStoreSC struct {
+	faultStore
+	s store.SyncStatser
+	c store.Compactor
+}
+
+func (f *faultStoreSC) SyncStats() store.SyncStats       { return f.s.SyncStats() }
+func (f *faultStoreSC) MaybeCompact() (int, error)       { return f.c.MaybeCompact() }
+func (f *faultStoreSC) Compact() error                   { return f.c.Compact() }
+func (f *faultStoreSC) CompactStats() store.CompactStats { return f.c.CompactStats() }
+
+type faultStoreBSC struct {
+	faultStore
+	b store.Batcher
+	s store.SyncStatser
+	c store.Compactor
+}
+
+func (f *faultStoreBSC) PutMany(kvs []store.KV) error     { return f.putMany(f.b, kvs) }
+func (f *faultStoreBSC) SyncStats() store.SyncStats       { return f.s.SyncStats() }
+func (f *faultStoreBSC) MaybeCompact() (int, error)       { return f.c.MaybeCompact() }
+func (f *faultStoreBSC) Compact() error                   { return f.c.Compact() }
+func (f *faultStoreBSC) CompactStats() store.CompactStats { return f.c.CompactStats() }
+
+// Compile-time capability checks: the wrappers must mirror the backends.
+var (
+	_ store.Store       = (*faultStore)(nil)
+	_ store.Batcher     = (*faultStoreB)(nil)
+	_ store.SyncStatser = (*faultStoreSC)(nil)
+	_ store.Compactor   = (*faultStoreSC)(nil)
+	_ store.Batcher     = (*faultStoreBSC)(nil)
+	_ store.SyncStatser = (*faultStoreBSC)(nil)
+	_ store.Compactor   = (*faultStoreBSC)(nil)
+)

@@ -125,6 +125,17 @@ type Options struct {
 	Seed int64
 	// PreloadTable loads the YCSB table into every store before starting.
 	PreloadTable bool
+	// EndpointWrapper, when non-nil, wraps each replica's transport
+	// endpoint before the replica sees it — the chaos harness's network
+	// seam (drop/delay/partition/Byzantine rules live in the wrapper).
+	// The directory is passed so a wrapper can re-sign bodies it mutates.
+	// Restart builds the replacement endpoint through the same wrapper.
+	EndpointWrapper func(id types.ReplicaID, ep transport.Endpoint, dir *crypto.Directory) transport.Endpoint
+	// StoreWrapper, when non-nil, wraps each replica's record store before
+	// the replica sees it — the chaos harness's disk seam (fsync stalls,
+	// write errors). The cluster keeps closing the inner store it built;
+	// wrappers must delegate Close.
+	StoreWrapper func(id types.ReplicaID, st store.Store) store.Store
 }
 
 func (o *Options) fill() error {
@@ -252,12 +263,20 @@ type Cluster struct {
 	clients  []*Client
 	clientEP []transport.Endpoint
 
-	// Stores the cluster built itself (StoreBackend path) are closed on
-	// Stop; externally provided stores (StoreFactory) are the caller's.
-	ownedStores []store.Store
+	// stores holds each replica's inner (pre-wrapper) record store;
+	// storeOwned marks the ones the cluster built itself (StoreBackend
+	// path), which are closed on Stop. Externally provided stores
+	// (StoreFactory) are the caller's.
+	stores     []store.Store
+	storeOwned []bool
 	// tmpStoreDir is the auto-created root for disk-backed stores when
 	// StoreDir was empty; removed on Stop.
 	tmpStoreDir string
+
+	// downMu guards downed, the crash bookkeeping Crash/Restart maintain;
+	// Live is the filter most invariant checks want.
+	downMu sync.Mutex
+	downed []bool
 }
 
 // buildStore constructs one replica's record store from the StoreBackend
@@ -295,14 +314,64 @@ func (c *Cluster) buildStore(id types.ReplicaID) (store.Store, error) {
 // closeOwnedStores releases the stores the cluster built itself and the
 // auto-created store directory; Stop and failed New calls both use it.
 func (c *Cluster) closeOwnedStores() {
-	for _, st := range c.ownedStores {
-		_ = st.Close()
+	for i, st := range c.stores {
+		if st != nil && c.storeOwned[i] {
+			_ = st.Close()
+		}
 	}
-	c.ownedStores = nil
+	c.stores = nil
+	c.storeOwned = nil
 	if c.tmpStoreDir != "" {
 		_ = os.RemoveAll(c.tmpStoreDir)
 		c.tmpStoreDir = ""
 	}
+}
+
+// buildReplica constructs (and wraps) one replica around an inner store
+// and fabric endpoint; boot is nil for a fresh genesis boot. New and
+// Restart share it so a restarted replica is configured identically.
+// buildEndpoint registers a fresh inbox for the replica on the in-process
+// network, applying the chaos wrapper if one is configured. Registration
+// is the moment the replica starts receiving: callers that need to replay
+// traffic sent before the replica runs (Restart) register early and let
+// the inbox buffer.
+func (c *Cluster) buildEndpoint(id types.ReplicaID) transport.Endpoint {
+	ep := c.net.Endpoint(types.ReplicaNode(id), 1+c.opts.ReplicaInboxes, 1<<13)
+	if c.opts.EndpointWrapper != nil {
+		ep = c.opts.EndpointWrapper(id, ep, c.dir)
+	}
+	return ep
+}
+
+func (c *Cluster) buildReplica(id types.ReplicaID, st store.Store, boot *replica.Bootstrap, ep transport.Endpoint) (*replica.Replica, error) {
+	opts := &c.opts
+	if opts.StoreWrapper != nil {
+		st = opts.StoreWrapper(id, st)
+	}
+	return replica.New(replica.Config{
+		ID:                 id,
+		N:                  opts.N,
+		Protocol:           opts.Protocol,
+		BatchSize:          opts.BatchSize,
+		BatchThreads:       opts.BatchThreads,
+		ExecuteThreads:     opts.ExecuteThreads,
+		OutputThreads:      opts.OutputThreads,
+		ReplicaInboxes:     opts.ReplicaInboxes,
+		VerifyThreads:      opts.VerifyThreads,
+		WorkerThreads:      opts.WorkerThreads,
+		ExecPipelineDepth:  opts.ExecPipelineDepth,
+		CheckpointInterval: opts.CheckpointInterval,
+		LedgerMode:         opts.LedgerMode,
+		Store:              st,
+		Directory:          c.dir,
+		Endpoint:           ep,
+		VerifyClientSigs:   true,
+		DisableOutOfOrder:  opts.DisableOutOfOrder,
+		ViewTimeout:        opts.ViewTimeout,
+		PooledEncode:       opts.PooledEncode,
+		VerifyBatch:        opts.VerifyBatch,
+		Bootstrap:          boot,
+	})
 }
 
 // New builds a cluster; call Start before Run.
@@ -328,9 +397,11 @@ func New(opts Options) (*Cluster, error) {
 		}
 	}()
 
+	c.downed = make([]bool, opts.N)
 	for i := 0; i < opts.N; i++ {
 		id := types.ReplicaID(i)
 		var st store.Store
+		owned := false
 		if opts.StoreFactory != nil {
 			st, err = opts.StoreFactory(id)
 			if err != nil {
@@ -341,37 +412,16 @@ func New(opts Options) (*Cluster, error) {
 			if err != nil {
 				return nil, fmt.Errorf("cluster: store for replica %d: %w", i, err)
 			}
-			c.ownedStores = append(c.ownedStores, st)
+			owned = true
 		}
+		c.stores = append(c.stores, st)
+		c.storeOwned = append(c.storeOwned, owned)
 		if opts.PreloadTable {
 			if err := workload.InitTable(st, opts.Workload); err != nil {
 				return nil, err
 			}
 		}
-		ep := c.net.Endpoint(types.ReplicaNode(id), 1+opts.ReplicaInboxes, 1<<13)
-		rep, err := replica.New(replica.Config{
-			ID:                 id,
-			N:                  opts.N,
-			Protocol:           opts.Protocol,
-			BatchSize:          opts.BatchSize,
-			BatchThreads:       opts.BatchThreads,
-			ExecuteThreads:     opts.ExecuteThreads,
-			OutputThreads:      opts.OutputThreads,
-			ReplicaInboxes:     opts.ReplicaInboxes,
-			VerifyThreads:      opts.VerifyThreads,
-			WorkerThreads:      opts.WorkerThreads,
-			ExecPipelineDepth:  opts.ExecPipelineDepth,
-			CheckpointInterval: opts.CheckpointInterval,
-			LedgerMode:         opts.LedgerMode,
-			Store:              st,
-			Directory:          dir,
-			Endpoint:           ep,
-			VerifyClientSigs:   true,
-			DisableOutOfOrder:  opts.DisableOutOfOrder,
-			ViewTimeout:        opts.ViewTimeout,
-			PooledEncode:       opts.PooledEncode,
-			VerifyBatch:        opts.VerifyBatch,
-		})
+		rep, err := c.buildReplica(id, st, nil, c.buildEndpoint(id))
 		if err != nil {
 			return nil, err
 		}
@@ -424,10 +474,129 @@ func (c *Cluster) Replica(i int) *replica.Replica { return c.replicas[i] }
 // Clients returns the client runtimes.
 func (c *Cluster) Clients() []*Client { return c.clients }
 
+// Store returns the i-th replica's inner record store (before any
+// StoreWrapper), for invariant checks that compare replica state.
+func (c *Cluster) Store(i int) store.Store { return c.stores[i] }
+
 // Crash isolates a replica: all its traffic is silently dropped, exactly
 // like a crashed host (Section 5.10 fails backups this way).
 func (c *Cluster) Crash(i int) {
+	c.downMu.Lock()
+	c.downed[i] = true
+	c.downMu.Unlock()
 	c.net.SetDown(types.ReplicaNode(types.ReplicaID(i)), true)
+}
+
+// Live reports whether replica i is currently up (never crashed, or
+// crashed and since restarted); it is the filter VerifyLedgers and
+// WaitForHeight take.
+func (c *Cluster) Live(i int) bool {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	return !c.downed[i]
+}
+
+// Restart recovers a crashed replica: the old pipeline is stopped, a
+// disk-backed store is reopened from its own directory (replaying its
+// logs), and a fresh replica is bootstrapped from a live peer's retained
+// ledger tail, current view, and dedup table, then reattached to the
+// fabric. A mem-backed store survives the restart as-is — it stands in
+// for the durable layer a real deployment would reopen.
+//
+// The restarted replica converges to chain equality with its peers: its
+// ledger resumes at the bootstrap head and appends through normal
+// consensus from there. Its record store, however, resumes from its own
+// durable state, which may trail the bootstrap head until the ROADMAP's
+// state-transfer work lands — so store-equality assertions should exempt
+// restarted replicas, and local reads against one may briefly serve
+// stale values.
+func (c *Cluster) Restart(i int) error {
+	c.downMu.Lock()
+	if !c.downed[i] {
+		c.downMu.Unlock()
+		return fmt.Errorf("cluster: restart of replica %d, which is not crashed", i)
+	}
+	ref := -1
+	for j := range c.replicas {
+		if j != i && !c.downed[j] {
+			ref = j
+			break
+		}
+	}
+	c.downMu.Unlock()
+	if ref < 0 {
+		return fmt.Errorf("cluster: no live peer to bootstrap replica %d from", i)
+	}
+
+	// Stop the old pipeline first: it closes its endpoint and finishes any
+	// in-flight execution against the store before we touch it.
+	c.replicas[i].Stop()
+
+	id := types.ReplicaID(i)
+	st := c.stores[i]
+	if c.storeOwned[i] && (c.opts.StoreBackend == "disk" || c.opts.StoreBackend == "sharded") {
+		// A real crash loses the process but not the disk: close the old
+		// handle and reopen the same directory, replaying the shard logs.
+		_ = st.Close()
+		var err error
+		st, err = c.buildStore(id)
+		if err != nil {
+			return fmt.Errorf("cluster: reopening store for replica %d: %w", i, err)
+		}
+		c.stores[i] = st
+	}
+
+	// Bring the replacement inbox online before snapshotting: from this
+	// point every broadcast to the replica is buffered for replay when it
+	// starts. Without this there is a fatal gap under live load: a
+	// PrePrepare sent between the snapshot and the endpoint going live is
+	// never retransmitted, that instance can never commit locally, and
+	// the in-order execution queue wedges behind it forever while later
+	// sequences pile up.
+	ep := c.buildEndpoint(id)
+	c.net.SetDown(types.ReplicaNode(id), false)
+
+	// Every sequence proposed before the inbox went live must therefore
+	// be covered by the block snapshot. Wait until the peer has executed
+	// up to the proposal head observed across the live replicas; bounded,
+	// because a view change can abandon a proposed instance, in which
+	// case we proceed with the best snapshot available.
+	peer := c.replicas[ref]
+	var head types.SeqNum
+	c.downMu.Lock()
+	for j := range c.replicas {
+		if j != i && !c.downed[j] {
+			if h := c.replicas[j].ProposalHead(); h > head {
+				head = h
+			}
+		}
+	}
+	c.downMu.Unlock()
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline); {
+		if peer.Ledger().Head().Seq >= head {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Snapshot the peer under live load: dedup first, then blocks, so the
+	// dedup table never claims executions past the block snapshot's head.
+	// (Executions landing between the two calls are below the bootstrap
+	// head on both sides, so neither replica will replay them.)
+	boot := &replica.Bootstrap{LastExec: peer.DedupSnapshot()}
+	boot.Blocks = peer.Ledger().Blocks()
+	boot.View = peer.Stats().View
+
+	rep, err := c.buildReplica(id, st, boot, ep)
+	if err != nil {
+		return fmt.Errorf("cluster: rebuilding replica %d: %w", i, err)
+	}
+	c.replicas[i] = rep
+	rep.Start()
+	c.downMu.Lock()
+	c.downed[i] = false
+	c.downMu.Unlock()
+	return nil
 }
 
 // Run drives all clients for the given duration and aggregates results.

@@ -182,10 +182,25 @@ func (s *serialEngine) OnViewTimeout() []Action {
 	return s.inner.OnViewTimeout()
 }
 
+func (s *serialEngine) LastProposed() types.SeqNum {
+	if ph, ok := s.inner.(ProposalHeader); ok {
+		return ph.LastProposed()
+	}
+	return 0
+}
+
 func (s *serialEngine) View() types.View { return s.inner.View() }
 func (s *serialEngine) IsPrimary() bool  { return s.inner.IsPrimary() }
 func (s *serialEngine) Stats() EngineStats {
 	return s.inner.Stats()
+}
+
+// ProposalHeader is implemented by engines that can report the highest
+// sequence number they have proposed or adopted. Drivers use it to bound
+// the set of instances that may be in flight: everything above the head
+// has provably not been pre-prepared yet.
+type ProposalHeader interface {
+	LastProposed() types.SeqNum
 }
 
 // EngineStats exposes engine counters for tests and monitoring.

@@ -57,6 +57,14 @@ type Config struct {
 	// cost where it belongs, in the worker or batch threads) leave this
 	// off; adversarial tests switch it on.
 	VerifyDigests bool
+	// StartView and StartSeq boot the engine mid-stream: a recovering
+	// replica that seeded its state from a peer's stable tail joins the
+	// cluster's current view with its watermarks anchored at StartSeq —
+	// it treats StartSeq like a locally adopted stable checkpoint, so
+	// consensus opens instances only for sequence numbers above it. Both
+	// default to zero, the fresh-boot state.
+	StartView types.View
+	StartSeq  types.SeqNum
 }
 
 func (c *Config) fill() {
@@ -251,7 +259,17 @@ func New(cfg Config) (*Engine, error) {
 	for i := range e.stripes {
 		e.stripes[i].instances = make(map[types.SeqNum]*instance)
 	}
-	e.primaryA.Store(consensus.PrimaryOf(0, cfg.N) == cfg.ID)
+	// Mid-stream boot (recovery): StartSeq acts as the locally adopted
+	// stable checkpoint, so the watermark window opens above it and the
+	// primary's next proposal is StartSeq+1.
+	e.view = cfg.StartView
+	e.votedView = cfg.StartView
+	e.lowWater = cfg.StartSeq
+	e.executedSeq = cfg.StartSeq
+	e.quorumStable = cfg.StartSeq
+	e.nextSeq.Store(uint64(cfg.StartSeq))
+	e.viewA.Store(uint64(cfg.StartView))
+	e.primaryA.Store(consensus.PrimaryOf(cfg.StartView, cfg.N) == cfg.ID)
 	return e, nil
 }
 
@@ -279,6 +297,11 @@ func (e *Engine) refreshMirrors() {
 
 // Stats implements consensus.Engine; it is lock-free.
 func (e *Engine) Stats() consensus.EngineStats { return e.stats.Snapshot() }
+
+// LastProposed implements consensus.ProposalHeader: the highest sequence
+// number this engine has proposed (primary) or adopted from view-change
+// and checkpoint sync. It is lock-free.
+func (e *Engine) LastProposed() types.SeqNum { return types.SeqNum(e.nextSeq.Load()) }
 
 // LowWatermark returns the last stable checkpoint sequence number.
 func (e *Engine) LowWatermark() types.SeqNum {

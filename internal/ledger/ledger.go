@@ -81,6 +81,31 @@ func New(mode Mode, primarySeed types.Digest, quorum int) *Ledger {
 	}
 }
 
+// NewFromBlocks creates a Ledger resuming from a snapshot of retained
+// blocks, as returned by Blocks() on a live replica. It is the restart
+// path: a recovering replica seeds its chain from a peer's retained tail
+// (the stable checkpoint licenses everything before it, exactly as a
+// pruned ledger would) and appends from the snapshot head onward. The
+// snapshot must be non-empty and contiguous; it is copied, not aliased.
+func NewFromBlocks(mode Mode, blocks []types.Block, quorum int) (*Ledger, error) {
+	if len(blocks) == 0 {
+		return nil, errors.New("ledger: empty block snapshot")
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Height != blocks[i-1].Height+1 {
+			return nil, fmt.Errorf("%w: snapshot height %d follows %d", ErrGap, blocks[i].Height, blocks[i-1].Height)
+		}
+	}
+	own := make([]types.Block, len(blocks))
+	copy(own, blocks)
+	return &Ledger{
+		mode:   mode,
+		quorum: quorum,
+		blocks: own,
+		base:   own[0].Height,
+	}, nil
+}
+
 // Mode returns the linkage mode.
 func (l *Ledger) Mode() Mode { return l.mode }
 

@@ -39,6 +39,7 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -183,6 +184,32 @@ type Config struct {
 	// ViewTimeout arms a progress watchdog that triggers a view change
 	// when client work stalls; zero disables it.
 	ViewTimeout time.Duration
+	// Bootstrap seeds a restarting replica mid-stream instead of booting
+	// from genesis; nil is the fresh-boot default. PBFT only: Zyzzyva's
+	// speculative history chain cannot be joined mid-stream.
+	Bootstrap *Bootstrap
+}
+
+// Bootstrap is the state a recovering replica resumes from: a snapshot of
+// a live peer's retained ledger tail (the stable checkpoint licenses
+// everything before it), the cluster's current view, and the per-client
+// dedup positions at the snapshot head. The replica's durable store
+// carries the record state itself — reopened shard logs replay to the
+// state the snapshot head attests — so Bootstrap carries only the
+// consensus-side state that lives in memory.
+type Bootstrap struct {
+	// Blocks is the peer's retained chain tail (ledger.Blocks()); the
+	// last block anchors the engine's watermarks and the execution
+	// cursor.
+	Blocks []types.Block
+	// View is the cluster's current view; the engine boots into it so the
+	// recovering replica accepts current-view traffic immediately.
+	View types.View
+	// LastExec is the per-client dedup snapshot at the peer
+	// (Replica.DedupSnapshot()); without it a recovering replica would
+	// re-execute a retransmitted request its peers already skipped,
+	// diverging store state from the ledger.
+	LastExec map[types.ClientID]uint64
 }
 
 func (c *Config) fill() error {
@@ -376,6 +403,11 @@ type Stats struct {
 	EncodePoolHits   uint64
 	EncodePoolMisses uint64
 	VerifyBatched    uint64
+	// Evidence counts byzantine-behaviour observations (e.g. a primary
+	// equivocating two digests for one sequence) and pipeline invariant
+	// violations. Any nonzero value on an honest replica means a peer
+	// misbehaved in a provable way.
+	Evidence uint64
 }
 
 // workItem is the union flowing into the worker lanes: either a decoded
@@ -540,6 +572,9 @@ type Replica struct {
 	encHint atomic.Int64
 
 	// Execution-side dedup: last executed client sequence per client.
+	// Only the execute coordinator writes it; dedupMu exists so
+	// DedupSnapshot (the restart-bootstrap export) can read it safely.
+	dedupMu  sync.Mutex
 	lastExec map[types.ClientID]uint64
 
 	// Watchdog state.
@@ -597,6 +632,23 @@ func New(cfg Config) (*Replica, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	// A bootstrap anchors the engine and the execution cursor at the
+	// snapshot head: everything at or below startSeq is already executed
+	// (the recovering replica's reopened store attests it), everything
+	// above arrives through normal consensus in startView.
+	var startSeq types.SeqNum
+	var startView types.View
+	if cfg.Bootstrap != nil {
+		if cfg.Protocol != PBFT {
+			return nil, fmt.Errorf("replica: bootstrap restart is only supported for PBFT, not %v", cfg.Protocol)
+		}
+		if len(cfg.Bootstrap.Blocks) == 0 {
+			return nil, errors.New("replica: bootstrap requires a non-empty block snapshot")
+		}
+		head := cfg.Bootstrap.Blocks[len(cfg.Bootstrap.Blocks)-1]
+		startSeq = head.Seq
+		startView = cfg.Bootstrap.View
+	}
 	var engine consensus.Engine
 	var err error
 	switch cfg.Protocol {
@@ -606,6 +658,8 @@ func New(cfg Config) (*Replica, error) {
 			N:                  cfg.N,
 			CheckpointInterval: cfg.CheckpointInterval,
 			WatermarkWindow:    cfg.WatermarkWindow,
+			StartView:          startView,
+			StartSeq:           startSeq,
 		})
 	case Zyzzyva:
 		engine, err = zyzzyva.New(zyzzyva.Config{
@@ -633,17 +687,26 @@ func New(cfg Config) (*Replica, error) {
 	if _, ok := engine.(consensus.ConcurrentStepper); !ok {
 		lanes = 1
 	}
-	genesis := crypto.Hash256([]byte(fmt.Sprintf("genesis-primary-%d", consensus.PrimaryOf(0, cfg.N))))
+	var ldg *ledger.Ledger
+	if cfg.Bootstrap != nil {
+		ldg, err = ledger.NewFromBlocks(cfg.LedgerMode, cfg.Bootstrap.Blocks, consensus.Quorum2f1(cfg.N))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		genesis := crypto.Hash256([]byte(fmt.Sprintf("genesis-primary-%d", consensus.PrimaryOf(0, cfg.N))))
+		ldg = ledger.New(cfg.LedgerMode, genesis, consensus.Quorum2f1(cfg.N))
+	}
 	r := &Replica{
 		cfg:       cfg,
 		engine:    consensus.Serialize(engine),
 		lanes:     lanes,
 		auth:      cfg.Directory.NodeAuth(types.ReplicaNode(cfg.ID)),
-		ledger:    ledger.New(cfg.LedgerMode, genesis, consensus.Quorum2f1(cfg.N)),
+		ledger:    ldg,
 		store:     st,
 		batchQ:    queue.NewMPMC[*types.ClientRequest](1 << 14),
 		ckptQ:     make(chan workItem, 1<<10),
-		execIn:    queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, 1),
+		execIn:    queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, uint64(startSeq)+1),
 		lastExec:  make(map[types.ClientID]uint64),
 		stop:      make(chan struct{}),
 		progressC: make(chan struct{}, 1),
@@ -687,7 +750,13 @@ func New(cfg Config) (*Replica, error) {
 		r.compactC = make(chan struct{}, 1)
 	}
 	r.inlinePending = make(map[uint64]consensus.Execute)
-	r.inlineNext = 1
+	r.inlineNext = uint64(startSeq) + 1
+	if cfg.Bootstrap != nil {
+		r.lastRetired.Store(uint64(startSeq))
+		for c, seq := range cfg.Bootstrap.LastExec {
+			r.lastExec[c] = seq
+		}
+	}
 	r.outQs = make([]chan *types.Envelope, cfg.OutputThreads)
 	for i := range r.outQs {
 		r.outQs[i] = make(chan *types.Envelope, 1<<13)
@@ -714,6 +783,15 @@ func (r *Replica) IsPrimary() bool {
 
 // WorkerLanes returns the number of worker lanes actually running.
 func (r *Replica) WorkerLanes() int { return r.lanes }
+
+// ProposalHead returns the highest sequence number the consensus engine
+// has proposed or adopted, or 0 if the engine does not expose it.
+func (r *Replica) ProposalHead() types.SeqNum {
+	if ph, ok := r.engine.(consensus.ProposalHeader); ok {
+		return ph.LastProposed()
+	}
+	return 0
+}
 
 // Stats returns a snapshot of the replica's counters. It takes no locks —
 // engine observers and every replica counter are atomics — so polling
@@ -769,7 +847,23 @@ func (r *Replica) Stats() Stats {
 	if r.verifyPool != nil {
 		s.VerifyBatched = r.verifyPool.BatchedVerifies()
 	}
+	s.Evidence = r.evidence.Load()
 	return s
+}
+
+// DedupSnapshot copies the execution-side dedup table: the last executed
+// client sequence per client. A restarting replica seeds Bootstrap.LastExec
+// from a live peer's snapshot so a retransmitted, already-acknowledged
+// request is skipped on both — re-executing it would diverge store state
+// from the ledger.
+func (r *Replica) DedupSnapshot() map[types.ClientID]uint64 {
+	r.dedupMu.Lock()
+	defer r.dedupMu.Unlock()
+	out := make(map[types.ClientID]uint64, len(r.lastExec))
+	for c, seq := range r.lastExec {
+		out[c] = seq
+	}
+	return out
 }
 
 func (r *Replica) addBusy(stage Stage, d time.Duration) {

@@ -114,4 +114,3 @@ func TestStageStringNames(t *testing.T) {
 		}
 	}
 }
-

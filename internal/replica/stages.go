@@ -692,6 +692,11 @@ func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 		}
 	}
 	nextSlot := 0
+	// Only the coordinator mutates lastExec; the lock is taken once per
+	// batch so DedupSnapshot (the restart-bootstrap export) sees a
+	// consistent table.
+	r.dedupMu.Lock()
+	defer r.dedupMu.Unlock()
 	for i := range act.Requests {
 		req := &act.Requests[i]
 		b.txnCount += uint32(len(req.Txns))

@@ -123,6 +123,9 @@ func Decode(b []byte) (Message, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decoding %s: %w", MsgType(b[0]), err)
 	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("decoding %s: %d trailing bytes", MsgType(b[0]), r.Remaining())
+	}
 	return msg, nil
 }
 
@@ -137,6 +140,12 @@ func DecodeBody(t MsgType, b []byte) (Message, error) {
 	msg.unmarshal(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decoding %s body: %w", t, err)
+	}
+	if r.Remaining() != 0 {
+		// A decodable prefix with trailing garbage is still a malformed
+		// body: accepting it would let two distinct wire forms carry one
+		// message, and signatures cover the whole body.
+		return nil, fmt.Errorf("decoding %s body: %d trailing bytes", t, r.Remaining())
 	}
 	return msg, nil
 }
@@ -159,6 +168,9 @@ func DecodeBodyAlias(t MsgType, b []byte) (Message, error) {
 	msg.unmarshal(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decoding %s body: %w", t, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("decoding %s body: %d trailing bytes", t, r.Remaining())
 	}
 	return msg, nil
 }
@@ -215,6 +227,9 @@ func decodeEnvelope(b []byte) (*Envelope, error) {
 	e.decode(r)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("decoding envelope: %d trailing bytes", r.Remaining())
 	}
 	return e, nil
 }
@@ -359,7 +374,7 @@ func ReadFramesPooled(r io.Reader, bufs FrameBuffers) ([]*Envelope, error) {
 		envs = append(envs, e)
 	}
 	err := rd.Err()
-	if err == nil && batch && rd.Remaining() != 0 {
+	if err == nil && rd.Remaining() != 0 {
 		err = fmt.Errorf("%d trailing bytes", rd.Remaining())
 	}
 	if err != nil {

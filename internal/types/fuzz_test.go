@@ -1,0 +1,104 @@
+package types_test
+
+import (
+	"bytes"
+	"testing"
+
+	"resilientdb/internal/chaos"
+	"resilientdb/internal/pool"
+	"resilientdb/internal/types"
+)
+
+// validFrameCorpus returns well-formed wire frames so the fuzzer starts
+// from inputs that exercise the success paths too: a single-envelope
+// frame and a batch frame carrying two envelopes.
+func validFrameCorpus(tb testing.TB) [][]byte {
+	tb.Helper()
+	env := &types.Envelope{
+		From: types.ReplicaNode(0),
+		To:   types.ReplicaNode(1),
+		Type: types.MsgPrepare,
+		Body: []byte{1, 2, 3},
+		Auth: []byte{4, 5, 6},
+	}
+	var single, batch bytes.Buffer
+	if err := types.WriteFrame(&single, env); err != nil {
+		tb.Fatalf("encoding seed frame: %v", err)
+	}
+	if err := types.WriteBatchFrame(&batch, []*types.Envelope{env, env}); err != nil {
+		tb.Fatalf("encoding seed batch frame: %v", err)
+	}
+	return [][]byte{single.Bytes(), batch.Bytes()}
+}
+
+// FuzzReadFrames feeds arbitrary byte streams to the copying frame
+// reader. The corpus seeds are the chaos harness's malformed frames —
+// every shape its fabric injects on the wire — plus valid frames.
+// Decoding must either fail cleanly or yield envelopes that re-encode;
+// any panic is a bug to fix in the decoder, not to recover from.
+func FuzzReadFrames(f *testing.F) {
+	for _, frame := range chaos.MalformedFrames() {
+		f.Add(frame)
+	}
+	for _, frame := range validFrameCorpus(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		envs, err := types.ReadFrames(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, env := range envs {
+			var buf bytes.Buffer
+			if err := types.WriteFrame(&buf, env); err != nil {
+				t.Fatalf("decoded envelope does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReadFramesPooled covers the zero-copy reader: same inputs, plus
+// the arena reference-count contract — every returned envelope is
+// released exactly once and the input must not be able to corrupt the
+// pool.
+func FuzzReadFramesPooled(f *testing.F) {
+	for _, frame := range chaos.MalformedFrames() {
+		f.Add(frame)
+	}
+	for _, frame := range validFrameCorpus(f) {
+		f.Add(frame)
+	}
+	bufs := new(pool.BytePool)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		envs, err := types.ReadFramesPooled(bytes.NewReader(data), bufs)
+		if err != nil {
+			return
+		}
+		for _, env := range envs {
+			env.Release()
+		}
+	})
+}
+
+// FuzzDecodeBody covers body decoding for every message type the wire
+// can carry, seeded with the chaos harness's malformed bodies. A body
+// that decodes must re-marshal without panicking.
+func FuzzDecodeBody(f *testing.F) {
+	kinds := []types.MsgType{
+		types.MsgClientRequest, types.MsgClientResponse, types.MsgPrePrepare,
+		types.MsgPrepare, types.MsgCommit, types.MsgCheckpoint,
+		types.MsgViewChange, types.MsgNewView,
+	}
+	for _, body := range chaos.MalformedBodies() {
+		for _, kind := range kinds {
+			f.Add(uint8(kind), body)
+		}
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, body []byte) {
+		msg, err := types.DecodeBody(types.MsgType(kind), body)
+		if err != nil {
+			return
+		}
+		_ = types.MarshalBody(msg)
+	})
+}
