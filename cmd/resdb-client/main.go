@@ -9,12 +9,23 @@
 // read-only requests travel: quorum (default) orders them through
 // consensus, local sends them to a single replica answered from its
 // last-executed snapshot without a consensus round.
+//
+// With -gateway ADDR the binary switches from direct per-client
+// consensus to the session load generator: -sessions lightweight
+// closed-loop sessions (0 = default 1024) are multiplexed over -clients
+// TCP connections to a resdb-gateway front door, which signs and batches
+// on their behalf. -gw-batch caps the submits coalesced per session
+// frame (0 = default 64, -1 disables coalescing) and -gw-linger bounds
+// how long a non-full frame waits (0 = default 100µs, negative flushes
+// immediately); -timeout is the per-session retry interval, which the
+// gateway's dedup window makes idempotent.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"sync"
@@ -23,6 +34,7 @@ import (
 	"resilientdb/internal/cluster"
 	clientengine "resilientdb/internal/consensus/client"
 	"resilientdb/internal/crypto"
+	"resilientdb/internal/gateway"
 	"resilientdb/internal/stats"
 	"resilientdb/internal/transport"
 	"resilientdb/internal/types"
@@ -49,7 +61,26 @@ func run() int {
 	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay (0 flushes when the queue drains)")
 	netZeroCopy := flag.Int("net-zerocopy", 0, "zero-copy inbound frame decode from pooled buffers (0 = default on, -1 copies every frame)")
 	pooledEncode := flag.Int("pooled-encode", 0, "pooled outbound body encode (0 = default on, -1 allocates per message)")
+	gatewayAddr := flag.String("gateway", "", "gateway front-door address: run the session load generator against it instead of direct per-client consensus (empty = direct mode)")
+	sessions := flag.Int("sessions", 0, "simulated closed-loop sessions in gateway mode (0 = default 1024)")
+	gwBatch := flag.Int("gw-batch", 0, "submits coalesced per session frame in gateway mode (0 = default 64, -1 disables coalescing)")
+	gwLinger := flag.Duration("gw-linger", 0, "how long a non-full session frame waits for more submits (0 = default 100µs, negative flushes immediately)")
 	flag.Parse()
+
+	if *gatewayAddr != "" {
+		return runSessions(sessionConfig{
+			addr:     *gatewayAddr,
+			sessions: *sessions,
+			conns:    *clients,
+			batch:    *gwBatch,
+			linger:   *gwLinger,
+			retry:    *timeout,
+			duration: *duration,
+			seed:     *seed,
+			readFrac: *readFraction,
+			preset:   *preset,
+		})
+	}
 
 	proto := clientengine.PBFT
 	if *protoName == "zyzzyva" {
@@ -187,5 +218,67 @@ func run() int {
 		fmt.Printf("reads=%d (local=%d p50=%s p95=%s) writes=%d (p50=%s p95=%s)\n",
 			reads, local, readP50, readP95, writes, writeP50, writeP95)
 	}
+	return 0
+}
+
+type sessionConfig struct {
+	addr            string
+	sessions, conns int
+	batch           int
+	linger, retry   time.Duration
+	duration        time.Duration
+	seed            int64
+	readFrac        float64
+	preset          string
+}
+
+// runSessions is gateway mode: instead of one consensus engine per
+// client, the -sessions population is multiplexed over -clients TCP
+// connections to the gateway front door, which batches, signs, and
+// submits on the sessions' behalf.
+func runSessions(sc sessionConfig) int {
+	if sc.sessions == 0 {
+		sc.sessions = 1 << 10
+	}
+	wcfg := workload.Default()
+	wcfg.ReadFraction = sc.readFrac
+	wcfg.Preset = sc.preset
+	cfg := gateway.LoadConfig{
+		Sessions:     sc.sessions,
+		Conns:        sc.conns,
+		Dial:         func() (net.Conn, error) { return net.Dial("tcp", sc.addr) },
+		Workload:     wcfg,
+		Seed:         sc.seed,
+		RetryTimeout: sc.retry,
+	}
+	if sc.batch < 0 {
+		cfg.SubmitBatch = 1
+	} else {
+		cfg.SubmitBatch = sc.batch
+	}
+	if sc.linger < 0 {
+		cfg.SubmitLinger = time.Nanosecond
+	} else {
+		cfg.SubmitLinger = sc.linger
+	}
+	load, err := gateway.NewLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), sc.duration)
+	defer cancel()
+	start := time.Now()
+	if err := load.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	s := load.Stats()
+	h := load.Latency()
+	fmt.Printf("sessions=%d conns=%d txns=%d tput=%.0f txn/s p50=%s p95=%s p99=%s busy=%d retries=%d rejected=%d\n",
+		sc.sessions, sc.conns, s.Completed, stats.Throughput(s.Completed, elapsed),
+		h.Percentile(50), h.Percentile(95), h.Percentile(99),
+		s.BusyReplies, s.Retries, s.Rejected)
 	return 0
 }

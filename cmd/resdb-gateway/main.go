@@ -1,0 +1,193 @@
+// Command resdb-gateway runs the multiplexed front door in front of a
+// TCP deployment of resdb-node replicas: lightweight client sessions
+// connect here (see resdb-client -gateway and internal/gateway for the
+// session wire format), and the gateway coalesces their transactions
+// into shared consensus requests signed under its own derived identities.
+//
+// The knobs follow the cluster-wide flag convention: 0 = default, -1 =
+// explicitly disabled.
+//
+//   - -upstreams U: replica-facing consensus workers, each a closed loop
+//     with its own identity and connection; the gateway's entire
+//     replica-facing connection footprint (0 = default 4).
+//   - -gw-batch B: transactions coalesced per consensus request (0 =
+//     default 128, -1 disables coalescing — one transaction per request).
+//   - -gw-linger D: how long a non-full batch waits for more sessions'
+//     transactions (0 = default 200µs, negative flushes immediately).
+//   - -gw-queue Q: admission queue capacity between the front door and
+//     the upstream workers; a full queue answers StatusBusy (0 = default
+//     16384).
+//   - -gw-busy T: replica queue-saturation gauge (1..255, piggybacked on
+//     consensus responses) at or above which new submits are pushed back
+//     busy (0 = default 230; -1 pushes back only at full saturation).
+//   - -gw-dedup W: completed replies cached per session for retry replay
+//     (0 = default 8); retries older than the window are rejected, never
+//     re-executed.
+//
+// Example, in front of the 4-replica deployment from the resdb-node docs:
+//
+//	resdb-gateway -listen 127.0.0.1:9000 -n 4 -replicas 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	resdb-client -gateway 127.0.0.1:9000 -sessions 100000 -clients 4 -n 4 -replicas ... -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	clientengine "resilientdb/internal/consensus/client"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/gateway"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:9000", "session listen address")
+	n := flag.Int("n", 4, "number of replicas")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses, index = id")
+	protoName := flag.String("protocol", "pbft", "pbft | zyzzyva")
+	upstreams := flag.Int("upstreams", 0, "replica-facing consensus workers (0 = default 4)")
+	gwBatch := flag.Int("gw-batch", 0, "transactions coalesced per consensus request (0 = default 128, -1 disables coalescing)")
+	gwLinger := flag.Duration("gw-linger", 0, "how long a non-full batch waits for more transactions (0 = default 200µs, negative flushes immediately)")
+	gwQueue := flag.Int("gw-queue", 0, "admission queue capacity; a full queue answers busy (0 = default 16384)")
+	gwBusy := flag.Int("gw-busy", 0, "replica busy-gauge admission threshold 1..255 (0 = default 230, -1 pushes back only at full saturation)")
+	gwDedup := flag.Int("gw-dedup", 0, "cached replies per session for retry replay (0 = default 8)")
+	timeout := flag.Duration("timeout", 500*time.Millisecond, "upstream retransmission timeout")
+	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame on the upstream connections (1 disables transport batching)")
+	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay on the upstream connections (0 flushes when the queue drains)")
+	netZeroCopy := flag.Int("net-zerocopy", 0, "zero-copy inbound frame decode from pooled buffers (0 = default on, -1 copies every frame)")
+	seed := flag.Int64("seed", 1, "shared key-derivation seed (must match nodes)")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	flag.Parse()
+
+	proto := clientengine.PBFT
+	if *protoName == "zyzzyva" {
+		proto = clientengine.Zyzzyva
+	} else if *protoName != "pbft" {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
+		return 2
+	}
+
+	addrList := strings.Split(*replicas, ",")
+	if len(addrList) != *n {
+		fmt.Fprintf(os.Stderr, "-replicas must list exactly %d addresses\n", *n)
+		return 2
+	}
+	addrs := make(map[types.NodeID]string, *n)
+	for i, a := range addrList {
+		addrs[types.ReplicaNode(types.ReplicaID(i))] = strings.TrimSpace(a)
+	}
+
+	var seedBytes [32]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(*seed >> (8 * i))
+	}
+	dir, err := crypto.NewDirectory(crypto.Recommended(), seedBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	cfg := gateway.Config{
+		N:         *n,
+		Protocol:  proto,
+		Directory: dir,
+		Endpoint: func(id types.ClientID) (transport.Endpoint, error) {
+			ep, err := transport.NewTCPWithConfig(transport.TCPConfig{
+				Self:       types.ClientNode(id),
+				ListenAddr: "127.0.0.1:0",
+				Addrs:      addrs,
+				Inboxes:    1,
+				Capacity:   1 << 10,
+				BatchMax:   *netBatch,
+				Linger:     *netLinger,
+				ZeroCopy:   *netZeroCopy >= 0,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for node := range addrs {
+				if err := ep.Hello(node); err != nil {
+					ep.Close()
+					return nil, fmt.Errorf("cannot reach %v: %w", node, err)
+				}
+			}
+			return ep, nil
+		},
+		Upstreams: *upstreams,
+		Timeout:   *timeout,
+		QueueCap:  *gwQueue,
+	}
+	if *gwBatch < 0 {
+		cfg.Batch = 1
+	} else {
+		cfg.Batch = *gwBatch
+	}
+	if *gwLinger < 0 {
+		cfg.Linger = time.Nanosecond
+	} else {
+		cfg.Linger = *gwLinger
+	}
+	switch {
+	case *gwBusy < 0:
+		cfg.BusyThreshold = 255
+	case *gwBusy > 255:
+		fmt.Fprintf(os.Stderr, "-gw-busy must be in 1..255, got %d\n", *gwBusy)
+		return 2
+	default:
+		cfg.BusyThreshold = uint8(*gwBusy)
+	}
+	cfg.DedupWindow = *gwDedup
+
+	g, err := gateway.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer g.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	go func() {
+		if err := g.Serve(ln); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		}
+	}()
+	fmt.Printf("gateway (%s, %d replicas) listening on %s\n", proto, *n, ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*statsEvery)
+	defer tick.Stop()
+	var last uint64
+	for {
+		select {
+		case <-stop:
+			g.Close()
+			s := g.Stats()
+			fmt.Printf("final: completed=%d accepted=%d busy=%d dup-absorbed=%d dup-replayed=%d dup-rejected=%d requests=%d retx=%d conns=%d\n",
+				s.Completed, s.Accepted, s.BusyRejected, s.DupAbsorbed, s.DupReplayed, s.DupRejected,
+				s.Requests, s.Retransmits, s.Conns)
+			return 0
+		case <-tick.C:
+			s := g.Stats()
+			fmt.Printf("completed=%d (+%d) sessions=%d conns=%d busy-gauge=%d busy-rejected=%d dups=%d/%d/%d requests=%d retx=%d\n",
+				s.Completed, s.Completed-last, s.Sessions, s.Conns, s.Busy, s.BusyRejected,
+				s.DupAbsorbed, s.DupReplayed, s.DupRejected, s.Requests, s.Retransmits)
+			last = s.Completed
+		}
+	}
+}

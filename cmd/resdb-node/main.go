@@ -317,6 +317,12 @@ func run() int {
 					time.Duration(m.PauseTotalNs-lastMem.PauseTotalNs),
 					hits, hits+misses, s.EncodePoolHits, s.EncodePoolHits+s.EncodePoolMisses,
 					s.VerifyBatched)
+				// Pipeline queue depths and the saturation gauge the replica
+				// piggybacks on its responses (what gateway admission sees).
+				line += fmt.Sprintf(" queues=in:%d/%d,batch:%d/%d,work:%d/%d,exec:%d/%d,out:%d/%d busy=%d",
+					s.InputQueueDepth, s.InputQueueCap, s.BatchQueueDepth, s.BatchQueueCap,
+					s.WorkQueueDepth, s.WorkQueueCap, s.ExecBacklog, s.ExecWindow,
+					s.OutQueueDepth, s.OutQueueCap, s.BusyGauge)
 				lastMem = m
 			}
 			fmt.Println(line)

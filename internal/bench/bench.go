@@ -160,6 +160,8 @@ func All() []Experiment {
 			Paper: "the paper pre-allocates message buffers and pools them (Section 4.8 \"smart memory management\"); the microbenchmarks isolate each pooled mechanism and the cluster rows show heap allocations per transaction with pooling off vs on", Run: allocs},
 		{ID: "faults", Title: "Fault matrix: degraded throughput and recovery time per injected fault class (chaos harness)",
 			Paper: "the paper evaluates replica failures (Figure 17) and argues the pipeline dips rather than collapses under a crashed backup; the chaos matrix generalizes that run to Byzantine, network, and storage fault classes and adds recovery-time and safety-invariant columns", Run: faults},
+		{ID: "gateway", Title: "Gateway tier: multiplexed sessions vs direct clients, with overload pushback (real pipeline)",
+			Paper: "the paper's evaluation drives up to 80K closed-loop clients, each its own identity and connection (Section 5.1); the gateway tier multiplexes that population over a handful of replica-facing connections, coalescing session transactions into shared signed requests — the overload row shows saturation surfacing as explicit busy pushback instead of silent transport drops", Run: gatewaybench},
 	}
 }
 

@@ -13,7 +13,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
 		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction", "readmix",
-		"allocs", "faults"}
+		"allocs", "faults", "gateway"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"resilientdb/internal/cluster"
+	"resilientdb/internal/gateway"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// gatewaybench measures the gateway tier: a session population three
+// orders of magnitude larger than the replica-facing connection count,
+// multiplexed over a handful of real localhost TCP connections into the
+// gateway, which coalesces the sessions' transactions into shared signed
+// consensus requests.
+//
+// Three rows on the same 4-replica pipeline:
+//
+//   - direct: the paper's client model — every client is its own identity,
+//     signature, and replica-facing connection (the A/B baseline).
+//   - gateway: tens (paper scale: hundreds) of thousands of simulated
+//     closed-loop sessions over 4 session conns and a few upstream
+//     workers. The "replica conns" column is the entire replica-facing
+//     footprint; "seq used" is the backup's ledger growth, showing the
+//     sessions' transactions really ordered through consensus.
+//   - overload: the gateway squeezed to a tiny admission queue under the
+//     same session flood. Overload must surface as explicit busy pushback
+//     at the edge ("busy" column) while the replicas' silent NetDrops
+//     counter stays flat ("netdrops Δ" column — the backpressure
+//     contract).
+//
+// Latency percentiles are end-to-end per session submit (edge queueing
+// included), so the gateway rows trade latency for connection scale;
+// throughput and the busy/netdrops columns are the headline quantities.
+func gatewaybench(s Scale) (Outcome, error) {
+	warmup := 400 * time.Millisecond
+	window := 800 * time.Millisecond
+	sessions := 10_000
+	directClients := 32
+	if s == ScalePaper {
+		warmup = 1 * time.Second
+		window = 2 * time.Second
+		sessions = 200_000
+		directClients = 160
+	}
+
+	tab := Table{
+		Title: "Gateway tier: multiplexed sessions vs direct clients (PBFT, real pipeline)",
+		Columns: []string{"row", "sessions", "conns", "replica conns", "tput",
+			"p50", "p95", "p99", "busy", "netdrops Δ", "seq used"},
+	}
+	metrics := map[string]float64{}
+
+	// Row 1: direct baseline — one identity and connection per client.
+	direct, directSeq, err := runGatewayDirect(directClients, warmup, window)
+	if err != nil {
+		return Outcome{}, err
+	}
+	tab.AddRow("direct", fmt.Sprintf("%d", directClients), fmt.Sprintf("%d", directClients),
+		fmt.Sprintf("%d", directClients), ktps(direct.Throughput),
+		ms(direct.P50Lat), ms(direct.P99Lat), ms(direct.P99Lat), "0", "0",
+		fmt.Sprintf("%d", directSeq))
+	metrics["gateway_direct_tput"] = direct.Throughput
+	metrics["gateway_direct_conns"] = float64(directClients)
+
+	// Row 2: the gateway tier at full session scale.
+	gw, err := runGatewayLoad(gwRun{
+		sessions: sessions, conns: 4, upstreams: 8, batch: 256,
+		queueCap: 1 << 14, warmup: warmup, window: window,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	tab.AddRow("gateway", fmt.Sprintf("%d", sessions), "4", "8",
+		ktps(gw.tput), ms(gw.p50), ms(gw.p95), ms(gw.p99),
+		fmt.Sprintf("%d", gw.busy), fmt.Sprintf("%d", gw.netDrops),
+		fmt.Sprintf("%d", gw.seqUsed))
+	metrics["gateway_sessions"] = float64(sessions)
+	metrics["gateway_replica_conns"] = 8
+	metrics["gateway_tput"] = gw.tput
+	metrics["gateway_p50_ms"] = gw.p50.Seconds() * 1000
+	metrics["gateway_p99_ms"] = gw.p99.Seconds() * 1000
+	metrics["gateway_netdrops_delta"] = float64(gw.netDrops)
+	metrics["gateway_seq_used"] = float64(gw.seqUsed)
+	metrics["gateway_tput_vs_direct_x"] = gw.tput / direct.Throughput
+	metrics["gateway_sessions_per_replica_conn"] = float64(sessions) / 8
+
+	// Row 3: overload — one slow upstream behind a tiny admission queue.
+	ov, err := runGatewayLoad(gwRun{
+		sessions: sessions / 5, conns: 4, upstreams: 1, batch: 16,
+		queueCap: 16, warmup: warmup / 2, window: window / 2,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	tab.AddRow("overload", fmt.Sprintf("%d", sessions/5), "4", "1",
+		ktps(ov.tput), ms(ov.p50), ms(ov.p95), ms(ov.p99),
+		fmt.Sprintf("%d", ov.busy), fmt.Sprintf("%d", ov.netDrops),
+		fmt.Sprintf("%d", ov.seqUsed))
+	metrics["gateway_overload_busy_rejected"] = float64(ov.busy)
+	metrics["gateway_overload_netdrops_delta"] = float64(ov.netDrops)
+
+	return Outcome{Tables: []Table{tab}, Metrics: metrics}, nil
+}
+
+// gatewayWorkload is the shared YCSB configuration for all three rows.
+func gatewayWorkload() workload.Config {
+	wl := workload.Default()
+	wl.Records = 4096
+	return wl
+}
+
+// runGatewayDirect is the baseline: direct closed-loop clients on the
+// same cluster configuration the gateway rows use.
+func runGatewayDirect(clients int, warmup, window time.Duration) (cluster.Result, uint64, error) {
+	c, err := cluster.New(cluster.Options{
+		N:                  4,
+		Clients:            clients,
+		Burst:              4,
+		BatchSize:          64,
+		Workload:           gatewayWorkload(),
+		CheckpointInterval: 25,
+		Seed:               13,
+		PreloadTable:       true,
+	})
+	if err != nil {
+		return cluster.Result{}, 0, err
+	}
+	c.Start()
+	defer c.Stop()
+	ctx := context.Background()
+	c.Run(ctx, warmup)
+	before := c.Replica(1).Ledger().Height()
+	res := c.Run(ctx, window)
+	return res, c.Replica(1).Ledger().Height() - before, nil
+}
+
+type gwRun struct {
+	sessions, conns, upstreams, batch, queueCap int
+	warmup, window                              time.Duration
+}
+
+type gwResult struct {
+	tput          float64
+	p50, p95, p99 time.Duration
+	busy          uint64 // StatusBusy pushbacks observed by the sessions
+	netDrops      uint64 // replicas' silent-drop delta over the measured window
+	seqUsed       uint64
+}
+
+// runGatewayLoad runs one gateway row: cluster + gateway + TCP listener +
+// session load generator, with a warmup window whose counters are
+// discarded before the measured window.
+func runGatewayLoad(r gwRun) (gwResult, error) {
+	c, err := cluster.New(cluster.Options{
+		N:                  4,
+		Clients:            1, // unused; the gateway is the only load source
+		BatchSize:          64,
+		Workload:           gatewayWorkload(),
+		CheckpointInterval: 25,
+		Seed:               13,
+		PreloadTable:       true,
+	})
+	if err != nil {
+		return gwResult{}, err
+	}
+	c.Start()
+	defer c.Stop()
+
+	g, err := gateway.New(gateway.Config{
+		N:         4,
+		Directory: c.Directory(),
+		Endpoint: func(id types.ClientID) (transport.Endpoint, error) {
+			return c.AttachClient(id, 1<<10), nil
+		},
+		Upstreams: r.upstreams,
+		Batch:     r.batch,
+		QueueCap:  r.queueCap,
+	})
+	if err != nil {
+		return gwResult{}, err
+	}
+	defer g.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return gwResult{}, err
+	}
+	go g.Serve(ln)
+	addr := ln.Addr().String()
+
+	load, err := gateway.NewLoad(gateway.LoadConfig{
+		Sessions: r.sessions,
+		Conns:    r.conns,
+		Dial:     func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Workload: gatewayWorkload(),
+		Seed:     13,
+	})
+	if err != nil {
+		return gwResult{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.warmup+r.window)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- load.Run(ctx) }()
+
+	time.Sleep(r.warmup)
+	afterWarmup := load.Stats()
+	drops := func() uint64 {
+		var total uint64
+		for i := 0; i < 4; i++ {
+			total += c.Replica(i).Stats().NetDrops
+		}
+		return total
+	}
+	dropsBefore := drops()
+	seqBefore := c.Replica(1).Ledger().Height()
+	start := time.Now()
+	time.Sleep(r.window)
+	elapsed := time.Since(start)
+	measured := load.Stats()
+	res := gwResult{
+		tput:     float64(measured.Completed-afterWarmup.Completed) / elapsed.Seconds(),
+		p50:      load.Latency().Percentile(50),
+		p95:      load.Latency().Percentile(95),
+		p99:      load.Latency().Percentile(99),
+		busy:     measured.BusyReplies,
+		netDrops: drops() - dropsBefore,
+		seqUsed:  c.Replica(1).Ledger().Height() - seqBefore,
+	}
+	cancel()
+	if err := <-done; err != nil {
+		return gwResult{}, err
+	}
+	return res, nil
+}

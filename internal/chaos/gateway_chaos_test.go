@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"resilientdb/internal/cluster"
+	"resilientdb/internal/gateway"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// TestGatewayUnderSlowReplicaFault runs the gateway tier through the
+// DefaultMatrix slow-replica link fault: sessions keep completing while
+// one replica's links delay and reorder, the ledgers stay equal after
+// the fault heals, and overload never surfaces as silent drops. This is
+// the gateway's seat in the chaos matrix — the fault lands between the
+// gateway's upstream workers and the replicas, exactly where its retry
+// and dedup machinery has to hold.
+func TestGatewayUnderSlowReplicaFault(t *testing.T) {
+	var slow Scenario
+	for _, sc := range DefaultMatrix() {
+		if sc.Name == "slow-replica" {
+			slow = sc
+		}
+	}
+	if slow.Name == "" {
+		t.Fatal("slow-replica scenario missing from DefaultMatrix")
+	}
+
+	fab := NewFabric(42)
+	wl := workload.Default()
+	wl.Records = 1024
+	wl.ValueSize = 64
+	c, err := cluster.New(cluster.Options{
+		N:                  4,
+		Clients:            1, // unused; the gateway is the only load source
+		BatchSize:          8,
+		Workload:           wl,
+		CheckpointInterval: 16,
+		Seed:               42,
+		PreloadTable:       true,
+		EndpointWrapper:    fab.WrapEndpoint,
+	})
+	if err != nil {
+		t.Fatalf("building cluster: %v", err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	g, err := gateway.New(gateway.Config{
+		N:         4,
+		Directory: c.Directory(),
+		Endpoint: func(id types.ClientID) (transport.Endpoint, error) {
+			return c.AttachClient(id, 1<<10), nil
+		},
+		Upstreams: 2,
+		Batch:     32,
+		Timeout:   150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("building gateway: %v", err)
+	}
+	defer g.Close()
+
+	load, err := gateway.NewLoad(gateway.LoadConfig{
+		Sessions: 200,
+		Conns:    2,
+		Dial: func() (net.Conn, error) {
+			client, server := net.Pipe()
+			g.ServeConn(server)
+			return client, nil
+		},
+		Workload:     wl,
+		Seed:         42,
+		RetryTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("building load: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- load.Run(ctx) }()
+
+	// Baseline window, then the matrix fault on the target's links, then
+	// heal and a recovery window.
+	time.Sleep(400 * time.Millisecond)
+	base := load.Stats()
+	if base.Completed == 0 {
+		t.Fatal("no progress during fault-free baseline")
+	}
+	target := types.ReplicaNode(types.ReplicaID(slow.Target))
+	fab.SetNode(target, slow.Link)
+	time.Sleep(800 * time.Millisecond)
+	faulted := load.Stats()
+	if faulted.Completed == base.Completed {
+		t.Fatalf("sessions wedged under the slow-replica fault: %+v", faulted)
+	}
+	fab.SetNode(target, LinkFault{})
+	time.Sleep(400 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+	recovered := load.Stats()
+	if recovered.Completed == faulted.Completed {
+		t.Fatalf("no progress after healing: %+v", recovered)
+	}
+
+	if st := fab.Stats(); st.Delayed == 0 {
+		t.Fatalf("fault never injected: %+v", st)
+	}
+	// Safety: the gateway's retries and coalesced requests must not have
+	// diverged the chains, and the fault must not have surfaced as silent
+	// inbox drops on any replica.
+	fab.Drain()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		lo, hi := minLiveHeight(c), maxLiveHeight(c)
+		if lo == hi {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatalf("ledger divergence: %v", err)
+	}
+	var drops uint64
+	for i := 0; i < 4; i++ {
+		drops += c.Replica(i).Stats().NetDrops
+	}
+	if drops != 0 {
+		t.Fatalf("fault surfaced as %d silent transport drops", drops)
+	}
+	gs := g.Stats()
+	if gs.Completed == 0 {
+		t.Fatalf("gateway completed nothing: %+v", gs)
+	}
+	t.Logf("gateway under %s: base=%d faulted=+%d recovered=+%d (retries=%d busy=%d)",
+		slow.Name, base.Completed, faulted.Completed-base.Completed,
+		recovered.Completed-faulted.Completed, recovered.Retries, recovered.BusyReplies)
+}

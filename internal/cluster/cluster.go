@@ -478,6 +478,22 @@ func (c *Cluster) Clients() []*Client { return c.clients }
 // StoreWrapper), for invariant checks that compare replica state.
 func (c *Cluster) Store(i int) store.Store { return c.stores[i] }
 
+// Directory exposes the cluster's key directory so external runtimes —
+// the gateway tier above all — can sign under identities the directory
+// derives lazily.
+func (c *Cluster) Directory() *crypto.Directory { return c.dir }
+
+// AttachClient registers a fresh client-side endpoint on the in-process
+// fabric for an external runtime (the gateway's upstream workers attach
+// this way). The caller owns the endpoint's lifecycle and must Close it;
+// capacity ≤ 0 means the standard client inbox depth.
+func (c *Cluster) AttachClient(id types.ClientID, capacity int) transport.Endpoint {
+	if capacity <= 0 {
+		capacity = 1 << 10
+	}
+	return c.net.Endpoint(types.ClientNode(id), 1, capacity)
+}
+
 // Crash isolates a replica: all its traffic is silently dropped, exactly
 // like a crashed host (Section 5.10 fails backups this way).
 func (c *Cluster) Crash(i int) {

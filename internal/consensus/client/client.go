@@ -54,6 +54,11 @@ type Outcome struct {
 	// FastPath reports whether a Zyzzyva request completed with all 3f+1
 	// speculative responses (always true for PBFT completions).
 	FastPath bool
+	// Busy is the highest queue-saturation gauge (0 idle .. 255 full) any
+	// replica stamped on a response to this request — the backpressure
+	// signal a gateway's admission controller steers on. Advisory only:
+	// it is outside the vote key, so it never affects quorum formation.
+	Busy uint8
 }
 
 // Engine is the client state machine for one logical client. It manages a
@@ -93,6 +98,8 @@ type inflight struct {
 	specResult   types.Digest
 	specReads    []types.ReadResult
 	done         bool
+	// busy is the max saturation gauge seen on this request's responses.
+	busy uint8
 }
 
 type voteKey struct {
@@ -169,6 +176,9 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		if m.View > e.view {
 			e.view = m.View
 		}
+		if m.Busy > e.cur.busy {
+			e.cur.busy = m.Busy
+		}
 		k := voteKey{result: m.Result}
 		if e.vote(k, rep) >= e.f+1 {
 			return e.complete(m.Result, true, m.ReadResults), nil
@@ -185,6 +195,9 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 		if m.View > e.view {
 			e.view = m.View
+		}
+		if m.Busy > e.cur.busy {
+			e.cur.busy = m.Busy
 		}
 		k := voteKey{seq: m.Seq, history: m.History, result: m.Result}
 		votes := e.vote(k, rep)
@@ -232,7 +245,7 @@ func (e *Engine) complete(result types.Digest, fast bool, reads []types.ReadResu
 	} else {
 		e.stats.SlowPath++
 	}
-	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, ReadResults: reads, FastPath: fast}
+	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, ReadResults: reads, FastPath: fast, Busy: e.cur.busy}
 }
 
 // OnTimeout handles the client timer expiring before completion.

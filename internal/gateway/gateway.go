@@ -1,0 +1,537 @@
+// Package gateway is the multiplexed front door in front of a replica
+// group: many lightweight client sessions share a handful of TCP
+// connections into the gateway, which coalesces their transactions into
+// shared consensus requests signed once under the gateway's identity and
+// fans the responses back per session.
+//
+// The tier exists because the paper's closed-loop client model (one
+// identity, one signature, one connection per client) stops scaling long
+// before the replicas do: at 100K+ clients the replicas spend their time
+// on ed25519 verification and connection churn rather than ordering. The
+// gateway amortizes both — B session transactions ride one client
+// request with one signature — and adds the two properties an edge tier
+// must have:
+//
+//   - Retry safety. Sessions tag submits with a strictly-increasing
+//     nonce; the gateway dedups on (session, nonce), absorbing duplicates
+//     of in-flight submits and replaying cached replies for completed
+//     ones. A retried submit is acknowledged exactly once and executed
+//     exactly once, no matter how the timeout raced the response.
+//   - End-to-end backpressure. Replicas stamp a queue-saturation gauge
+//     on every response (types.ClientResponse.Busy); the gateway's
+//     admission controller turns a saturated gauge or a full internal
+//     queue into an explicit StatusBusy pushback at the edge instead of
+//     letting overload surface as silent transport drops.
+package gateway
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	clientengine "resilientdb/internal/consensus/client"
+	"resilientdb/internal/crypto"
+	"resilientdb/internal/pool"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+)
+
+// DefaultBaseClient is the first gateway upstream identity. It sits far
+// above any direct load-generator client so the two id spaces never
+// collide; crypto.Directory derives keys for any id lazily, so gateway
+// identities need no registration.
+const DefaultBaseClient types.ClientID = 1 << 20
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// N is the replica count; Protocol the client-side quorum rules.
+	N        int
+	Protocol clientengine.Protocol
+	// Directory provides key material for the gateway identities.
+	Directory *crypto.Directory
+	// Endpoint attaches one upstream worker to the replica fabric. It is
+	// called once per upstream with that worker's client identity.
+	Endpoint func(id types.ClientID) (transport.Endpoint, error)
+	// BaseClient is the first upstream identity (default
+	// DefaultBaseClient); upstream i uses BaseClient+i.
+	BaseClient types.ClientID
+	// Upstreams is the number of replica-facing consensus workers, each a
+	// closed loop with one request in flight (default 4). This — not the
+	// session count — is the gateway's replica-facing connection budget.
+	Upstreams int
+	// Batch caps the transactions coalesced into one consensus request
+	// (default 128); Linger is how long a non-full batch waits for more
+	// (default 200µs).
+	Batch  int
+	Linger time.Duration
+	// Timeout is the upstream retransmission delay (default 500ms).
+	Timeout time.Duration
+	// QueueCap bounds the admission queue between the front door and the
+	// upstream workers (default 1<<14). A full queue is an overload
+	// signal, answered with StatusBusy.
+	QueueCap int
+	// BusyThreshold is the replica gauge (0..255) at or above which new
+	// submits are pushed back (default 230 ≈ 90% saturation).
+	BusyThreshold uint8
+	// DedupWindow is how many completed replies are cached per session
+	// for retry replay (default 8). A retry older than the window is
+	// answered StatusRejected — still never re-executed.
+	DedupWindow int
+	// ReplyBatch caps reply messages coalesced per outbound session frame
+	// (default 64).
+	ReplyBatch int
+}
+
+func (c *Config) fill() error {
+	if c.N < 4 {
+		return fmt.Errorf("gateway: need n ≥ 4 replicas, got %d", c.N)
+	}
+	if c.Directory == nil || c.Endpoint == nil {
+		return errors.New("gateway: missing directory or endpoint factory")
+	}
+	if c.Protocol == 0 {
+		c.Protocol = clientengine.PBFT
+	}
+	if c.BaseClient == 0 {
+		c.BaseClient = DefaultBaseClient
+	}
+	if c.Upstreams <= 0 {
+		c.Upstreams = 4
+	}
+	if c.Batch <= 0 {
+		c.Batch = 128
+	}
+	if c.Linger <= 0 {
+		c.Linger = 200 * time.Microsecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 14
+	}
+	if c.BusyThreshold == 0 {
+		c.BusyThreshold = 230
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 8
+	}
+	if c.ReplyBatch <= 0 {
+		c.ReplyBatch = 64
+	}
+	return nil
+}
+
+// Stats is a snapshot of the gateway's counters.
+type Stats struct {
+	// Accepted counts submits admitted to the consensus queue; Completed
+	// those answered StatusOK.
+	Accepted  uint64
+	Completed uint64
+	// BusyRejected counts submits pushed back with StatusBusy (admission
+	// queue full or replica gauge over threshold).
+	BusyRejected uint64
+	// DupAbsorbed counts duplicate submits of still-in-flight nonces
+	// (answered by the original's reply); DupReplayed retries answered
+	// from the reply cache; DupRejected retries whose cached reply was
+	// already evicted (answered StatusRejected, never re-executed).
+	DupAbsorbed uint64
+	DupReplayed uint64
+	DupRejected uint64
+	// Requests counts consensus requests sent upstream; Retransmits the
+	// upstream timeout retransmissions.
+	Requests    uint64
+	Retransmits uint64
+	// Conns is the number of session connections ever accepted; Sessions
+	// the session states currently tracked across open connections.
+	Conns    uint64
+	Sessions uint64
+	// Busy is the latest replica queue-saturation gauge observed on a
+	// consensus response (the admission controller's input).
+	Busy uint8
+}
+
+// Gateway is the front door runtime. Create with New, feed it
+// connections with Serve or ServeConn, stop with Close.
+type Gateway struct {
+	cfg Config
+
+	submitQ   chan *pending
+	upstreams []*upstream
+	busy      atomic.Uint32 // latest replica gauge
+
+	accepted     atomic.Uint64
+	completed    atomic.Uint64
+	busyRejected atomic.Uint64
+	dupAbsorbed  atomic.Uint64
+	dupReplayed  atomic.Uint64
+	dupRejected  atomic.Uint64
+	requests     atomic.Uint64
+	retransmits  atomic.Uint64
+	connsTotal   atomic.Uint64
+	sessionsLive atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[*gwConn]struct{}
+	lns    map[net.Listener]struct{}
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup // upstream workers
+	cwg  sync.WaitGroup // connection handlers + accept loops
+}
+
+// New builds a gateway and starts its upstream workers.
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		submitQ: make(chan *pending, cfg.QueueCap),
+		conns:   make(map[*gwConn]struct{}),
+		lns:     make(map[net.Listener]struct{}),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Upstreams; i++ {
+		u, err := newUpstream(g, cfg.BaseClient+types.ClientID(i))
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.upstreams = append(g.upstreams, u)
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			u.run()
+		}()
+	}
+	return g, nil
+}
+
+// Stats returns a snapshot of the gateway's counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Accepted:     g.accepted.Load(),
+		Completed:    g.completed.Load(),
+		BusyRejected: g.busyRejected.Load(),
+		DupAbsorbed:  g.dupAbsorbed.Load(),
+		DupReplayed:  g.dupReplayed.Load(),
+		DupRejected:  g.dupRejected.Load(),
+		Requests:     g.requests.Load(),
+		Retransmits:  g.retransmits.Load(),
+		Conns:        g.connsTotal.Load(),
+		Sessions:     uint64(max64(g.sessionsLive.Load(), 0)),
+		Busy:         uint8(g.busy.Load()),
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Serve accepts session connections on ln until the gateway closes.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		ln.Close()
+		return errors.New("gateway: closed")
+	}
+	g.lns[ln] = struct{}{}
+	g.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-g.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		g.ServeConn(c)
+	}
+}
+
+// ServeConn adopts one session connection; it returns immediately and
+// the connection is handled until EOF, a protocol error, or Close.
+func (g *Gateway) ServeConn(c net.Conn) {
+	gc := &gwConn{
+		gw:       g,
+		c:        c,
+		bufs:     new(pool.BytePool),
+		sessions: make(map[uint64]*sessionState),
+		replyCh:  make(chan Reply, 4096),
+		done:     make(chan struct{}),
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		c.Close()
+		return
+	}
+	g.conns[gc] = struct{}{}
+	g.mu.Unlock()
+	g.connsTotal.Add(1)
+	g.cwg.Add(2)
+	go func() {
+		defer g.cwg.Done()
+		gc.readLoop()
+	}()
+	go func() {
+		defer g.cwg.Done()
+		gc.writeLoop()
+	}()
+}
+
+// Close stops the gateway: listeners stop accepting, session connections
+// close, upstream workers drain and exit.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	close(g.stop)
+	for ln := range g.lns {
+		ln.Close()
+	}
+	conns := make([]*gwConn, 0, len(g.conns))
+	for gc := range g.conns {
+		conns = append(conns, gc)
+	}
+	g.mu.Unlock()
+	for _, gc := range conns {
+		gc.close()
+	}
+	g.cwg.Wait()
+	g.wg.Wait()
+	// Drain submits that raced the shutdown; their arenas must retire.
+	for {
+		select {
+		case p := <-g.submitQ:
+			p.arena.Release()
+		default:
+			return
+		}
+	}
+}
+
+// admissionBusy reports whether new work should be pushed back based on
+// the latest replica gauge.
+func (g *Gateway) admissionBusy() (uint8, bool) {
+	gauge := uint8(g.busy.Load())
+	return gauge, gauge >= g.cfg.BusyThreshold
+}
+
+// pending is one admitted session transaction traveling toward consensus.
+// It retains a reference on its frame's arena (ops alias the frame
+// buffer) until the reply is delivered.
+type pending struct {
+	conn    *gwConn
+	session uint64
+	nonce   uint64
+	ops     []types.Op
+	reads   int // read ops, for slicing the batched read results
+	arena   *types.Arena
+}
+
+// sessionState is the per-session dedup record: the in-flight nonce set,
+// the completed high-water mark, and a bounded ring of cached replies.
+type sessionState struct {
+	high    uint64  // highest completed nonce (0 = none yet)
+	cache   []Reply // last ≤ DedupWindow completed replies
+	pending map[uint64]struct{}
+}
+
+// gwConn is one multiplexed session connection.
+type gwConn struct {
+	gw   *Gateway
+	c    net.Conn
+	bufs *pool.BytePool
+
+	mu       sync.Mutex
+	sessions map[uint64]*sessionState
+
+	replyCh chan Reply
+	done    chan struct{}
+	once    sync.Once
+}
+
+// close tears the connection down exactly once: the socket closes (which
+// unblocks the read loop) and done unblocks the write loop and any
+// upstream trying to deliver a reply.
+func (gc *gwConn) close() {
+	gc.once.Do(func() {
+		close(gc.done)
+		gc.c.Close()
+		gc.gw.mu.Lock()
+		delete(gc.gw.conns, gc)
+		gc.gw.mu.Unlock()
+		gc.mu.Lock()
+		gc.gw.sessionsLive.Add(-int64(len(gc.sessions)))
+		gc.sessions = make(map[uint64]*sessionState)
+		gc.mu.Unlock()
+	})
+}
+
+// readLoop decodes inbound frames and routes each submit through
+// admission. Any decode error closes the connection — a corrupt
+// multiplexed stream cannot be resynchronized.
+func (gc *gwConn) readLoop() {
+	defer gc.close()
+	br := bufio.NewReaderSize(gc.c, 1<<16)
+	for {
+		f, err := readSessionFrame(br, gc.bufs)
+		if err != nil {
+			return
+		}
+		for i := range f.Submits {
+			gc.handleSubmit(&f.Submits[i], f.Arena)
+		}
+		f.Arena.Release() // drop the reader's reference
+	}
+}
+
+// handleSubmit runs one submit through dedup and admission. The caller
+// owns a reference on arena; handleSubmit retains its own for any path
+// that outlives the call (enqueue toward consensus).
+func (gc *gwConn) handleSubmit(s *Submit, arena *types.Arena) {
+	gw := gc.gw
+	gc.mu.Lock()
+	st := gc.sessions[s.Session]
+	if st == nil {
+		st = &sessionState{pending: make(map[uint64]struct{})}
+		gc.sessions[s.Session] = st
+		gw.sessionsLive.Add(1)
+	}
+	// Dedup before admission: a retry of work already accepted must never
+	// be double-executed OR pushed back — it is answered from this
+	// connection's state alone.
+	if _, inflight := st.pending[s.Nonce]; inflight {
+		gc.mu.Unlock()
+		gw.dupAbsorbed.Add(1)
+		return // the original's reply answers this retry
+	}
+	if s.Nonce <= st.high && st.high > 0 {
+		for i := range st.cache {
+			if st.cache[i].Nonce == s.Nonce {
+				r := st.cache[i]
+				gc.mu.Unlock()
+				gw.dupReplayed.Add(1)
+				gc.deliver(r)
+				return
+			}
+		}
+		gc.mu.Unlock()
+		gw.dupRejected.Add(1)
+		gc.deliver(Reply{Session: s.Session, Nonce: s.Nonce, Status: StatusRejected})
+		return
+	}
+	// Admission: replica saturation or a full queue is explicit pushback,
+	// not a silent drop. The submit is NOT marked pending, so the retry
+	// (same nonce) is a fresh admission attempt.
+	gauge, saturated := gw.admissionBusy()
+	if saturated {
+		gc.mu.Unlock()
+		gw.busyRejected.Add(1)
+		gc.deliver(Reply{Session: s.Session, Nonce: s.Nonce, Status: StatusBusy, Busy: gauge})
+		return
+	}
+	p := &pending{conn: gc, session: s.Session, nonce: s.Nonce, ops: s.Ops, arena: arena}
+	for i := range s.Ops {
+		if s.Ops[i].Kind == types.OpRead {
+			p.reads++
+		}
+	}
+	arena.Retain() // the pending's reference, held before an upstream can see it
+	select {
+	case gw.submitQ <- p:
+		st.pending[s.Nonce] = struct{}{}
+		gc.mu.Unlock()
+		gw.accepted.Add(1)
+	default:
+		gc.mu.Unlock()
+		arena.Release() // admission failed; the pending never existed
+		gw.busyRejected.Add(1)
+		gc.deliver(Reply{Session: s.Session, Nonce: s.Nonce, Status: StatusBusy, Busy: gauge})
+	}
+}
+
+// complete delivers a consensus outcome for one pending submit: the
+// session's dedup state advances, the reply is cached for retries, and
+// the pending's arena reference retires.
+func (gc *gwConn) complete(p *pending, r Reply) {
+	gw := gc.gw
+	gc.mu.Lock()
+	if st := gc.sessions[p.session]; st != nil {
+		delete(st.pending, p.nonce)
+		if p.nonce > st.high {
+			st.high = p.nonce
+		}
+		st.cache = append(st.cache, r)
+		if len(st.cache) > gw.cfg.DedupWindow {
+			st.cache = st.cache[len(st.cache)-gw.cfg.DedupWindow:]
+		}
+	}
+	gc.mu.Unlock()
+	p.arena.Release()
+	gw.completed.Add(1)
+	gc.deliver(r)
+}
+
+// deliver hands a reply to the write loop, blocking only against a live
+// connection (backpressure toward a slow session pipe); a closed
+// connection drops the reply — its sessions are gone with it.
+func (gc *gwConn) deliver(r Reply) {
+	select {
+	case gc.replyCh <- r:
+	case <-gc.done:
+	}
+}
+
+// writeLoop drains replies, coalescing bursts into shared frames.
+func (gc *gwConn) writeLoop() {
+	defer gc.close()
+	bw := bufio.NewWriterSize(gc.c, 1<<16)
+	w := types.GetWriter()
+	defer types.PutWriter(w)
+	for {
+		var first Reply
+		select {
+		case first = <-gc.replyCh:
+		case <-gc.done:
+			return
+		}
+		w.Reset()
+		appendReply(w, &first)
+		count := 1
+	coalesce:
+		for count < gc.gw.cfg.ReplyBatch {
+			select {
+			case r := <-gc.replyCh:
+				appendReply(w, &r)
+				count++
+			default:
+				break coalesce
+			}
+		}
+		if err := writeSessionFrame(bw, count, w.Bytes()); err != nil {
+			return
+		}
+		if len(gc.replyCh) == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

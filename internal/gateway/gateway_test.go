@@ -1,0 +1,565 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"resilientdb/internal/cluster"
+	"resilientdb/internal/pool"
+	"resilientdb/internal/transport"
+	"resilientdb/internal/types"
+	"resilientdb/internal/workload"
+)
+
+// --- wire codec ---
+
+func TestSessionWireRoundTrip(t *testing.T) {
+	w := types.GetWriter()
+	defer types.PutWriter(w)
+	subs := []Submit{
+		{Session: 1, Nonce: 1, Ops: []types.Op{{Kind: types.OpWrite, Key: 7, Value: []byte("v7")}}},
+		{Session: 1 << 40, Nonce: 99, Ops: []types.Op{
+			{Kind: types.OpRead, Key: 8},
+			{Kind: types.OpWrite, Key: 9, Value: []byte("nine")},
+		}},
+		{Session: 3, Nonce: 2}, // no ops
+	}
+	reps := []Reply{
+		{Session: 1, Nonce: 1, Status: StatusOK, Seq: 42, Busy: 17},
+		{Session: 2, Nonce: 5, Status: StatusBusy, Busy: 255},
+		{Session: 3, Nonce: 6, Status: StatusOK, Seq: 43, Reads: []types.ReadResult{
+			{Found: true, Value: []byte("rv")}, {Found: false},
+		}},
+	}
+	for i := range subs {
+		appendSubmit(w, &subs[i])
+	}
+	for i := range reps {
+		appendReply(w, &reps[i])
+	}
+	var buf bytes.Buffer
+	if err := writeSessionFrame(&buf, len(subs)+len(reps), w.Bytes()); err != nil {
+		t.Fatalf("writing frame: %v", err)
+	}
+	f, err := readSessionFrame(&buf, new(pool.BytePool))
+	if err != nil {
+		t.Fatalf("reading frame: %v", err)
+	}
+	defer f.Arena.Release()
+	if len(f.Submits) != len(subs) || len(f.Replies) != len(reps) {
+		t.Fatalf("got %d submits, %d replies; want %d, %d", len(f.Submits), len(f.Replies), len(subs), len(reps))
+	}
+	for i := range subs {
+		got, want := f.Submits[i], subs[i]
+		if got.Session != want.Session || got.Nonce != want.Nonce || len(got.Ops) != len(want.Ops) {
+			t.Fatalf("submit %d: got %+v want %+v", i, got, want)
+		}
+		for j := range want.Ops {
+			if got.Ops[j].Kind != want.Ops[j].Kind || got.Ops[j].Key != want.Ops[j].Key ||
+				!bytes.Equal(got.Ops[j].Value, want.Ops[j].Value) {
+				t.Fatalf("submit %d op %d: got %+v want %+v", i, j, got.Ops[j], want.Ops[j])
+			}
+		}
+	}
+	for i := range reps {
+		got, want := f.Replies[i], reps[i]
+		if got.Session != want.Session || got.Nonce != want.Nonce || got.Status != want.Status ||
+			got.Seq != want.Seq || got.Busy != want.Busy || len(got.Reads) != len(want.Reads) {
+			t.Fatalf("reply %d: got %+v want %+v", i, got, want)
+		}
+		for j := range want.Reads {
+			if got.Reads[j].Found != want.Reads[j].Found || !bytes.Equal(got.Reads[j].Value, want.Reads[j].Value) {
+				t.Fatalf("reply %d read %d: got %+v want %+v", i, j, got.Reads[j], want.Reads[j])
+			}
+		}
+	}
+}
+
+func TestSessionWireMalformed(t *testing.T) {
+	bufs := new(pool.BytePool)
+	cases := map[string][]byte{
+		"oversized length":  {0xff, 0xff, 0xff, 0xff},
+		"undersized length": {0, 0, 0, 1},
+		"truncated body":    {0, 0, 0, 20, 0, 0, 0, 1, kindSubmit},
+		"unknown kind": frameBytes(t, 1, func(w *types.Writer) {
+			w.U8(0x7f)
+			w.U64(1)
+		}),
+		"forged count": {0, 0, 0, 8, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		"trailing bytes": frameBytes(t, 1, func(w *types.Writer) {
+			appendSubmit(w, &Submit{Session: 1, Nonce: 1})
+			w.U32(0xdeadbeef)
+		}),
+		"submit op overflow": frameBytes(t, 1, func(w *types.Writer) {
+			w.U8(kindSubmit)
+			w.U64(1)
+			w.U64(1)
+			w.U32(1 << 30)
+		}),
+	}
+	for name, raw := range cases {
+		if _, err := readSessionFrame(bytes.NewReader(raw), bufs); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func frameBytes(t *testing.T, count int, build func(*types.Writer)) []byte {
+	t.Helper()
+	w := types.GetWriter()
+	defer types.PutWriter(w)
+	build(w)
+	var buf bytes.Buffer
+	if err := writeSessionFrame(&buf, count, w.Bytes()); err != nil {
+		t.Fatalf("writing frame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// --- end-to-end harness ---
+
+func newTestCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	wl := workload.Default()
+	wl.Records = 256
+	wl.ValueSize = 16
+	c, err := cluster.New(cluster.Options{
+		N:                  4,
+		Clients:            1,
+		BatchSize:          4,
+		Workload:           wl,
+		CheckpointInterval: 16,
+		ClientTimeout:      150 * time.Millisecond,
+		Seed:               7,
+		PreloadTable:       true,
+	})
+	if err != nil {
+		t.Fatalf("building cluster: %v", err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func newTestGateway(t *testing.T, c *cluster.Cluster, mod func(*Config)) *Gateway {
+	t.Helper()
+	cfg := Config{
+		N:         4,
+		Directory: c.Directory(),
+		Endpoint: func(id types.ClientID) (transport.Endpoint, error) {
+			return c.AttachClient(id, 1<<10), nil
+		},
+		Upstreams: 2,
+		Batch:     16,
+		Linger:    time.Millisecond,
+		Timeout:   150 * time.Millisecond,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("building gateway: %v", err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// testSession is a hand-driven session connection: it writes raw submit
+// frames and collects replies, giving the tests exact control over
+// nonces, duplicates, and ordering.
+type testSession struct {
+	t    *testing.T
+	c    net.Conn
+	br   *bufio.Reader
+	bufs *pool.BytePool
+}
+
+func dialSession(t *testing.T, g *Gateway) *testSession {
+	t.Helper()
+	client, server := net.Pipe()
+	g.ServeConn(server)
+	t.Cleanup(func() { client.Close() })
+	return &testSession{t: t, c: client, br: bufio.NewReader(client), bufs: new(pool.BytePool)}
+}
+
+// send writes one frame carrying the given submits.
+func (ts *testSession) send(subs ...Submit) {
+	ts.t.Helper()
+	w := types.GetWriter()
+	defer types.PutWriter(w)
+	for i := range subs {
+		appendSubmit(w, &subs[i])
+	}
+	ts.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := writeSessionFrame(ts.c, len(subs), w.Bytes()); err != nil {
+		ts.t.Fatalf("sending frame: %v", err)
+	}
+}
+
+// recv collects replies until it has n or the deadline passes.
+func (ts *testSession) recv(n int, timeout time.Duration) []Reply {
+	ts.t.Helper()
+	var out []Reply
+	deadline := time.Now().Add(timeout)
+	for len(out) < n {
+		ts.c.SetReadDeadline(deadline)
+		f, err := readSessionFrame(ts.br, ts.bufs)
+		if err != nil {
+			ts.t.Fatalf("reading replies (have %d, want %d): %v", len(out), n, err)
+		}
+		out = append(out, f.Replies...)
+		f.Arena.Release()
+	}
+	return out
+}
+
+// tryRecv is recv without the fatal: it returns whatever arrived before
+// the timeout.
+func (ts *testSession) tryRecv(n int, timeout time.Duration) []Reply {
+	var out []Reply
+	deadline := time.Now().Add(timeout)
+	for len(out) < n && time.Now().Before(deadline) {
+		ts.c.SetReadDeadline(deadline)
+		f, err := readSessionFrame(ts.br, ts.bufs)
+		if err != nil {
+			return out
+		}
+		out = append(out, f.Replies...)
+		f.Arena.Release()
+	}
+	return out
+}
+
+func writeOp(key uint64, val string) []types.Op {
+	return []types.Op{{Kind: types.OpWrite, Key: key, Value: []byte(val)}}
+}
+
+// settleHeight waits until every replica's ledger height stops moving and
+// returns it; the tests use it to pin "no further execution happened".
+func settleHeight(t *testing.T, c *cluster.Cluster) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h := c.Replica(0).Ledger().Height()
+		time.Sleep(100 * time.Millisecond)
+		stable := true
+		for i := 0; i < 4; i++ {
+			if c.Replica(i).Ledger().Height() != h {
+				stable = false
+				break
+			}
+		}
+		if stable && c.Replica(0).Ledger().Height() == h {
+			return h
+		}
+	}
+	t.Fatalf("ledger heights did not settle")
+	return 0
+}
+
+// --- end-to-end behavior ---
+
+func TestGatewayEndToEnd(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+	ts := dialSession(t, g)
+
+	const sessions = 6
+	subs := make([]Submit, 0, sessions)
+	for s := 0; s < sessions; s++ {
+		subs = append(subs, Submit{
+			Session: uint64(s),
+			Nonce:   1,
+			Ops:     writeOp(uint64(s), fmt.Sprintf("s%d", s)),
+		})
+	}
+	ts.send(subs...)
+	replies := ts.recv(sessions, 5*time.Second)
+	seen := make(map[uint64]Reply)
+	for _, r := range replies {
+		if r.Status != StatusOK {
+			t.Fatalf("session %d: status %v, want ok", r.Session, r.Status)
+		}
+		if _, dup := seen[r.Session]; dup {
+			t.Fatalf("session %d acknowledged twice", r.Session)
+		}
+		seen[r.Session] = r
+	}
+	if len(seen) != sessions {
+		t.Fatalf("got replies for %d sessions, want %d", len(seen), sessions)
+	}
+	// The writes must actually have executed: read one back through a
+	// second submit with a read op.
+	ts.send(Submit{Session: 0, Nonce: 2, Ops: []types.Op{{Kind: types.OpRead, Key: 3}}})
+	r := ts.recv(1, 5*time.Second)[0]
+	if r.Status != StatusOK || len(r.Reads) != 1 {
+		t.Fatalf("read-back reply: %+v", r)
+	}
+	if !r.Reads[0].Found || string(r.Reads[0].Value) != "s3" {
+		t.Fatalf("read-back value: %+v, want s3", r.Reads[0])
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatalf("ledger check: %v", err)
+	}
+	st := g.Stats()
+	if st.Accepted != sessions+1 || st.Completed != sessions+1 {
+		t.Fatalf("stats: %+v, want %d accepted+completed", st, sessions+1)
+	}
+}
+
+func TestGatewayRetryReplaysCachedReply(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+	ts := dialSession(t, g)
+
+	ts.send(Submit{Session: 9, Nonce: 1, Ops: writeOp(1, "one")})
+	first := ts.recv(1, 5*time.Second)[0]
+	if first.Status != StatusOK {
+		t.Fatalf("first reply: %+v", first)
+	}
+	before := settleHeight(t, c)
+	txnsBefore := c.Replica(0).Stats().TxnsExecuted
+
+	// The retry must be answered from the reply cache: same status, same
+	// sequence — and nothing new may reach consensus.
+	ts.send(Submit{Session: 9, Nonce: 1, Ops: writeOp(1, "one")})
+	second := ts.recv(1, 5*time.Second)[0]
+	if second.Status != StatusOK || second.Seq != first.Seq || second.Session != 9 || second.Nonce != 1 {
+		t.Fatalf("retry reply %+v, want replay of %+v", second, first)
+	}
+	after := settleHeight(t, c)
+	if after != before {
+		t.Fatalf("ledger height moved %d → %d on a retried request", before, after)
+	}
+	if got := c.Replica(0).Stats().TxnsExecuted; got != txnsBefore {
+		t.Fatalf("retry executed: %d → %d transactions", txnsBefore, got)
+	}
+	if st := g.Stats(); st.DupReplayed != 1 {
+		t.Fatalf("stats: %+v, want DupReplayed=1", st)
+	}
+}
+
+func TestGatewayReorderedNoncesEachAckedOnce(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+	ts := dialSession(t, g)
+
+	// One frame, nonces reversed: all are fresh, all must execute and be
+	// acknowledged exactly once.
+	ts.send(
+		Submit{Session: 4, Nonce: 4, Ops: writeOp(10, "d")},
+		Submit{Session: 4, Nonce: 3, Ops: writeOp(11, "c")},
+		Submit{Session: 4, Nonce: 2, Ops: writeOp(12, "b")},
+		Submit{Session: 4, Nonce: 1, Ops: writeOp(13, "a")},
+	)
+	replies := ts.recv(4, 5*time.Second)
+	acked := map[uint64]int{}
+	for _, r := range replies {
+		if r.Status != StatusOK {
+			t.Fatalf("nonce %d: status %v", r.Nonce, r.Status)
+		}
+		acked[r.Nonce]++
+	}
+	for n := uint64(1); n <= 4; n++ {
+		if acked[n] != 1 {
+			t.Fatalf("nonce %d acknowledged %d times", n, acked[n])
+		}
+	}
+	if extra := ts.tryRecv(1, 300*time.Millisecond); len(extra) != 0 {
+		t.Fatalf("unexpected extra replies: %+v", extra)
+	}
+}
+
+// droppyEndpoint drops the first outbound envelope, forcing the upstream
+// engine through its retransmission timeout — the injected
+// gateway→replica fault of the retry-safety requirement.
+type droppyEndpoint struct {
+	transport.Endpoint
+	dropped bool
+}
+
+func (d *droppyEndpoint) Send(env *types.Envelope) error {
+	if !d.dropped {
+		d.dropped = true
+		env.Release()
+		return nil
+	}
+	return d.Endpoint.Send(env)
+}
+
+func TestGatewayDuplicateUnderTimeoutExecutesOnce(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, func(cfg *Config) {
+		cfg.Upstreams = 1
+		cfg.Timeout = 100 * time.Millisecond
+		cfg.Endpoint = func(id types.ClientID) (transport.Endpoint, error) {
+			return &droppyEndpoint{Endpoint: c.AttachClient(id, 1<<10)}, nil
+		}
+	})
+	ts := dialSession(t, g)
+
+	// The first consensus send is dropped; while the upstream waits out
+	// its timeout, the session retries the same nonce twice. Both retries
+	// must be absorbed by the in-flight pending: exactly one reply, one
+	// execution.
+	ts.send(Submit{Session: 1, Nonce: 1, Ops: writeOp(21, "x")})
+	time.Sleep(20 * time.Millisecond)
+	ts.send(Submit{Session: 1, Nonce: 1, Ops: writeOp(21, "x")})
+	ts.send(Submit{Session: 1, Nonce: 1, Ops: writeOp(21, "x")})
+
+	replies := ts.recv(1, 5*time.Second)
+	if replies[0].Status != StatusOK {
+		t.Fatalf("reply: %+v", replies[0])
+	}
+	if extra := ts.tryRecv(1, 300*time.Millisecond); len(extra) != 0 {
+		t.Fatalf("duplicate submits produced extra replies: %+v", extra)
+	}
+	st := g.Stats()
+	if st.DupAbsorbed != 2 {
+		t.Fatalf("stats: %+v, want DupAbsorbed=2", st)
+	}
+	if st.Accepted != 1 || st.Completed != 1 {
+		t.Fatalf("stats: %+v, want exactly one accepted+completed", st)
+	}
+	// One transaction executed, on every replica.
+	settleHeight(t, c)
+	for i := 0; i < 4; i++ {
+		if got := c.Replica(i).Stats().TxnsExecuted; got != 1 {
+			t.Fatalf("replica %d executed %d transactions, want 1", i, got)
+		}
+	}
+}
+
+func TestGatewayBusyPushback(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, func(cfg *Config) {
+		cfg.BusyThreshold = 200
+	})
+	ts := dialSession(t, g)
+
+	drops := func() uint64 {
+		var total uint64
+		for i := 0; i < 4; i++ {
+			total += c.Replica(i).Stats().NetDrops
+		}
+		return total
+	}
+	dropsBefore := drops()
+
+	// Saturate the admission gauge as a replica response would, then
+	// flood: every submit must come back as explicit StatusBusy pushback,
+	// nothing may reach the replicas, and nothing may be silently dropped.
+	g.busy.Store(255)
+	const flood = 100
+	subs := make([]Submit, 0, flood)
+	for i := 0; i < flood; i++ {
+		subs = append(subs, Submit{Session: uint64(i), Nonce: 1, Ops: writeOp(uint64(i), "v")})
+	}
+	ts.send(subs...)
+	replies := ts.recv(flood, 5*time.Second)
+	for _, r := range replies {
+		if r.Status != StatusBusy {
+			t.Fatalf("session %d: status %v, want busy", r.Session, r.Status)
+		}
+		if r.Busy < 200 {
+			t.Fatalf("busy reply carries gauge %d, want ≥ threshold", r.Busy)
+		}
+	}
+	st := g.Stats()
+	if st.BusyRejected != flood || st.Accepted != 0 {
+		t.Fatalf("stats: %+v, want %d busy-rejected, 0 accepted", st, flood)
+	}
+	if d := drops() - dropsBefore; d != 0 {
+		t.Fatalf("overload leaked into %d silent transport drops", d)
+	}
+
+	// Pushback is not a wedge: once the gauge clears, the same nonce is
+	// admitted and completes.
+	g.busy.Store(0)
+	ts.send(Submit{Session: 0, Nonce: 1, Ops: writeOp(0, "v")})
+	if r := ts.recv(1, 5*time.Second)[0]; r.Status != StatusOK {
+		t.Fatalf("post-recovery reply: %+v", r)
+	}
+}
+
+func TestGatewayDedupWindowEviction(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, func(cfg *Config) {
+		cfg.DedupWindow = 1
+	})
+	ts := dialSession(t, g)
+
+	ts.send(Submit{Session: 1, Nonce: 1, Ops: writeOp(30, "a")})
+	if r := ts.recv(1, 5*time.Second)[0]; r.Status != StatusOK {
+		t.Fatalf("nonce 1: %+v", r)
+	}
+	ts.send(Submit{Session: 1, Nonce: 2, Ops: writeOp(31, "b")})
+	if r := ts.recv(1, 5*time.Second)[0]; r.Status != StatusOK {
+		t.Fatalf("nonce 2: %+v", r)
+	}
+	before := settleHeight(t, c)
+
+	// Nonce 1's cached reply was evicted by nonce 2's (window of one).
+	// The retry is answered StatusRejected — and still never re-executed.
+	ts.send(Submit{Session: 1, Nonce: 1, Ops: writeOp(30, "a")})
+	r := ts.recv(1, 5*time.Second)[0]
+	if r.Status != StatusRejected || r.Nonce != 1 {
+		t.Fatalf("evicted retry: %+v, want rejected nonce 1", r)
+	}
+	if after := settleHeight(t, c); after != before {
+		t.Fatalf("evicted retry moved the ledger %d → %d", before, after)
+	}
+	if st := g.Stats(); st.DupRejected != 1 {
+		t.Fatalf("stats: %+v, want DupRejected=1", st)
+	}
+}
+
+func TestGatewayLoadGenerator(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+
+	wl := workload.Default()
+	wl.Records = 256
+	wl.ValueSize = 16
+	load, err := NewLoad(LoadConfig{
+		Sessions: 50,
+		Conns:    2,
+		Dial: func() (net.Conn, error) {
+			client, server := net.Pipe()
+			g.ServeConn(server)
+			return client, nil
+		},
+		Workload:     wl,
+		Seed:         7,
+		RetryTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("building load: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel()
+	if err := load.Run(ctx); err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+	st := load.Stats()
+	if st.Completed == 0 {
+		t.Fatalf("load completed no transactions: %+v", st)
+	}
+	gs := g.Stats()
+	if gs.Sessions == 0 && gs.Completed == 0 {
+		t.Fatalf("gateway saw no sessions: %+v", gs)
+	}
+	if load.Latency().Count() == 0 {
+		t.Fatalf("no latencies recorded")
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatalf("ledger check: %v", err)
+	}
+	t.Logf("load: %d txns over 50 sessions / 2 conns (busy=%d retries=%d)", st.Completed, st.BusyReplies, st.Retries)
+}

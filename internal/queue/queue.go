@@ -259,6 +259,10 @@ func (q *MPMC[T]) Len() int {
 	return int(n)
 }
 
+// Cap returns the ring's fixed capacity (the rounded-up power of two), so
+// Len can be read as a fill fraction — the queue-depth gauges do.
+func (q *MPMC[T]) Cap() int { return len(q.cells) }
+
 func backoff(spin int, sleepNS int64) {
 	switch {
 	case spin < 8:

@@ -403,6 +403,29 @@ type Stats struct {
 	EncodePoolHits   uint64
 	EncodePoolMisses uint64
 	VerifyBatched    uint64
+	// Queue-depth gauges: a live snapshot of how full each bounded
+	// pipeline queue is, taken when Stats is called. NetDrops only shows
+	// saturation after the damage; these show it while it builds, which
+	// is what the gateway's admission controller steers on. Input is the
+	// fullest endpoint inbox, Work the fullest worker lane, Out the
+	// fullest output queue; ExecBacklog counts batches decided by
+	// consensus but not yet retired (bounded by the watermark window,
+	// reported as ExecWindow).
+	InputQueueDepth int
+	InputQueueCap   int
+	BatchQueueDepth int
+	BatchQueueCap   int
+	WorkQueueDepth  int
+	WorkQueueCap    int
+	ExecBacklog     int
+	ExecWindow      int
+	OutQueueDepth   int
+	OutQueueCap     int
+	// BusyGauge folds the gauges above into the 0 (idle) .. 255 (a queue
+	// is full) saturation scalar replicas piggyback on client responses
+	// (ClientResponse.Busy / SpecResponse.Busy): the fill fraction of the
+	// fullest queue, scaled. Stats recomputes it live.
+	BusyGauge uint8
 	// Evidence counts byzantine-behaviour observations (e.g. a primary
 	// equivocating two digests for one sequence) and pipeline invariant
 	// violations. Any nonzero value on an honest replica means a peer
@@ -598,6 +621,13 @@ type Replica struct {
 	// DisableOutOfOrder ablation.
 	inflight atomic.Int64
 
+	// execPending counts batches decided by consensus but not yet retired
+	// (ledger appended, clients answered) — the execute stage's backlog
+	// gauge. execWindow is the watermark window it is read against: the
+	// protocol-level bound on in-flight sequence numbers.
+	execPending atomic.Int64
+	execWindow  int
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	inputWg  sync.WaitGroup
@@ -698,19 +728,20 @@ func New(cfg Config) (*Replica, error) {
 		ldg = ledger.New(cfg.LedgerMode, genesis, consensus.Quorum2f1(cfg.N))
 	}
 	r := &Replica{
-		cfg:       cfg,
-		engine:    consensus.Serialize(engine),
-		lanes:     lanes,
-		auth:      cfg.Directory.NodeAuth(types.ReplicaNode(cfg.ID)),
-		ledger:    ldg,
-		store:     st,
-		batchQ:    queue.NewMPMC[*types.ClientRequest](1 << 14),
-		ckptQ:     make(chan workItem, 1<<10),
-		execIn:    queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, uint64(startSeq)+1),
-		lastExec:  make(map[types.ClientID]uint64),
-		stop:      make(chan struct{}),
-		progressC: make(chan struct{}, 1),
-		readQ:     make(chan *types.ReadRequest, 1<<10),
+		cfg:        cfg,
+		engine:     consensus.Serialize(engine),
+		lanes:      lanes,
+		auth:       cfg.Directory.NodeAuth(types.ReplicaNode(cfg.ID)),
+		ledger:     ldg,
+		store:      st,
+		batchQ:     queue.NewMPMC[*types.ClientRequest](1 << 14),
+		ckptQ:      make(chan workItem, 1<<10),
+		execIn:     queue.NewInOrder[execItem](int(cfg.WatermarkWindow)*2, uint64(startSeq)+1),
+		execWindow: int(cfg.WatermarkWindow),
+		lastExec:   make(map[types.ClientID]uint64),
+		stop:       make(chan struct{}),
+		progressC:  make(chan struct{}, 1),
+		readQ:      make(chan *types.ReadRequest, 1<<10),
 		reqPool: pool.New[types.ClientRequest](nil, func(cr *types.ClientRequest) {
 			*cr = types.ClientRequest{}
 		}, 1024, 1<<16),
@@ -848,7 +879,76 @@ func (r *Replica) Stats() Stats {
 		s.VerifyBatched = r.verifyPool.BatchedVerifies()
 	}
 	s.Evidence = r.evidence.Load()
+	r.queueGauges(&s)
 	return s
+}
+
+// queueGauges snapshots every bounded pipeline queue into the stats
+// record. Channel len/cap reads and the ring's atomic cursors are
+// lock-free, so this is safe from any goroutine while the pipeline runs.
+func (r *Replica) queueGauges(s *Stats) {
+	ep := r.cfg.Endpoint
+	for i := 0; i < ep.Inboxes(); i++ {
+		ch := ep.Inbox(i)
+		if n := len(ch); n > s.InputQueueDepth {
+			s.InputQueueDepth = n
+		}
+		if c := cap(ch); c > s.InputQueueCap {
+			s.InputQueueCap = c
+		}
+	}
+	s.BatchQueueDepth = r.batchQ.Len()
+	s.BatchQueueCap = r.batchQ.Cap()
+	for i := range r.workQs {
+		if n := len(r.workQs[i]); n > s.WorkQueueDepth {
+			s.WorkQueueDepth = n
+		}
+		s.WorkQueueCap = cap(r.workQs[i])
+	}
+	s.ExecBacklog = int(r.execPending.Load())
+	s.ExecWindow = r.execWindow
+	for i := range r.outQs {
+		if n := len(r.outQs[i]); n > s.OutQueueDepth {
+			s.OutQueueDepth = n
+		}
+		s.OutQueueCap = cap(r.outQs[i])
+	}
+	s.BusyGauge = r.busyGauge()
+}
+
+// busyGauge compresses the pipeline's queue occupancy into the 0..255
+// saturation scalar piggybacked on every client response: the fill
+// fraction of the fullest bounded queue, scaled. 0 is idle; 255 means
+// some queue is full and the next arrival on it would be dropped. It is
+// recomputed once per retired batch (and on Stats), never per
+// transaction, and reads only channel lengths and atomics.
+func (r *Replica) busyGauge() uint8 {
+	g := 0
+	sat := func(n, c int) {
+		if c <= 0 {
+			return
+		}
+		if n > c {
+			n = c
+		}
+		if s := n * 255 / c; s > g {
+			g = s
+		}
+	}
+	ep := r.cfg.Endpoint
+	for i := 0; i < ep.Inboxes(); i++ {
+		ch := ep.Inbox(i)
+		sat(len(ch), cap(ch))
+	}
+	sat(r.batchQ.Len(), r.batchQ.Cap())
+	for i := range r.workQs {
+		sat(len(r.workQs[i]), cap(r.workQs[i]))
+	}
+	sat(int(r.execPending.Load()), r.execWindow)
+	for i := range r.outQs {
+		sat(len(r.outQs[i]), cap(r.outQs[i]))
+	}
+	return uint8(g)
 }
 
 // DedupSnapshot copies the execution-side dedup table: the last executed

@@ -549,6 +549,7 @@ func (r *Replica) handleActions(acts []consensus.Action) {
 		case consensus.Send:
 			r.sendTo(act.To, act.Msg)
 		case consensus.Execute:
+			r.execPending.Add(1)
 			if r.cfg.ExecuteThreads > 0 {
 				r.execIn.Offer(uint64(act.Seq), execItem{act: act})
 			} else {
@@ -783,6 +784,7 @@ func (r *Replica) readKey(key uint64) types.ReadResult {
 // shard barrier, append the block, report the execution to the engine
 // (driving checkpoints), and answer every client in the batch.
 func (r *Replica) retireBatch(b *inflightExec) {
+	defer r.execPending.Add(-1)
 	b.done.Wait()
 	if b.parts != nil {
 		// The workers are done with the partition buffers; recycle them.
@@ -805,7 +807,13 @@ func (r *Replica) retireBatch(b *inflightExec) {
 	r.lastRetired.Store(uint64(act.Seq))
 
 	// Respond to every client in the batch, attaching each request's span
-	// of the read-result buffer.
+	// of the read-result buffer. The busy gauge is sampled once per batch
+	// — cheap enough for the hot path, fresh enough for admission control
+	// — and stamped on every response so gateways see replica load on
+	// traffic they already receive. It is advisory: outside Result and
+	// outside the client's vote key, so replicas under different load
+	// still form a quorum.
+	busy := r.busyGauge()
 	for i := range act.Requests {
 		req := &act.Requests[i]
 		var reads []types.ReadResult
@@ -827,6 +835,7 @@ func (r *Replica) retireBatch(b *inflightExec) {
 				Result:      result,
 				Replica:     r.cfg.ID,
 				ReadResults: reads,
+				Busy:        busy,
 			}
 		} else {
 			resp = &types.ClientResponse{
@@ -837,6 +846,7 @@ func (r *Replica) retireBatch(b *inflightExec) {
 				Result:      result,
 				Replica:     r.cfg.ID,
 				ReadResults: reads,
+				Busy:        busy,
 			}
 		}
 		r.sendTo(types.ClientNode(req.Client), resp)

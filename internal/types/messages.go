@@ -464,14 +464,41 @@ func marshalReadResults(w *Writer, results []ReadResult) {
 	}
 }
 
+// marshalBusy appends the optional busy gauge after the read-result tail.
+// Zero (the idle common case) writes nothing, keeping write-only responses
+// byte-identical to the historical form; a nonzero gauge with no reads
+// first writes an explicit zero read count so the decoder can tell the
+// tails apart.
+func marshalBusy(w *Writer, reads []ReadResult, busy uint8) {
+	if busy == 0 {
+		return
+	}
+	if len(reads) == 0 {
+		w.U32(0)
+	}
+	w.U8(busy)
+}
+
+// unmarshalBusy decodes the optional busy gauge: whatever single byte
+// remains once the read results are consumed. Absent bytes mean an idle
+// (or pre-gauge) replica.
+func unmarshalBusy(r *Reader) uint8 {
+	if r.Remaining() == 0 {
+		return 0
+	}
+	return r.U8()
+}
+
 // unmarshalReadResults decodes the optional tail; absent bytes mean a
 // write-only response, which is how pre-read peers encode everything.
+// Reading exactly the declared count leaves any bytes past the results —
+// the optional busy gauge — for the caller.
 func unmarshalReadResults(r *Reader) []ReadResult {
 	if r.Remaining() == 0 {
 		return nil
 	}
 	n := r.count(5)
-	if r.Err() != nil {
+	if r.Err() != nil || n == 0 {
 		return nil
 	}
 	results := make([]ReadResult, n)
@@ -515,6 +542,10 @@ func ResponseDigest(seq SeqNum, client ClientID, clientSeq uint64, reads []ReadR
 // all 3f+1 (Section 2.1). ReadResults carries the values observed by the
 // request's read operations, in (transaction, op) order; Result covers
 // them (ResponseDigest), so matching responses attest the read values too.
+// Busy is the replica's queue-saturation gauge (0 idle .. 255 full) at
+// execution time — advisory backpressure for gateways, deliberately
+// outside Result and outside the client's vote key, so replicas reporting
+// different load still form a quorum.
 type ClientResponse struct {
 	View        View
 	Seq         SeqNum
@@ -523,6 +554,7 @@ type ClientResponse struct {
 	Result      Digest
 	Replica     ReplicaID
 	ReadResults []ReadResult
+	Busy        uint8
 }
 
 // Type implements Message.
@@ -536,6 +568,7 @@ func (m *ClientResponse) marshal(w *Writer) {
 	w.Bytes32(m.Result)
 	w.U16(uint16(m.Replica))
 	marshalReadResults(w, m.ReadResults)
+	marshalBusy(w, m.ReadResults, m.Busy)
 }
 
 func (m *ClientResponse) unmarshal(r *Reader) {
@@ -546,6 +579,7 @@ func (m *ClientResponse) unmarshal(r *Reader) {
 	m.Result = r.Bytes32()
 	m.Replica = ReplicaID(r.U16())
 	m.ReadResults = unmarshalReadResults(r)
+	m.Busy = unmarshalBusy(r)
 }
 
 // ---- Zyzzyva messages ----
@@ -602,7 +636,7 @@ func (m *OrderedRequest) Size() int {
 // SpecResponse is a replica's speculative reply to the client, binding the
 // result to the replica's history hash so the client can detect divergence.
 // ReadResults mirrors ClientResponse: read values in (txn, op) order,
-// attested by Result.
+// attested by Result. Busy mirrors ClientResponse's advisory load gauge.
 type SpecResponse struct {
 	View        View
 	Seq         SeqNum
@@ -613,6 +647,7 @@ type SpecResponse struct {
 	Result      Digest
 	Replica     ReplicaID
 	ReadResults []ReadResult
+	Busy        uint8
 }
 
 // Type implements Message.
@@ -628,6 +663,7 @@ func (m *SpecResponse) marshal(w *Writer) {
 	w.Bytes32(m.Result)
 	w.U16(uint16(m.Replica))
 	marshalReadResults(w, m.ReadResults)
+	marshalBusy(w, m.ReadResults, m.Busy)
 }
 
 func (m *SpecResponse) unmarshal(r *Reader) {
@@ -640,6 +676,7 @@ func (m *SpecResponse) unmarshal(r *Reader) {
 	m.Result = r.Bytes32()
 	m.Replica = ReplicaID(r.U16())
 	m.ReadResults = unmarshalReadResults(r)
+	m.Busy = unmarshalBusy(r)
 }
 
 // CommitCert is Zyzzyva's slow path: a client that gathered only 2f+1
