@@ -20,9 +20,15 @@
 //   - -gw-busy T: replica queue-saturation gauge (1..255, piggybacked on
 //     consensus responses) at or above which new submits are pushed back
 //     busy (0 = default 230; -1 pushes back only at full saturation).
+//   - -gw-busy-decay D: how long a saturated gauge keeps pushing back
+//     without a fresh consensus response before admission expires it and
+//     probes again (0 = default 4×timeout; negative never expires).
 //   - -gw-dedup W: completed replies cached per session for retry replay
 //     (0 = default 8); retries older than the window are rejected, never
 //     re-executed.
+//   - -gw-session-idle D: how long a session with nothing in flight
+//     keeps its dedup state before eviction; state survives reconnects
+//     until then (0 = default 5m; negative never evicts).
 //
 // Example, in front of the 4-replica deployment from the resdb-node docs:
 //
@@ -61,7 +67,9 @@ func run() int {
 	gwLinger := flag.Duration("gw-linger", 0, "how long a non-full batch waits for more transactions (0 = default 200µs, negative flushes immediately)")
 	gwQueue := flag.Int("gw-queue", 0, "admission queue capacity; a full queue answers busy (0 = default 16384)")
 	gwBusy := flag.Int("gw-busy", 0, "replica busy-gauge admission threshold 1..255 (0 = default 230, -1 pushes back only at full saturation)")
+	gwBusyDecay := flag.Duration("gw-busy-decay", 0, "staleness after which a saturated gauge stops pushing back (0 = default 4×timeout, negative never expires)")
 	gwDedup := flag.Int("gw-dedup", 0, "cached replies per session for retry replay (0 = default 8)")
+	gwSessionIdle := flag.Duration("gw-session-idle", 0, "idle time before a session's dedup state is evicted (0 = default 5m, negative never evicts)")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "upstream retransmission timeout")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame on the upstream connections (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay on the upstream connections (0 flushes when the queue drains)")
@@ -148,6 +156,19 @@ func run() int {
 		cfg.BusyThreshold = uint8(*gwBusy)
 	}
 	cfg.DedupWindow = *gwDedup
+	// "Never" is a century and a half of nanoseconds — far enough out
+	// that the decay/eviction clocks can still subtract it safely.
+	const never = time.Duration(1 << 62)
+	if *gwBusyDecay < 0 {
+		cfg.BusyDecay = never
+	} else {
+		cfg.BusyDecay = *gwBusyDecay
+	}
+	if *gwSessionIdle < 0 {
+		cfg.SessionIdle = never
+	} else {
+		cfg.SessionIdle = *gwSessionIdle
+	}
 
 	g, err := gateway.New(cfg)
 	if err != nil {

@@ -54,10 +54,17 @@ type Outcome struct {
 	// FastPath reports whether a Zyzzyva request completed with all 3f+1
 	// speculative responses (always true for PBFT completions).
 	FastPath bool
-	// Busy is the highest queue-saturation gauge (0 idle .. 255 full) any
-	// replica stamped on a response to this request — the backpressure
-	// signal a gateway's admission controller steers on. Advisory only:
-	// it is outside the vote key, so it never affects quorum formation.
+	// Busy is the queue-saturation gauge (0 idle .. 255 full) for this
+	// request — the backpressure signal a gateway's admission controller
+	// steers on. Because the gauge is outside the vote key (it never
+	// affects quorum formation), a Byzantine replica could stamp 255 on
+	// otherwise-valid responses; a plain max would let one faulty replica
+	// saturate every request's gauge and wedge the gateway's admission.
+	// The engine therefore aggregates robustly: Busy is the (f+1)-th
+	// highest gauge across the distinct replicas that responded, so at
+	// least one honest replica reported a gauge at or above the value and
+	// f faulty replicas can neither raise it above an honest reading nor
+	// (with f+1 honest responders) drag it below the honest tail.
 	Busy uint8
 }
 
@@ -98,8 +105,9 @@ type inflight struct {
 	specResult   types.Digest
 	specReads    []types.ReadResult
 	done         bool
-	// busy is the max saturation gauge seen on this request's responses.
-	busy uint8
+	// busyBy is each responding replica's highest saturation gauge; the
+	// Outcome reports the (f+1)-th highest so f liars cannot inflate it.
+	busyBy map[types.ReplicaID]uint8
 }
 
 type voteKey struct {
@@ -146,6 +154,7 @@ func (e *Engine) Submit(req types.ClientRequest) []consensus.Action {
 		clientSeq:    req.FirstSeq,
 		votes:        make(map[voteKey]map[types.ReplicaID]bool),
 		localCommits: make(map[types.ReplicaID]bool),
+		busyBy:       make(map[types.ReplicaID]uint8),
 	}
 	return []consensus.Action{consensus.Send{
 		To:  types.ReplicaNode(e.Primary()),
@@ -176,8 +185,8 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		if m.View > e.view {
 			e.view = m.View
 		}
-		if m.Busy > e.cur.busy {
-			e.cur.busy = m.Busy
+		if m.Busy > e.cur.busyBy[rep] {
+			e.cur.busyBy[rep] = m.Busy
 		}
 		k := voteKey{result: m.Result}
 		if e.vote(k, rep) >= e.f+1 {
@@ -196,8 +205,8 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		if m.View > e.view {
 			e.view = m.View
 		}
-		if m.Busy > e.cur.busy {
-			e.cur.busy = m.Busy
+		if m.Busy > e.cur.busyBy[rep] {
+			e.cur.busyBy[rep] = m.Busy
 		}
 		k := voteKey{seq: m.Seq, history: m.History, result: m.Result}
 		votes := e.vote(k, rep)
@@ -245,7 +254,27 @@ func (e *Engine) complete(result types.Digest, fast bool, reads []types.ReadResu
 	} else {
 		e.stats.SlowPath++
 	}
-	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, ReadResults: reads, FastPath: fast, Busy: e.cur.busy}
+	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, ReadResults: reads, FastPath: fast, Busy: e.robustBusy()}
+}
+
+// robustBusy folds the per-replica saturation gauges into the Outcome's
+// advisory value: the (f+1)-th highest gauge across distinct responders.
+// The top f slots may all be Byzantine inflation, so the (f+1)-th is the
+// largest value at least one honest replica vouches for. Every
+// completion path has collected at least f+1 distinct responders (PBFT
+// completes at f+1 votes, Zyzzyva's slow path records gauges from its
+// 2f+1 speculative responses); if somehow fewer exist, report 0 rather
+// than a value no honest replica may back.
+func (e *Engine) robustBusy() uint8 {
+	if len(e.cur.busyBy) <= e.f {
+		return 0
+	}
+	gauges := make([]int, 0, len(e.cur.busyBy))
+	for _, g := range e.cur.busyBy {
+		gauges = append(gauges, int(g))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gauges)))
+	return uint8(gauges[e.f])
 }
 
 // OnTimeout handles the client timer expiring before completion.

@@ -328,3 +328,54 @@ func TestViewTrackingFollowsResponses(t *testing.T) {
 		t.Fatalf("submitted to %v, want r2", send.To)
 	}
 }
+
+func TestBusyGaugeRobustToByzantineInflation(t *testing.T) {
+	e, err := New(3, 4, PBFT) // f=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	result := types.ResponseDigest(1, 3, 5, nil)
+	resp := func(rep types.ReplicaID, busy uint8) *types.ClientResponse {
+		return &types.ClientResponse{Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: rep, Busy: busy}
+	}
+	// The gauge sits outside the vote key, so a Byzantine replica can
+	// stamp full saturation on an otherwise-valid response — and with a
+	// plain max its response completing the quorum would force Busy=255
+	// on every request. The outcome must report the (f+1)-th highest
+	// gauge instead: a value at least one honest replica stands behind.
+	out, _ := e.OnMessage(types.ReplicaNode(2), resp(2, 255)) // Byzantine inflation
+	if out != nil {
+		t.Fatal("completed with one response")
+	}
+	out, _ = e.OnMessage(types.ReplicaNode(0), resp(0, 10)) // honest
+	if out == nil {
+		t.Fatal("did not complete at f+1 matching responses")
+	}
+	if out.Busy != 10 {
+		t.Fatalf("Busy = %d, want the honest gauge 10, not the liar's 255", out.Busy)
+	}
+}
+
+func TestBusyGaugeReportsHonestSaturation(t *testing.T) {
+	e, err := New(3, 4, PBFT) // f=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	result := types.ResponseDigest(1, 3, 5, nil)
+	resp := func(rep types.ReplicaID, busy uint8) *types.ClientResponse {
+		return &types.ClientResponse{Seq: 1, Client: 3, ClientSeq: 5, Result: result, Replica: rep, Busy: busy}
+	}
+	// Real saturation still surfaces: with honest replicas at 200 and
+	// 240, the (f+1)-th highest of {240, 200} is 200 — admission
+	// controllers above the threshold still see the overload.
+	e.OnMessage(types.ReplicaNode(0), resp(0, 240))
+	out, _ := e.OnMessage(types.ReplicaNode(1), resp(1, 200))
+	if out == nil {
+		t.Fatal("did not complete at f+1 matching responses")
+	}
+	if out.Busy != 200 {
+		t.Fatalf("Busy = %d, want 200", out.Busy)
+	}
+}

@@ -13,15 +13,22 @@
 // must have:
 //
 //   - Retry safety. Sessions tag submits with a strictly-increasing
-//     nonce; the gateway dedups on (session, nonce), absorbing duplicates
-//     of in-flight submits and replaying cached replies for completed
-//     ones. A retried submit is acknowledged exactly once and executed
-//     exactly once, no matter how the timeout raced the response.
+//     nonce starting at 1; the gateway dedups on (session, nonce),
+//     absorbing duplicates of in-flight submits and replaying cached
+//     replies for completed ones. A retried submit is acknowledged
+//     exactly once and executed exactly once, no matter how the timeout
+//     raced the response. Dedup state is keyed gateway-wide (session ids
+//     are a gateway-global namespace), so it survives a session's
+//     connection dropping and reconnecting; idle sessions are evicted
+//     after SessionIdle.
 //   - End-to-end backpressure. Replicas stamp a queue-saturation gauge
 //     on every response (types.ClientResponse.Busy); the gateway's
 //     admission controller turns a saturated gauge or a full internal
 //     queue into an explicit StatusBusy pushback at the edge instead of
-//     letting overload surface as silent transport drops.
+//     letting overload surface as silent transport drops. A saturated
+//     gauge expires after BusyDecay without a fresh response, so a
+//     drained gateway probes its way out of saturation instead of
+//     wedging on the last overloaded reading.
 package gateway
 
 import (
@@ -77,10 +84,23 @@ type Config struct {
 	// BusyThreshold is the replica gauge (0..255) at or above which new
 	// submits are pushed back (default 230 ≈ 90% saturation).
 	BusyThreshold uint8
+	// BusyDecay is how long a stored saturation gauge keeps pushing back
+	// without being refreshed by a consensus response before admission
+	// treats it as stale and admits again (default 4×Timeout). The gauge
+	// only refreshes when an upstream request completes, so without decay
+	// a saturated reading taken just before the queue drained would wedge
+	// admission forever.
+	BusyDecay time.Duration
 	// DedupWindow is how many completed replies are cached per session
 	// for retry replay (default 8). A retry older than the window is
 	// answered StatusRejected — still never re-executed.
 	DedupWindow int
+	// SessionIdle is how long a session with nothing in flight may sit
+	// idle before its dedup state is evicted (default 5m). Session state
+	// lives in the gateway, not the connection, so a session that
+	// reconnects after a network blip keeps its dedup window until the
+	// idle deadline.
+	SessionIdle time.Duration
 	// ReplyBatch caps reply messages coalesced per outbound session frame
 	// (default 64).
 	ReplyBatch int
@@ -117,8 +137,14 @@ func (c *Config) fill() error {
 	if c.BusyThreshold == 0 {
 		c.BusyThreshold = 230
 	}
+	if c.BusyDecay <= 0 {
+		c.BusyDecay = 4 * c.Timeout
+	}
 	if c.DedupWindow <= 0 {
 		c.DedupWindow = 8
+	}
+	if c.SessionIdle <= 0 {
+		c.SessionIdle = 5 * time.Minute
 	}
 	if c.ReplyBatch <= 0 {
 		c.ReplyBatch = 64
@@ -138,7 +164,8 @@ type Stats struct {
 	// DupAbsorbed counts duplicate submits of still-in-flight nonces
 	// (answered by the original's reply); DupReplayed retries answered
 	// from the reply cache; DupRejected retries whose cached reply was
-	// already evicted (answered StatusRejected, never re-executed).
+	// already evicted, plus submits carrying the reserved nonce 0 (both
+	// answered StatusRejected, never executed twice).
 	DupAbsorbed uint64
 	DupReplayed uint64
 	DupRejected uint64
@@ -146,8 +173,16 @@ type Stats struct {
 	// upstream timeout retransmissions.
 	Requests    uint64
 	Retransmits uint64
+	// ReadMismatches counts completed upstream batches whose quorum
+	// outcome carried a read-result count different from the batch's
+	// declared reads. The batch executed, so its sessions are answered
+	// StatusRejected (dedup still advances — no re-execution) rather than
+	// StatusOK replies with silently missing or misaligned reads.
+	// Nonzero means an engine/replica bug.
+	ReadMismatches uint64
 	// Conns is the number of session connections ever accepted; Sessions
-	// the session states currently tracked across open connections.
+	// the session dedup states currently tracked (gateway-wide: they
+	// survive reconnects and are evicted after Config.SessionIdle).
 	Conns    uint64
 	Sessions uint64
 	// Busy is the latest replica queue-saturation gauge observed on a
@@ -163,17 +198,25 @@ type Gateway struct {
 	submitQ   chan *pending
 	upstreams []*upstream
 	busy      atomic.Uint32 // latest replica gauge
+	busyAt    atomic.Int64  // UnixNano when busy was last stored
 
-	accepted     atomic.Uint64
-	completed    atomic.Uint64
-	busyRejected atomic.Uint64
-	dupAbsorbed  atomic.Uint64
-	dupReplayed  atomic.Uint64
-	dupRejected  atomic.Uint64
-	requests     atomic.Uint64
-	retransmits  atomic.Uint64
-	connsTotal   atomic.Uint64
-	sessionsLive atomic.Int64
+	accepted       atomic.Uint64
+	completed      atomic.Uint64
+	busyRejected   atomic.Uint64
+	dupAbsorbed    atomic.Uint64
+	dupReplayed    atomic.Uint64
+	dupRejected    atomic.Uint64
+	requests       atomic.Uint64
+	retransmits    atomic.Uint64
+	readMismatches atomic.Uint64
+	connsTotal     atomic.Uint64
+	sessionsLive   atomic.Int64
+
+	// sessMu guards the gateway-wide session dedup table. Keying it here
+	// rather than per connection is what makes the retry contract survive
+	// a reconnect: the state outlives the pipe that created it.
+	sessMu   sync.Mutex
+	sessions map[uint64]*sessionState
 
 	mu     sync.Mutex
 	conns  map[*gwConn]struct{}
@@ -191,11 +234,12 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	g := &Gateway{
-		cfg:     cfg,
-		submitQ: make(chan *pending, cfg.QueueCap),
-		conns:   make(map[*gwConn]struct{}),
-		lns:     make(map[net.Listener]struct{}),
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		submitQ:  make(chan *pending, cfg.QueueCap),
+		sessions: make(map[uint64]*sessionState),
+		conns:    make(map[*gwConn]struct{}),
+		lns:      make(map[net.Listener]struct{}),
+		stop:     make(chan struct{}),
 	}
 	for i := 0; i < cfg.Upstreams; i++ {
 		u, err := newUpstream(g, cfg.BaseClient+types.ClientID(i))
@@ -210,23 +254,58 @@ func New(cfg Config) (*Gateway, error) {
 			u.run()
 		}()
 	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		g.evictLoop()
+	}()
 	return g, nil
+}
+
+// evictLoop retires session dedup state that has sat idle (nothing in
+// flight, no submit or completion) for SessionIdle — the bound that
+// keeps a long-lived gateway's session table proportional to its live
+// population rather than to every session id ever seen.
+func (g *Gateway) evictLoop() {
+	interval := g.cfg.SessionIdle / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-g.cfg.SessionIdle).UnixNano()
+		g.sessMu.Lock()
+		for id, st := range g.sessions {
+			if len(st.pending) == 0 && st.lastActive < cutoff {
+				delete(g.sessions, id)
+				g.sessionsLive.Add(-1)
+			}
+		}
+		g.sessMu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the gateway's counters.
 func (g *Gateway) Stats() Stats {
 	return Stats{
-		Accepted:     g.accepted.Load(),
-		Completed:    g.completed.Load(),
-		BusyRejected: g.busyRejected.Load(),
-		DupAbsorbed:  g.dupAbsorbed.Load(),
-		DupReplayed:  g.dupReplayed.Load(),
-		DupRejected:  g.dupRejected.Load(),
-		Requests:     g.requests.Load(),
-		Retransmits:  g.retransmits.Load(),
-		Conns:        g.connsTotal.Load(),
-		Sessions:     uint64(max64(g.sessionsLive.Load(), 0)),
-		Busy:         uint8(g.busy.Load()),
+		Accepted:       g.accepted.Load(),
+		Completed:      g.completed.Load(),
+		BusyRejected:   g.busyRejected.Load(),
+		DupAbsorbed:    g.dupAbsorbed.Load(),
+		DupReplayed:    g.dupReplayed.Load(),
+		DupRejected:    g.dupRejected.Load(),
+		Requests:       g.requests.Load(),
+		Retransmits:    g.retransmits.Load(),
+		ReadMismatches: g.readMismatches.Load(),
+		Conns:          g.connsTotal.Load(),
+		Sessions:       uint64(max64(g.sessionsLive.Load(), 0)),
+		Busy:           uint8(g.busy.Load()),
 	}
 }
 
@@ -265,12 +344,11 @@ func (g *Gateway) Serve(ln net.Listener) error {
 // the connection is handled until EOF, a protocol error, or Close.
 func (g *Gateway) ServeConn(c net.Conn) {
 	gc := &gwConn{
-		gw:       g,
-		c:        c,
-		bufs:     new(pool.BytePool),
-		sessions: make(map[uint64]*sessionState),
-		replyCh:  make(chan Reply, 4096),
-		done:     make(chan struct{}),
+		gw:      g,
+		c:       c,
+		bufs:    new(pool.BytePool),
+		replyCh: make(chan Reply, 4096),
+		done:    make(chan struct{}),
 	}
 	g.mu.Lock()
 	if g.closed {
@@ -315,6 +393,10 @@ func (g *Gateway) Close() {
 	}
 	g.cwg.Wait()
 	g.wg.Wait()
+	g.sessMu.Lock()
+	g.sessionsLive.Add(-int64(len(g.sessions)))
+	g.sessions = make(map[uint64]*sessionState)
+	g.sessMu.Unlock()
 	// Drain submits that raced the shutdown; their arenas must retire.
 	for {
 		select {
@@ -326,11 +408,33 @@ func (g *Gateway) Close() {
 	}
 }
 
+// noteBusy records a fresh replica saturation gauge from a completed
+// consensus request, stamping when it was observed so admission can age
+// it out.
+func (g *Gateway) noteBusy(gauge uint8) {
+	g.busy.Store(uint32(gauge))
+	g.busyAt.Store(time.Now().UnixNano())
+}
+
 // admissionBusy reports whether new work should be pushed back based on
-// the latest replica gauge.
+// the latest replica gauge. A saturated gauge older than BusyDecay is
+// expired rather than obeyed: the gauge only refreshes when an upstream
+// request completes, and a saturated admission gate sends no upstream
+// requests — without the expiry, the last reading before the queue
+// drained would pin the gateway in StatusBusy forever.
 func (g *Gateway) admissionBusy() (uint8, bool) {
 	gauge := uint8(g.busy.Load())
-	return gauge, gauge >= g.cfg.BusyThreshold
+	if gauge < g.cfg.BusyThreshold {
+		return gauge, false
+	}
+	if time.Now().UnixNano()-g.busyAt.Load() > int64(g.cfg.BusyDecay) {
+		// Stale: clear so later admissions skip the timestamp check. A
+		// concurrent noteBusy may overwrite with a fresher reading — that
+		// ordering race is benign either way.
+		g.busy.Store(0)
+		return 0, false
+	}
+	return gauge, true
 }
 
 // pending is one admitted session transaction traveling toward consensus.
@@ -347,20 +451,23 @@ type pending struct {
 
 // sessionState is the per-session dedup record: the in-flight nonce set,
 // the completed high-water mark, and a bounded ring of cached replies.
+// It lives in the Gateway's session table (session ids are a
+// gateway-global namespace), so the retry contract holds across the
+// session's connection dropping and reconnecting; lastActive drives the
+// SessionIdle eviction.
 type sessionState struct {
-	high    uint64  // highest completed nonce (0 = none yet)
-	cache   []Reply // last ≤ DedupWindow completed replies
-	pending map[uint64]struct{}
+	high       uint64  // highest completed nonce (0 = none yet)
+	cache      []Reply // last ≤ DedupWindow completed replies
+	pending    map[uint64]struct{}
+	lastActive int64 // UnixNano of the last submit or completion
 }
 
-// gwConn is one multiplexed session connection.
+// gwConn is one multiplexed session connection: a pipe for frames, not
+// the home of session state.
 type gwConn struct {
 	gw   *Gateway
 	c    net.Conn
 	bufs *pool.BytePool
-
-	mu       sync.Mutex
-	sessions map[uint64]*sessionState
 
 	replyCh chan Reply
 	done    chan struct{}
@@ -369,7 +476,9 @@ type gwConn struct {
 
 // close tears the connection down exactly once: the socket closes (which
 // unblocks the read loop) and done unblocks the write loop and any
-// upstream trying to deliver a reply.
+// upstream trying to deliver a reply. Session dedup state is untouched —
+// it belongs to the gateway and keeps answering retries after the
+// session reconnects.
 func (gc *gwConn) close() {
 	gc.once.Do(func() {
 		close(gc.done)
@@ -377,10 +486,6 @@ func (gc *gwConn) close() {
 		gc.gw.mu.Lock()
 		delete(gc.gw.conns, gc)
 		gc.gw.mu.Unlock()
-		gc.mu.Lock()
-		gc.gw.sessionsLive.Add(-int64(len(gc.sessions)))
-		gc.sessions = make(map[uint64]*sessionState)
-		gc.mu.Unlock()
 	})
 }
 
@@ -407,32 +512,42 @@ func (gc *gwConn) readLoop() {
 // that outlives the call (enqueue toward consensus).
 func (gc *gwConn) handleSubmit(s *Submit, arena *types.Arena) {
 	gw := gc.gw
-	gc.mu.Lock()
-	st := gc.sessions[s.Session]
+	// Nonce 0 is reserved: the dedup high-water mark uses 0 for "nothing
+	// completed yet", so a completed nonce 0 could never be recognized as
+	// a duplicate and its retry would re-execute. Reject it outright —
+	// the wire contract says nonces start at 1.
+	if s.Nonce == 0 {
+		gw.dupRejected.Add(1)
+		gc.deliver(Reply{Session: s.Session, Nonce: 0, Status: StatusRejected})
+		return
+	}
+	gw.sessMu.Lock()
+	st := gw.sessions[s.Session]
 	if st == nil {
 		st = &sessionState{pending: make(map[uint64]struct{})}
-		gc.sessions[s.Session] = st
+		gw.sessions[s.Session] = st
 		gw.sessionsLive.Add(1)
 	}
+	st.lastActive = time.Now().UnixNano()
 	// Dedup before admission: a retry of work already accepted must never
-	// be double-executed OR pushed back — it is answered from this
-	// connection's state alone.
+	// be double-executed OR pushed back — it is answered from the
+	// session's state alone.
 	if _, inflight := st.pending[s.Nonce]; inflight {
-		gc.mu.Unlock()
+		gw.sessMu.Unlock()
 		gw.dupAbsorbed.Add(1)
 		return // the original's reply answers this retry
 	}
-	if s.Nonce <= st.high && st.high > 0 {
+	if s.Nonce <= st.high {
 		for i := range st.cache {
 			if st.cache[i].Nonce == s.Nonce {
 				r := st.cache[i]
-				gc.mu.Unlock()
+				gw.sessMu.Unlock()
 				gw.dupReplayed.Add(1)
 				gc.deliver(r)
 				return
 			}
 		}
-		gc.mu.Unlock()
+		gw.sessMu.Unlock()
 		gw.dupRejected.Add(1)
 		gc.deliver(Reply{Session: s.Session, Nonce: s.Nonce, Status: StatusRejected})
 		return
@@ -442,7 +557,7 @@ func (gc *gwConn) handleSubmit(s *Submit, arena *types.Arena) {
 	// (same nonce) is a fresh admission attempt.
 	gauge, saturated := gw.admissionBusy()
 	if saturated {
-		gc.mu.Unlock()
+		gw.sessMu.Unlock()
 		gw.busyRejected.Add(1)
 		gc.deliver(Reply{Session: s.Session, Nonce: s.Nonce, Status: StatusBusy, Busy: gauge})
 		return
@@ -457,10 +572,10 @@ func (gc *gwConn) handleSubmit(s *Submit, arena *types.Arena) {
 	select {
 	case gw.submitQ <- p:
 		st.pending[s.Nonce] = struct{}{}
-		gc.mu.Unlock()
+		gw.sessMu.Unlock()
 		gw.accepted.Add(1)
 	default:
-		gc.mu.Unlock()
+		gw.sessMu.Unlock()
 		arena.Release() // admission failed; the pending never existed
 		gw.busyRejected.Add(1)
 		gc.deliver(Reply{Session: s.Session, Nonce: s.Nonce, Status: StatusBusy, Busy: gauge})
@@ -469,21 +584,25 @@ func (gc *gwConn) handleSubmit(s *Submit, arena *types.Arena) {
 
 // complete delivers a consensus outcome for one pending submit: the
 // session's dedup state advances, the reply is cached for retries, and
-// the pending's arena reference retires.
+// the pending's arena reference retires. The dedup update happens even
+// if the submitting connection has since closed — the transaction
+// executed, so a retry from a reconnected session must replay the
+// cached reply, never re-execute.
 func (gc *gwConn) complete(p *pending, r Reply) {
 	gw := gc.gw
-	gc.mu.Lock()
-	if st := gc.sessions[p.session]; st != nil {
+	gw.sessMu.Lock()
+	if st := gw.sessions[p.session]; st != nil {
 		delete(st.pending, p.nonce)
 		if p.nonce > st.high {
 			st.high = p.nonce
 		}
+		st.lastActive = time.Now().UnixNano()
 		st.cache = append(st.cache, r)
 		if len(st.cache) > gw.cfg.DedupWindow {
 			st.cache = st.cache[len(st.cache)-gw.cfg.DedupWindow:]
 		}
 	}
-	gc.mu.Unlock()
+	gw.sessMu.Unlock()
 	p.arena.Release()
 	gw.completed.Add(1)
 	gc.deliver(r)
@@ -491,7 +610,8 @@ func (gc *gwConn) complete(p *pending, r Reply) {
 
 // deliver hands a reply to the write loop, blocking only against a live
 // connection (backpressure toward a slow session pipe); a closed
-// connection drops the reply — its sessions are gone with it.
+// connection drops the reply — the session's dedup cache (which outlives
+// the connection) answers the inevitable retry.
 func (gc *gwConn) deliver(r Reply) {
 	select {
 	case gc.replyCh <- r:

@@ -437,9 +437,11 @@ func TestGatewayDuplicateUnderTimeoutExecutesOnce(t *testing.T) {
 }
 
 func TestGatewayBusyPushback(t *testing.T) {
+	const decay = 400 * time.Millisecond
 	c := newTestCluster(t)
 	g := newTestGateway(t, c, func(cfg *Config) {
 		cfg.BusyThreshold = 200
+		cfg.BusyDecay = decay
 	})
 	ts := dialSession(t, g)
 
@@ -452,10 +454,11 @@ func TestGatewayBusyPushback(t *testing.T) {
 	}
 	dropsBefore := drops()
 
-	// Saturate the admission gauge as a replica response would, then
-	// flood: every submit must come back as explicit StatusBusy pushback,
-	// nothing may reach the replicas, and nothing may be silently dropped.
-	g.busy.Store(255)
+	// Saturate the admission gauge as a completed consensus response
+	// would, then flood: every submit must come back as explicit
+	// StatusBusy pushback, nothing may reach the replicas, and nothing
+	// may be silently dropped.
+	g.noteBusy(255)
 	const flood = 100
 	subs := make([]Submit, 0, flood)
 	for i := 0; i < flood; i++ {
@@ -479,12 +482,92 @@ func TestGatewayBusyPushback(t *testing.T) {
 		t.Fatalf("overload leaked into %d silent transport drops", d)
 	}
 
-	// Pushback is not a wedge: once the gauge clears, the same nonce is
-	// admitted and completes.
-	g.busy.Store(0)
+	// Pushback is not a wedge: a saturated gauge can only be refreshed by
+	// a completed upstream request, and a saturated admission gate sends
+	// none — so after BusyDecay with no fresh responses the gateway must
+	// expire the stale reading on its own and admit again. No manual
+	// reset: this is the recovery path itself.
+	time.Sleep(decay + 100*time.Millisecond)
 	ts.send(Submit{Session: 0, Nonce: 1, Ops: writeOp(0, "v")})
 	if r := ts.recv(1, 5*time.Second)[0]; r.Status != StatusOK {
-		t.Fatalf("post-recovery reply: %+v", r)
+		t.Fatalf("post-decay reply: %+v", r)
+	}
+}
+
+func TestGatewayDedupSurvivesReconnect(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+	ts := dialSession(t, g)
+
+	ts.send(Submit{Session: 7, Nonce: 1, Ops: writeOp(40, "v")})
+	first := ts.recv(1, 5*time.Second)[0]
+	if first.Status != StatusOK {
+		t.Fatalf("first reply: %+v", first)
+	}
+	before := settleHeight(t, c)
+	txnsBefore := c.Replica(0).Stats().TxnsExecuted
+
+	// The session's connection drops (network blip) and it reconnects on
+	// a fresh pipe, retrying the same nonce. Dedup state lives in the
+	// gateway, not the connection: the retry must replay the cached reply
+	// — same consensus seq — and must not re-execute.
+	ts.c.Close()
+	ts2 := dialSession(t, g)
+	ts2.send(Submit{Session: 7, Nonce: 1, Ops: writeOp(40, "v")})
+	second := ts2.recv(1, 5*time.Second)[0]
+	if second.Status != StatusOK || second.Seq != first.Seq || second.Nonce != 1 {
+		t.Fatalf("retry after reconnect: %+v, want replay of %+v", second, first)
+	}
+	if after := settleHeight(t, c); after != before {
+		t.Fatalf("reconnect retry moved the ledger %d → %d", before, after)
+	}
+	if got := c.Replica(0).Stats().TxnsExecuted; got != txnsBefore {
+		t.Fatalf("reconnect retry executed: %d → %d transactions", txnsBefore, got)
+	}
+	if st := g.Stats(); st.DupReplayed != 1 {
+		t.Fatalf("stats: %+v, want DupReplayed=1", st)
+	}
+}
+
+func TestGatewayNonceZeroRejected(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+	ts := dialSession(t, g)
+
+	// Nonce 0 is reserved (the dedup high-water mark's "nothing
+	// completed" value); a completed nonce 0 could never be recognized as
+	// a duplicate, so it must be rejected before admission.
+	ts.send(Submit{Session: 1, Nonce: 0, Ops: writeOp(50, "z")})
+	r := ts.recv(1, 5*time.Second)[0]
+	if r.Status != StatusRejected || r.Nonce != 0 {
+		t.Fatalf("nonce-0 submit: %+v, want rejected", r)
+	}
+	if st := g.Stats(); st.Accepted != 0 || st.DupRejected != 1 {
+		t.Fatalf("stats: %+v, want 0 accepted, DupRejected=1", st)
+	}
+}
+
+func TestGatewaySessionIdleEviction(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, func(cfg *Config) {
+		cfg.SessionIdle = time.Second
+	})
+	ts := dialSession(t, g)
+
+	ts.send(Submit{Session: 3, Nonce: 1, Ops: writeOp(60, "v")})
+	if r := ts.recv(1, 5*time.Second)[0]; r.Status != StatusOK {
+		t.Fatalf("reply: %+v", r)
+	}
+	if st := g.Stats(); st.Sessions != 1 {
+		t.Fatalf("stats: %+v, want 1 tracked session", st)
+	}
+	// With nothing in flight, the session's dedup state must age out.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.Stats().Sessions != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session never evicted: %+v", g.Stats())
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
 

@@ -119,9 +119,33 @@ func (u *upstream) submit(batch []*pending, timer *time.Timer) {
 		return
 	}
 	u.seq += uint64(len(batch))
-	gw.busy.Store(uint32(outcome.Busy))
+	gw.noteBusy(outcome.Busy)
 	// Read results come back flattened in the request's (transaction, op)
-	// order; slice each pending's span back out.
+	// order; slice each pending's span back out. The spans only align if
+	// the outcome carries exactly the batch's declared read count — a
+	// mismatch (an engine/replica bug; the payload is quorum-digest
+	// checked) would misalign every later span, so it fails the whole
+	// batch rather than delivering StatusOK replies with wrong or missing
+	// reads. The batch did execute, so the failure is StatusRejected
+	// through complete(): dedup advances and a retry replays the
+	// rejection instead of re-executing.
+	totalReads := 0
+	for _, p := range batch {
+		totalReads += p.reads
+	}
+	if len(outcome.ReadResults) != totalReads {
+		gw.readMismatches.Add(1)
+		for i, p := range batch {
+			p.conn.complete(p, Reply{
+				Session: p.session,
+				Nonce:   p.nonce,
+				Status:  StatusRejected,
+				Seq:     outcome.ClientSeq + uint64(i),
+				Busy:    outcome.Busy,
+			})
+		}
+		return
+	}
 	off := 0
 	for i, p := range batch {
 		r := Reply{
@@ -131,7 +155,7 @@ func (u *upstream) submit(batch []*pending, timer *time.Timer) {
 			Seq:     outcome.ClientSeq + uint64(i),
 			Busy:    outcome.Busy,
 		}
-		if p.reads > 0 && off+p.reads <= len(outcome.ReadResults) {
+		if p.reads > 0 {
 			r.Reads = outcome.ReadResults[off : off+p.reads]
 		}
 		off += p.reads
@@ -181,12 +205,13 @@ func (u *upstream) await(timer *time.Timer) *clientengine.Outcome {
 // session could resubmit. No reply is sent — the connection is going
 // away with the gateway.
 func (u *upstream) abandon(batch []*pending) {
+	gw := u.gw
 	for _, p := range batch {
-		p.conn.mu.Lock()
-		if st := p.conn.sessions[p.session]; st != nil {
+		gw.sessMu.Lock()
+		if st := gw.sessions[p.session]; st != nil {
 			delete(st.pending, p.nonce)
 		}
-		p.conn.mu.Unlock()
+		gw.sessMu.Unlock()
 		p.arena.Release()
 	}
 }

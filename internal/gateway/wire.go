@@ -18,8 +18,13 @@
 //	             [u32 reads]([u8 found][blob value])...
 //
 // A session submits one transaction per message with a session-local,
-// strictly increasing nonce; the (session, nonce) pair is the retry key
-// the gateway dedups on. Replies may arrive in any order — the gateway
+// strictly increasing nonce starting at 1 (0 is reserved as the dedup
+// high-water mark's "nothing completed" value and is rejected); the
+// (session, nonce) pair is the retry key the gateway dedups on. Session
+// ids are a gateway-global namespace — dedup state is keyed by session
+// id alone so it survives reconnects, which means two connections using
+// the same session id share one dedup window. Replies may arrive in any
+// order — the gateway
 // coalesces transactions from many sessions into shared consensus
 // requests, and sessions on one connection complete independently.
 package gateway
