@@ -3,12 +3,15 @@
 // YCSB transactions and waiting for the protocol's response quorum, then
 // reports throughput and latency.
 //
-// The workload mix is controlled by -read-fraction (explicit read share
-// in [0,1]) or -workload (YCSB presets: a = 50% reads, b = 95%, c =
-// read-only); the default stays write-only. -read-mode picks how
-// read-only requests travel: quorum (default) orders them through
-// consensus, local sends them to a single replica answered from its
-// last-executed snapshot without a consensus round.
+// The workload mix is controlled by -read-fraction and -scan-fraction
+// (explicit shares in [0,1]) or -workload (YCSB presets: a = 50% reads,
+// b = 95%, c = read-only, e = 95% scans); the default stays write-only.
+// -scan-length caps the rows per range scan (the YCSB-E span).
+// -read-mode picks how write-free requests — point reads and scans
+// alike — travel: quorum (default) orders them through consensus, local
+// sends them to a single replica answered from its last-executed
+// snapshot without a consensus round, subject to the client's MinSeq
+// staleness bound (refused requests fall back to quorum).
 //
 // With -gateway ADDR the binary switches from direct per-client
 // consensus to the session load generator: -sessions lightweight
@@ -55,8 +58,10 @@ func run() int {
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "client retransmission timeout")
 	seed := flag.Int64("seed", 1, "shared key-derivation seed (must match nodes)")
 	readFraction := flag.Float64("read-fraction", 0, "fraction of read-only transactions in [0,1] (0 = write-only default, -1 explicitly disables reads)")
-	preset := flag.String("workload", "", "YCSB workload preset: a (50% reads) | b (95%) | c (read-only); empty keeps -read-fraction")
-	readMode := flag.String("read-mode", "quorum", "how read-only requests travel: quorum (ordered through consensus) | local (served by one replica from its last-executed snapshot)")
+	scanFraction := flag.Float64("scan-fraction", 0, "fraction of range-scan transactions in [0,1] (0 = none default, -1 explicitly disables scans)")
+	scanLength := flag.Int("scan-length", 0, "max rows per range scan (0 = default 100)")
+	preset := flag.String("workload", "", "YCSB workload preset: a (50% reads) | b (95%) | c (read-only) | e (95% scans); empty keeps -read-fraction/-scan-fraction")
+	readMode := flag.String("read-mode", "quorum", "how write-free requests (reads and scans) travel: quorum (ordered through consensus) | local (served by one replica from its last-executed snapshot under the client's staleness bound)")
 	netBatch := flag.Int("net-batch", transport.DefaultBatchMax, "max envelopes per TCP batch frame (1 disables transport batching)")
 	netLinger := flag.Duration("net-linger", 0, "partial TCP batch flush delay (0 flushes when the queue drains)")
 	netZeroCopy := flag.Int("net-zerocopy", 0, "zero-copy inbound frame decode from pooled buffers (0 = default on, -1 copies every frame)")
@@ -78,6 +83,8 @@ func run() int {
 			duration: *duration,
 			seed:     *seed,
 			readFrac: *readFraction,
+			scanFrac: *scanFraction,
+			scanLen:  *scanLength,
 			preset:   *preset,
 		})
 	}
@@ -118,6 +125,8 @@ func run() int {
 	start := time.Now()
 	wcfg := workload.Default()
 	wcfg.ReadFraction = *readFraction
+	wcfg.ScanFraction = *scanFraction
+	wcfg.ScanLength = *scanLength
 	wcfg.Preset = *preset
 	for i := 0; i < *clients; i++ {
 		wl, err := workload.New(wcfg, int64(i))
@@ -172,16 +181,18 @@ func run() int {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var txns, reads, writes, local, fast, slow, retx uint64
+	var txns, reads, scansN, writes, local, stale, fast, slow, retx uint64
 	var latSum time.Duration
 	var latN uint64
-	var p99, readP50, readP95, writeP50, writeP95 time.Duration
+	var p99, readP50, readP95, scanP50, scanP95, writeP50, writeP95 time.Duration
 	for _, cl := range cls {
 		s := cl.Stats()
 		txns += s.TxnsCompleted
 		reads += s.ReadTxns
+		scansN += s.ScanTxns
 		writes += s.WriteTxns
 		local += s.LocalReads
+		stale += s.StaleFallbacks
 		fast += s.FastPath
 		slow += s.SlowPath
 		retx += s.Retransmits
@@ -199,6 +210,14 @@ func run() int {
 				readP95 = v
 			}
 		}
+		if sh := cl.ScanLatency(); sh.Count() > 0 {
+			if v := sh.Percentile(50); v > scanP50 {
+				scanP50 = v
+			}
+			if v := sh.Percentile(95); v > scanP95 {
+				scanP95 = v
+			}
+		}
 		if wh := cl.WriteLatency(); wh.Count() > 0 {
 			if v := wh.Percentile(50); v > writeP50 {
 				writeP50 = v
@@ -214,9 +233,13 @@ func run() int {
 	}
 	fmt.Printf("txns=%d tput=%.0f txn/s mean=%s p99=%s fast=%d slow=%d retx=%d\n",
 		txns, stats.Throughput(txns, elapsed), mean, p99, fast, slow, retx)
-	if reads > 0 {
-		fmt.Printf("reads=%d (local=%d p50=%s p95=%s) writes=%d (p50=%s p95=%s)\n",
-			reads, local, readP50, readP95, writes, writeP50, writeP95)
+	if reads > 0 || scansN > 0 {
+		fmt.Printf("reads=%d (p50=%s p95=%s)", reads, readP50, readP95)
+		if scansN > 0 {
+			fmt.Printf(" scans=%d (p50=%s p95=%s)", scansN, scanP50, scanP95)
+		}
+		fmt.Printf(" local=%d stale=%d writes=%d (p50=%s p95=%s)\n",
+			local, stale, writes, writeP50, writeP95)
 	}
 	return 0
 }
@@ -229,6 +252,8 @@ type sessionConfig struct {
 	duration        time.Duration
 	seed            int64
 	readFrac        float64
+	scanFrac        float64
+	scanLen         int
 	preset          string
 }
 
@@ -242,6 +267,8 @@ func runSessions(sc sessionConfig) int {
 	}
 	wcfg := workload.Default()
 	wcfg.ReadFraction = sc.readFrac
+	wcfg.ScanFraction = sc.scanFrac
+	wcfg.ScanLength = sc.scanLen
 	wcfg.Preset = sc.preset
 	cfg := gateway.LoadConfig{
 		Sessions:     sc.sessions,

@@ -156,6 +156,8 @@ func All() []Experiment {
 			Paper: "a stable checkpoint licenses discarding old state (Section 4.7), and off-memory storage only stays viable if its costs stay bounded (Section 5.7) — compaction rewrites live records so log size and restart replay track live data, not history", Run: compaction},
 		{ID: "readmix", Title: "Read path: consensus-ordered vs locally-served reads under YCSB mixes (real pipeline)",
 			Paper: "the paper orders every operation through consensus; serving read-only requests from a replica's last-executed snapshot skips the three-phase round — the seq-used column shows local reads consuming no sequence numbers", Run: readmix},
+		{ID: "scans", Title: "Range scans: consensus-ordered vs locally-served scans under YCSB-E mixes (real pipeline)",
+			Paper: "the paper's transactions are opaque write payloads; general transactions add ordered range scans — fanned to every execute shard behind a write-flush barrier, merged deterministically — and the seq-used column shows write-free scans served locally under a staleness bound consuming no sequence numbers", Run: scans},
 		{ID: "allocs", Title: "Zero-copy hot path: pooled frames, arena decode, batched verification (allocation A/B)",
 			Paper: "the paper pre-allocates message buffers and pools them (Section 4.8 \"smart memory management\"); the microbenchmarks isolate each pooled mechanism and the cluster rows show heap allocations per transaction with pooling off vs on", Run: allocs},
 		{ID: "faults", Title: "Fault matrix: degraded throughput and recovery time per injected fault class (chaos harness)",

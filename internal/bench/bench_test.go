@@ -13,7 +13,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "ablation-ooo", "ablation-exec",
 		"tcpbatch", "workerscale", "execshards", "diskpipe", "compaction", "readmix",
-		"allocs", "faults", "gateway"}
+		"scans", "allocs", "faults", "gateway"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -240,6 +240,39 @@ func TestShapeReadMix(t *testing.T) {
 	}
 	if out.Metrics["readmix_seq_used_quorum_c"] <= 0 {
 		t.Fatal("consensus-ordered read-only traffic consumed no sequence numbers")
+	}
+}
+
+// TestShapeScans checks the scans experiment's invariants rather than
+// exact numbers: every row must complete scan transactions, only the
+// local-mode rows may serve scans from the local path, and the
+// consensus-ordered rows must burn sequence numbers for scan traffic.
+// (Local rows still consume some — workload E keeps a write minority —
+// so the quorum-vs-local contrast is per-scan, asserted via LocalReads.)
+func TestShapeScans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out, err := scans(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"quorum_e", "local_e", "quorum_mix", "local_mix"} {
+		if out.Metrics["scans_tput_"+key] <= 0 {
+			t.Fatalf("row %s completed no transactions", key)
+		}
+		if out.Metrics["scans_scan_txns_"+key] <= 0 {
+			t.Fatalf("row %s completed no scan transactions", key)
+		}
+	}
+	if out.Metrics["scans_local_reads_quorum_e"] != 0 || out.Metrics["scans_local_reads_quorum_mix"] != 0 {
+		t.Fatal("quorum rows served local scans")
+	}
+	if out.Metrics["scans_local_reads_local_e"] <= 0 || out.Metrics["scans_local_reads_local_mix"] <= 0 {
+		t.Fatal("local rows served no local scans")
+	}
+	if out.Metrics["scans_seq_used_quorum_e"] <= 0 {
+		t.Fatal("consensus-ordered scan traffic consumed no sequence numbers")
 	}
 }
 

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"resilientdb/internal/cluster"
+	"resilientdb/internal/workload"
+)
+
+// scans measures range-scan transactions — the general-transaction path
+// that fans one scan to every execute shard after a write-flush barrier
+// and merges the per-shard sorted fragments — under YCSB-E shapes on the
+// real 4-replica pipeline:
+//
+//   - workload E (95% scans, 5% writes): the standard scan-heavy mix.
+//     Writes keep the flush barrier live, so every scan pays the
+//     fan-out/merge cost the coordinator actually incurs.
+//   - scan-mix (50% scans, 25% reads, 25% writes): scans, point reads,
+//     and writes interleave, exercising the write>scan>read request
+//     classification and all three latency splits at once.
+//
+// Each shape runs once through consensus ("quorum") and once through the
+// local read path: a write-free scan request is served by one replica's
+// last-retired snapshot, subject to the client's MinSeq staleness bound.
+// The seq-used column is the backup's ledger-height growth during the
+// measured window — local scans consume sequence numbers only for the
+// write minority, while quorum rows burn a slot per batch for scans too.
+// The stale column counts scans every replica refused under the
+// staleness bound (re-run through quorum); on this single-process
+// cluster replicas retire promptly, so it stays at or near zero.
+//
+// The same few-core percentile caveat as readmix applies: dozens of
+// runnable closed-loop clients share the cores, so the max-across-
+// clients percentiles pick up run-queue wait. The throughput, local,
+// seq-used, and stale columns are the robust quantities.
+func scans(s Scale) (Outcome, error) {
+	warmup := 300 * time.Millisecond
+	window := 600 * time.Millisecond
+	clients := 48
+	if s == ScalePaper {
+		warmup = 1 * time.Second
+		window = 2 * time.Second
+		clients = 160
+	}
+
+	type row struct {
+		name string
+		wl   func() workload.Config
+		mode string
+	}
+	presetE := func() workload.Config {
+		wl := workload.Default()
+		wl.Records = 4096
+		wl.Preset = "e"
+		wl.ScanLength = 16
+		return wl
+	}
+	scanMix := func() workload.Config {
+		wl := workload.Default()
+		wl.Records = 4096
+		wl.ReadFraction = 0.25
+		wl.ScanFraction = 0.5
+		wl.ScanLength = 16
+		return wl
+	}
+	rows := []row{
+		{name: "quorum-e", wl: presetE, mode: "quorum"},
+		{name: "local-e", wl: presetE, mode: "local"},
+		{name: "quorum-mix", wl: scanMix, mode: "quorum"},
+		{name: "local-mix", wl: scanMix, mode: "local"},
+	}
+
+	tab := Table{
+		Title: "Range scans: consensus-ordered vs locally-served under YCSB-E mixes (PBFT, real pipeline, E=4)",
+		Columns: []string{"row", "tput", "scan p50", "scan p95", "scan p99",
+			"local", "stale", "seq used"},
+	}
+	metrics := map[string]float64{}
+
+	for _, r := range rows {
+		res, seqUsed, err := runScanMix(r.wl(), r.mode, clients, warmup, window)
+		if err != nil {
+			return Outcome{}, err
+		}
+		tab.AddRow(r.name, ktps(res.Throughput),
+			ms(res.ScanP50Lat), ms(res.ScanP95Lat), ms(res.ScanP99Lat),
+			fmt.Sprintf("%d", res.LocalReads),
+			fmt.Sprintf("%d", res.StaleFallbacks),
+			fmt.Sprintf("%d", seqUsed))
+
+		key := strings.ReplaceAll(r.name, "-", "_")
+		metrics["scans_tput_"+key] = res.Throughput
+		metrics["scans_scan_p50_ms_"+key] = float64(res.ScanP50Lat) / 1e6
+		metrics["scans_scan_p95_ms_"+key] = float64(res.ScanP95Lat) / 1e6
+		metrics["scans_scan_p99_ms_"+key] = float64(res.ScanP99Lat) / 1e6
+		metrics["scans_scan_txns_"+key] = float64(res.ScanTxns)
+		metrics["scans_local_reads_"+key] = float64(res.LocalReads)
+		metrics["scans_stale_fallbacks_"+key] = float64(res.StaleFallbacks)
+		metrics["scans_seq_used_"+key] = float64(seqUsed)
+	}
+	return Outcome{Tables: []Table{tab}, Metrics: metrics}, nil
+}
+
+// runScanMix runs one PBFT cluster over the given scan-bearing workload
+// and read mode: a warmup window whose counters are discarded, then the
+// measured window. It returns the measured result plus the backup's
+// ledger-height growth across the measured window (the sequence numbers
+// the load actually consumed).
+func runScanMix(wl workload.Config, mode string, clients int, warmup, window time.Duration) (cluster.Result, uint64, error) {
+	c, err := cluster.New(cluster.Options{
+		N:                  4,
+		Clients:            clients,
+		Burst:              2,
+		BatchSize:          20,
+		ExecuteThreads:     4,
+		ExecPipelineDepth:  2,
+		Workload:           wl,
+		CheckpointInterval: 25,
+		Seed:               13,
+		ReadMode:           mode,
+		PreloadTable:       true,
+	})
+	if err != nil {
+		return cluster.Result{}, 0, err
+	}
+	c.Start()
+	defer c.Stop()
+	ctx := context.Background()
+	c.Run(ctx, warmup)
+	before := c.Replica(1).Ledger().Height()
+	res := c.Run(ctx, window)
+	seqUsed := c.Replica(1).Ledger().Height() - before
+	return res, seqUsed, nil
+}

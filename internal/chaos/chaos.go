@@ -457,9 +457,23 @@ func (e *endpoint) forgedResponse(env *types.Envelope) *types.Envelope {
 		return nil
 	}
 	rr := &cr.ReadResults[0]
-	if len(rr.Value) > 0 {
+	switch {
+	case rr.Scan && len(rr.Rows) > 1:
+		// Truncate the scan: drop the tail rows but keep the digest.
+		rr.Rows = rr.Rows[:len(rr.Rows)-1]
+	case rr.Scan && len(rr.Rows) == 1:
+		// Mutate the lone row's value (or key when the value is empty).
+		if len(rr.Rows[0].Value) > 0 {
+			rr.Rows[0].Value[0] ^= 0xFF
+		} else {
+			rr.Rows[0].Key ^= 1
+		}
+	case rr.Scan:
+		// Invent a row in an honestly empty scan.
+		rr.Rows = []types.ScanRow{{Key: 0xF0F0, Value: []byte{0xAB}}}
+	case len(rr.Value) > 0:
 		rr.Value[0] ^= 0xFF
-	} else {
+	default:
 		rr.Found = !rr.Found
 		rr.Value = []byte{0xAB}
 	}

@@ -22,6 +22,11 @@ func MalformedBodies() [][]byte {
 		{0xFF, 0xFF, 0xFF, 0xFF}, // huge first count/field
 		{0x00, 0x00, 0x00, 0x01}, // count 1 with no elements behind it
 		make([]byte, 64),         // zeros: plausible prefix, bad tail
+		// Scan-bearing shapes: a typed-op arm cut off mid-scan (kind 2,
+		// key, no end/limit/value) and a count followed by a scan marker
+		// claiming a huge row count with nothing behind it.
+		{0x00, 0x00, 0x00, 0x01, 0x02, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		{0x00, 0x00, 0x00, 0x01, 0x02, 0xFF, 0xFF, 0xFF, 0xFF},
 	}
 }
 

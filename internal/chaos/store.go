@@ -56,22 +56,26 @@ func (sf *StoreFaults) before() error {
 
 // WrapStore wraps st with sf's write-fault injection. The wrapper
 // preserves the inner store's optional capabilities exactly — the replica
-// type-asserts store.Batcher, store.SyncStatser, and store.Compactor, so
-// a wrapped ShardedDiskStore must still advertise all three and a
-// wrapped MemStore must not grow SyncStats it cannot honestly report.
+// type-asserts store.Batcher, store.SyncStatser, store.Compactor, and
+// store.Scanner, so a wrapped ShardedDiskStore must still advertise all
+// of them and a wrapped MemStore must not grow SyncStats it cannot
+// honestly report. All three backends implement Scanner, so each typed
+// variant requires it; a capability combination with no matching backend
+// falls back to the capability-free core.
 // Its signature (modulo the receiver) matches cluster.Options.StoreWrapper.
 func (sf *StoreFaults) WrapStore(st store.Store) store.Store {
 	base := faultStore{inner: st, sf: sf}
 	b, isB := st.(store.Batcher)
 	s, isS := st.(store.SyncStatser)
 	c, isC := st.(store.Compactor)
+	sc, isSc := st.(store.Scanner)
 	switch {
-	case isB && isS && isC: // ShardedDiskStore
-		return &faultStoreBSC{faultStore: base, b: b, s: s, c: c}
-	case isS && isC: // DiskStore
-		return &faultStoreSC{faultStore: base, s: s, c: c}
-	case isB: // MemStore
-		return &faultStoreB{faultStore: base, b: b}
+	case isB && isS && isC && isSc: // ShardedDiskStore
+		return &faultStoreBSC{faultStore: base, b: b, s: s, c: c, sc: sc}
+	case isS && isC && isSc: // DiskStore
+		return &faultStoreSC{faultStore: base, s: s, c: c, sc: sc}
+	case isB && isSc: // MemStore
+		return &faultStoreB{faultStore: base, b: b, sc: sc}
 	default:
 		return &faultStore{inner: st, sf: sf}
 	}
@@ -104,27 +108,36 @@ func (f *faultStore) putMany(b store.Batcher, kvs []store.KV) error {
 
 type faultStoreB struct {
 	faultStore
-	b store.Batcher
+	b  store.Batcher
+	sc store.Scanner
 }
 
 func (f *faultStoreB) PutMany(kvs []store.KV) error { return f.putMany(f.b, kvs) }
+func (f *faultStoreB) Scan(start, end uint64, fn func(uint64, []byte) bool) error {
+	return f.sc.Scan(start, end, fn)
+}
 
 type faultStoreSC struct {
 	faultStore
-	s store.SyncStatser
-	c store.Compactor
+	s  store.SyncStatser
+	c  store.Compactor
+	sc store.Scanner
 }
 
 func (f *faultStoreSC) SyncStats() store.SyncStats       { return f.s.SyncStats() }
 func (f *faultStoreSC) MaybeCompact() (int, error)       { return f.c.MaybeCompact() }
 func (f *faultStoreSC) Compact() error                   { return f.c.Compact() }
 func (f *faultStoreSC) CompactStats() store.CompactStats { return f.c.CompactStats() }
+func (f *faultStoreSC) Scan(start, end uint64, fn func(uint64, []byte) bool) error {
+	return f.sc.Scan(start, end, fn)
+}
 
 type faultStoreBSC struct {
 	faultStore
-	b store.Batcher
-	s store.SyncStatser
-	c store.Compactor
+	b  store.Batcher
+	s  store.SyncStatser
+	c  store.Compactor
+	sc store.Scanner
 }
 
 func (f *faultStoreBSC) PutMany(kvs []store.KV) error     { return f.putMany(f.b, kvs) }
@@ -132,14 +145,20 @@ func (f *faultStoreBSC) SyncStats() store.SyncStats       { return f.s.SyncStats
 func (f *faultStoreBSC) MaybeCompact() (int, error)       { return f.c.MaybeCompact() }
 func (f *faultStoreBSC) Compact() error                   { return f.c.Compact() }
 func (f *faultStoreBSC) CompactStats() store.CompactStats { return f.c.CompactStats() }
+func (f *faultStoreBSC) Scan(start, end uint64, fn func(uint64, []byte) bool) error {
+	return f.sc.Scan(start, end, fn)
+}
 
 // Compile-time capability checks: the wrappers must mirror the backends.
 var (
 	_ store.Store       = (*faultStore)(nil)
 	_ store.Batcher     = (*faultStoreB)(nil)
+	_ store.Scanner     = (*faultStoreB)(nil)
 	_ store.SyncStatser = (*faultStoreSC)(nil)
 	_ store.Compactor   = (*faultStoreSC)(nil)
+	_ store.Scanner     = (*faultStoreSC)(nil)
 	_ store.Batcher     = (*faultStoreBSC)(nil)
 	_ store.SyncStatser = (*faultStoreBSC)(nil)
 	_ store.Compactor   = (*faultStoreBSC)(nil)
+	_ store.Scanner     = (*faultStoreBSC)(nil)
 )

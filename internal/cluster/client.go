@@ -61,13 +61,18 @@ type ClientStats struct {
 	FastPath      uint64
 	SlowPath      uint64
 	Retransmits   uint64
-	// ReadTxns and WriteTxns split TxnsCompleted by request kind: a
-	// request whose transactions are all reads counts as reads, anything
-	// else as writes. LocalReads counts the read-only requests served by
-	// the consensus-bypassing local path.
-	ReadTxns   uint64
-	WriteTxns  uint64
-	LocalReads uint64
+	// ReadTxns, ScanTxns, and WriteTxns split TxnsCompleted by request
+	// kind — write beats scan beats read: a request carrying any write
+	// counts as writes, else any scan counts as scans, else reads.
+	// LocalReads counts the write-free requests served by the
+	// consensus-bypassing local path. StaleFallbacks counts local reads a
+	// replica refused under the client's staleness bound (MinSeq), which
+	// then re-ran through the quorum path.
+	ReadTxns       uint64
+	ScanTxns       uint64
+	WriteTxns      uint64
+	LocalReads     uint64
+	StaleFallbacks uint64
 }
 
 // Client is a closed-loop load generator: it keeps exactly one request in
@@ -80,14 +85,24 @@ type Client struct {
 	encHint  int            // largest body marshalled so far (single-goroutine use in Run)
 	latency  *stats.Histogram
 	readLat  *stats.Histogram
+	scanLat  *stats.Histogram
 	writeLat *stats.Histogram
 
-	txns       uint64
-	readTxns   uint64
-	writeTxns  uint64
-	localReads uint64
-	localRetx  uint64
-	requests   uint64
+	txns           uint64
+	readTxns       uint64
+	scanTxns       uint64
+	writeTxns      uint64
+	localReads     uint64
+	localRetx      uint64
+	staleFallbacks uint64
+	requests       uint64
+	// maxSeq is the highest quorum-attested sequence number observed in
+	// completed outcomes: the staleness bound (ReadRequest.MinSeq) later
+	// local reads demand. A lone replica's ReadReply.Seq never advances it
+	// — that stamp is one replica's unattested claim, and trusting it
+	// would let a Byzantine replica inflate the bound until every honest
+	// replica looks stale.
+	maxSeq uint64
 }
 
 // NewClient creates a client runtime.
@@ -118,6 +133,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		auth:     cfg.Directory.NodeAuth(types.ClientNode(cfg.ID)),
 		latency:  &stats.Histogram{},
 		readLat:  &stats.Histogram{},
+		scanLat:  &stats.Histogram{},
 		writeLat: &stats.Histogram{},
 	}
 	if cfg.PooledEncode >= 0 {
@@ -129,10 +145,14 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 // Latency exposes the client's latency histogram.
 func (c *Client) Latency() *stats.Histogram { return c.latency }
 
-// ReadLatency and WriteLatency expose the per-kind latency split: a
-// request whose transactions are all reads records into the read
-// histogram, anything carrying a write into the write one.
+// ReadLatency, ScanLatency, and WriteLatency expose the per-kind latency
+// split, classified write over scan over read: a request carrying any
+// write records into the write histogram, else any scan into the scan
+// one, else into the read one.
 func (c *Client) ReadLatency() *stats.Histogram { return c.readLat }
+
+// ScanLatency is the range-scan member of the per-kind latency split.
+func (c *Client) ScanLatency() *stats.Histogram { return c.scanLat }
 
 // WriteLatency is ReadLatency's write-side counterpart.
 func (c *Client) WriteLatency() *stats.Histogram { return c.writeLat }
@@ -141,14 +161,16 @@ func (c *Client) WriteLatency() *stats.Histogram { return c.writeLat }
 func (c *Client) Stats() ClientStats {
 	es := c.engine.Stats()
 	return ClientStats{
-		TxnsCompleted: c.txns,
-		Requests:      c.requests,
-		FastPath:      es.FastPath,
-		SlowPath:      es.SlowPath,
-		Retransmits:   es.Retransmits + c.localRetx,
-		ReadTxns:      c.readTxns,
-		WriteTxns:     c.writeTxns,
-		LocalReads:    c.localReads,
+		TxnsCompleted:  c.txns,
+		Requests:       c.requests,
+		FastPath:       es.FastPath,
+		SlowPath:       es.SlowPath,
+		Retransmits:    es.Retransmits + c.localRetx,
+		ReadTxns:       c.readTxns,
+		ScanTxns:       c.scanTxns,
+		WriteTxns:      c.writeTxns,
+		LocalReads:     c.localReads,
+		StaleFallbacks: c.staleFallbacks,
 	}
 }
 
@@ -162,17 +184,25 @@ func (c *Client) Run(ctx context.Context) {
 
 	for ctx.Err() == nil {
 		req := c.cfg.Workload.NextRequest(c.cfg.ID, clientSeq, c.cfg.Burst)
-		readOnly := requestReadOnly(&req)
-		if readOnly && c.cfg.ReadMode == "local" {
-			// Consensus-bypassing path: the read-only request is answered
-			// by a single replica from its last-executed state. The
-			// client sequence still advances — replica-side dedup compares
-			// with <=, so gaps in the write stream are harmless.
-			if !c.localRead(ctx, inbox, &req, clientSeq, timer) {
+		class := requestClass(&req)
+		if class != classWrite && c.cfg.ReadMode == "local" {
+			// Consensus-bypassing path: the write-free request (point
+			// reads and scans) is answered by a single replica from its
+			// last-executed state, bounded by MinSeq. The client sequence
+			// still advances — replica-side dedup compares with <=, so
+			// gaps in the write stream are harmless.
+			switch c.localRead(ctx, inbox, &req, clientSeq, class, timer) {
+			case localDone:
+				clientSeq += uint64(c.cfg.Burst)
+				continue
+			case localAborted:
 				return
+			case localStale:
+				// Every reachable replica lags the client's staleness
+				// bound; re-run this request through the quorum path,
+				// which serves it from ordered execution.
+				c.staleFallbacks++
 			}
-			clientSeq += uint64(c.cfg.Burst)
-			continue
 		}
 		sig, err := c.auth.Sign(types.ReplicaNode(0), req.SigningBytes())
 		if err != nil {
@@ -215,7 +245,10 @@ func (c *Client) Run(ctx context.Context) {
 				outcome, acts := c.engine.OnMessage(from, msg)
 				c.dispatch(acts)
 				if outcome != nil {
-					c.record(time.Since(start), readOnly)
+					if s := uint64(outcome.Seq); s > c.maxSeq {
+						c.maxSeq = s
+					}
+					c.record(time.Since(start), class)
 					clientSeq += uint64(c.cfg.Burst)
 					break waitResponse
 				}
@@ -227,30 +260,61 @@ func (c *Client) Run(ctx context.Context) {
 	}
 }
 
+// requestClass partitions requests for routing and the latency split:
+// write beats scan beats read.
+type reqClass int
+
+const (
+	classRead reqClass = iota
+	classScan
+	classWrite
+)
+
 // record books one completed request into the overall and per-kind
 // latency histograms and transaction counters.
-func (c *Client) record(d time.Duration, readOnly bool) {
+func (c *Client) record(d time.Duration, class reqClass) {
 	c.latency.Record(d)
 	c.txns += uint64(c.cfg.Burst)
-	if readOnly {
-		c.readLat.Record(d)
-		c.readTxns += uint64(c.cfg.Burst)
-	} else {
+	switch class {
+	case classWrite:
 		c.writeLat.Record(d)
 		c.writeTxns += uint64(c.cfg.Burst)
+	case classScan:
+		c.scanLat.Record(d)
+		c.scanTxns += uint64(c.cfg.Burst)
+	default:
+		c.readLat.Record(d)
+		c.readTxns += uint64(c.cfg.Burst)
 	}
 }
 
-// localRead issues one read-only request as a ReadRequest against a
+// localReadStatus is localRead's outcome: answered, aborted (context or
+// inbox gone), or refused under the staleness bound.
+type localReadStatus int
+
+const (
+	localDone localReadStatus = iota
+	localAborted
+	localStale
+)
+
+// localRead issues one write-free request as a ReadRequest against a
 // single replica and waits for its ReadReply, rotating to the next
 // replica on timeout (a crashed or lagging server must not wedge the
-// client). It reports false when the context ended or the inbox closed.
-func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, req *types.ClientRequest, clientSeq uint64, timer *time.Timer) bool {
+// client). The request carries the client's staleness bound: a replica
+// whose last-retired sequence trails maxSeq answers with no results, and
+// after every replica refused once the client reports localStale so the
+// caller reissues the request through the quorum path.
+func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, req *types.ClientRequest, clientSeq uint64, class reqClass, timer *time.Timer) localReadStatus {
+	keys, scans := readOps(req)
 	msg := &types.ReadRequest{
 		Client:    c.cfg.ID,
 		ClientSeq: clientSeq,
-		Keys:      readKeys(req),
+		Keys:      keys,
+		MinSeq:    types.SeqNum(c.maxSeq),
+		Scans:     scans,
 	}
+	refusals := 0
 	// Spread clients across replicas so local reads scale with n instead
 	// of piling onto the primary.
 	target := int(uint32(c.cfg.ID)) % c.cfg.N
@@ -269,10 +333,10 @@ func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, re
 	for {
 		select {
 		case <-ctx.Done():
-			return false
+			return localAborted
 		case env, ok := <-inbox:
 			if !ok {
-				return false
+				return localAborted
 			}
 			if err := c.auth.Verify(env.From, env.Body, env.Auth); err != nil {
 				env.Release()
@@ -287,9 +351,22 @@ func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, re
 			if !ok || reply.Client != c.cfg.ID || reply.ClientSeq != clientSeq {
 				continue // stale consensus response or reply to an older read
 			}
-			c.record(time.Since(start), true)
+			if len(reply.Results) == 0 && len(keys)+len(scans) > 0 {
+				// Staleness refusal: this replica's retired state trails
+				// MinSeq. Try the next replica; once every replica refused,
+				// hand the request back for the quorum path.
+				refusals++
+				if refusals >= c.cfg.N {
+					return localStale
+				}
+				target = (target + 1) % c.cfg.N
+				c.transmit(self, types.ReplicaNode(types.ReplicaID(target)), msg)
+				timer.Reset(c.cfg.Timeout)
+				continue
+			}
+			c.record(time.Since(start), class)
 			c.localReads++
-			return true
+			return localDone
 		case <-timer.C:
 			c.localRetx++
 			target = (target + 1) % c.cfg.N
@@ -299,29 +376,44 @@ func (c *Client) localRead(ctx context.Context, inbox <-chan *types.Envelope, re
 	}
 }
 
-// requestReadOnly reports whether every operation in the request is a
-// read; a mixed burst counts as a write and goes through consensus.
-func requestReadOnly(req *types.ClientRequest) bool {
+// requestClass classifies a request write > scan > read: any write makes
+// it a write request (it must travel through consensus), otherwise any
+// scan makes it a scan request, otherwise it is a point-read request. An
+// empty request counts as a write so it never rides the local read path.
+func requestClass(req *types.ClientRequest) reqClass {
+	if len(req.Txns) == 0 {
+		return classWrite
+	}
+	class := classRead
 	for i := range req.Txns {
 		for j := range req.Txns[i].Ops {
-			if req.Txns[i].Ops[j].Kind != types.OpRead {
-				return false
+			switch req.Txns[i].Ops[j].Kind {
+			case types.OpScan:
+				class = classScan
+			case types.OpRead:
+			default:
+				return classWrite
 			}
 		}
 	}
-	return len(req.Txns) > 0
+	return class
 }
 
-// readKeys flattens a read-only request's keys in (transaction, op)
-// order — the order ReadReply results come back in.
-func readKeys(req *types.ClientRequest) []uint64 {
-	var keys []uint64
+// readOps flattens a write-free request into the ReadRequest shape: point
+// keys and scan descriptors, each in (transaction, op) order — the order
+// ReadReply results come back in (keys first, then scans).
+func readOps(req *types.ClientRequest) (keys []uint64, scans []types.Op) {
 	for i := range req.Txns {
 		for j := range req.Txns[i].Ops {
-			keys = append(keys, req.Txns[i].Ops[j].Key)
+			op := &req.Txns[i].Ops[j]
+			if op.Kind == types.OpScan {
+				scans = append(scans, types.Op{Kind: types.OpScan, Key: op.Key, EndKey: op.EndKey, Limit: op.Limit})
+				continue
+			}
+			keys = append(keys, op.Key)
 		}
 	}
-	return keys
+	return keys, scans
 }
 
 // dispatch signs and transmits client engine actions.

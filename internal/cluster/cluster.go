@@ -230,26 +230,41 @@ type Result struct {
 	FastPath   uint64
 	SlowPath   uint64
 	Retransmit uint64
-	// Read/write split: ReadTxns counts transactions from read-only
-	// requests (however they traveled), WriteTxns the rest; the per-kind
-	// percentiles come from separate histograms. LocalReads counts the
-	// read-only requests served by the consensus-bypassing local path.
-	ReadTxns    uint64
-	WriteTxns   uint64
-	LocalReads  uint64
-	ReadP50Lat  time.Duration
-	ReadP95Lat  time.Duration
-	WriteP50Lat time.Duration
-	WriteP95Lat time.Duration
+	// Read/scan/write split, classified write over scan over read:
+	// ReadTxns counts transactions from point-read-only requests (however
+	// they traveled), ScanTxns those from write-free requests carrying a
+	// range scan, WriteTxns the rest; the per-kind percentiles come from
+	// separate histograms. LocalReads counts the write-free requests
+	// served by the consensus-bypassing local path and StaleFallbacks the
+	// ones every replica refused under the staleness bound, re-run through
+	// quorum.
+	ReadTxns       uint64
+	ScanTxns       uint64
+	WriteTxns      uint64
+	LocalReads     uint64
+	StaleFallbacks uint64
+	ReadP50Lat     time.Duration
+	ReadP95Lat     time.Duration
+	ReadP99Lat     time.Duration
+	ScanP50Lat     time.Duration
+	ScanP95Lat     time.Duration
+	ScanP99Lat     time.Duration
+	WriteP50Lat    time.Duration
+	WriteP95Lat    time.Duration
+	WriteP99Lat    time.Duration
 }
 
 // String renders a compact one-line summary.
 func (r Result) String() string {
 	s := fmt.Sprintf("txns=%d tput=%.0f txn/s mean=%s p50=%s p99=%s fast=%d slow=%d retx=%d",
 		r.Txns, r.Throughput, r.MeanLat, r.P50Lat, r.P99Lat, r.FastPath, r.SlowPath, r.Retransmit)
-	if r.ReadTxns > 0 {
-		s += fmt.Sprintf(" reads=%d(local=%d p50=%s p95=%s) writes=%d(p50=%s p95=%s)",
-			r.ReadTxns, r.LocalReads, r.ReadP50Lat, r.ReadP95Lat, r.WriteTxns, r.WriteP50Lat, r.WriteP95Lat)
+	if r.ReadTxns > 0 || r.ScanTxns > 0 {
+		s += fmt.Sprintf(" reads=%d(p50=%s p95=%s)", r.ReadTxns, r.ReadP50Lat, r.ReadP95Lat)
+		if r.ScanTxns > 0 {
+			s += fmt.Sprintf(" scans=%d(p50=%s p95=%s)", r.ScanTxns, r.ScanP50Lat, r.ScanP95Lat)
+		}
+		s += fmt.Sprintf(" local=%d stale=%d writes=%d(p50=%s p95=%s)",
+			r.LocalReads, r.StaleFallbacks, r.WriteTxns, r.WriteP50Lat, r.WriteP95Lat)
 	}
 	return s
 }
@@ -645,19 +660,22 @@ func (c *Cluster) Run(ctx context.Context, d time.Duration) Result {
 		res.SlowPath += s.SlowPath - before[i].SlowPath
 		res.Retransmit += s.Retransmits - before[i].Retransmits
 		res.ReadTxns += s.ReadTxns - before[i].ReadTxns
+		res.ScanTxns += s.ScanTxns - before[i].ScanTxns
 		res.WriteTxns += s.WriteTxns - before[i].WriteTxns
 		res.LocalReads += s.LocalReads - before[i].LocalReads
+		res.StaleFallbacks += s.StaleFallbacks - before[i].StaleFallbacks
 	}
 	res.Throughput = stats.Throughput(res.Txns, elapsed)
 	res.MeanLat, res.P50Lat, res.P99Lat = c.aggregateLatency()
-	res.ReadP50Lat, res.ReadP95Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.ReadLatency() })
-	res.WriteP50Lat, res.WriteP95Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.WriteLatency() })
+	res.ReadP50Lat, res.ReadP95Lat, res.ReadP99Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.ReadLatency() })
+	res.ScanP50Lat, res.ScanP95Lat, res.ScanP99Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.ScanLatency() })
+	res.WriteP50Lat, res.WriteP95Lat, res.WriteP99Lat = c.aggregateSplit(func(cl *Client) *stats.Histogram { return cl.WriteLatency() })
 	return res
 }
 
-// aggregateSplit reports the worst per-client P50/P95 of one latency
+// aggregateSplit reports the worst per-client P50/P95/P99 of one latency
 // split, mirroring aggregateLatency's conservative max-across-clients.
-func (c *Cluster) aggregateSplit(h func(*Client) *stats.Histogram) (p50, p95 time.Duration) {
+func (c *Cluster) aggregateSplit(h func(*Client) *stats.Histogram) (p50, p95, p99 time.Duration) {
 	for _, cl := range c.clients {
 		hist := h(cl)
 		if hist.Count() == 0 {
@@ -669,8 +687,11 @@ func (c *Cluster) aggregateSplit(h func(*Client) *stats.Histogram) (p50, p95 tim
 		if v := hist.Percentile(95); v > p95 {
 			p95 = v
 		}
+		if v := hist.Percentile(99); v > p99 {
+			p99 = v
+		}
 	}
-	return p50, p95
+	return p50, p95, p99
 }
 
 func (c *Cluster) aggregateLatency() (mean, p50, p99 time.Duration) {
@@ -716,6 +737,59 @@ func (c *Cluster) WaitForHeight(h uint64, timeout time.Duration, live func(int) 
 			return minH
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// WaitForQuiesce blocks until every live replica's ledger agrees on one
+// height and every live replica has executed and retired through it, or
+// the timeout expires; it reports whether the cluster settled. Store
+// comparisons across replicas need this, not WaitForHeight: the ledger
+// height tracks commitment, execution trails it, and a replica that has
+// committed to height H may still be applying batch H-2 while a peer
+// has already retired past H — their stores legitimately differ until
+// retirement converges.
+// A momentary agreement is not enough: requests already inside the
+// pipeline when the load stops (inbox queues, the batch linger) can
+// still commit a straggler batch after a snapshot observes agreement,
+// so the settled state must also hold still for a dwell window before
+// it is trusted.
+func (c *Cluster) WaitForQuiesce(timeout time.Duration, live func(int) bool) bool {
+	const dwell = 100 * time.Millisecond
+	deadline := time.Now().Add(timeout)
+	var settledAt time.Time
+	var settledMax uint64
+	for {
+		var max uint64
+		for i, r := range c.replicas {
+			if live != nil && !live(i) {
+				continue
+			}
+			if h := r.Ledger().Height(); h > max {
+				max = h
+			}
+		}
+		settled := true
+		for i, r := range c.replicas {
+			if live != nil && !live(i) {
+				continue
+			}
+			if r.Ledger().Height() != max || uint64(r.LastRetired()) < max {
+				settled = false
+				break
+			}
+		}
+		now := time.Now()
+		if !settled {
+			settledAt = time.Time{}
+		} else if settledAt.IsZero() || max != settledMax {
+			settledAt, settledMax = now, max
+		} else if now.Sub(settledAt) >= dwell {
+			return true
+		}
+		if now.After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -194,6 +194,12 @@ func TestClusterExecuteShards(t *testing.T) {
 	if got := c.WaitForHeight(target, 5*time.Second, nil); got < target {
 		t.Fatalf("backups stuck at height %d < %d", got, target)
 	}
+	// Height tracks commitment; the stores reflect retirement, which
+	// trails it. Compare stores only once every replica has retired
+	// through one agreed height.
+	if !c.WaitForQuiesce(5*time.Second, nil) {
+		t.Fatal("cluster did not quiesce: ledgers or retirement still diverge")
+	}
 	for i := 0; i < opts.N; i++ {
 		s := c.Replica(i).Stats()
 		if s.ExecShards != 4 || len(s.ExecShardBusyNS) != 4 {
@@ -245,6 +251,9 @@ func TestClusterExecutionAppliesWrites(t *testing.T) {
 	target := c.Replica(0).Ledger().Height()
 	if got := c.WaitForHeight(target, 5*time.Second, nil); got < target {
 		t.Fatalf("backups stuck at height %d < %d", got, target)
+	}
+	if !c.WaitForQuiesce(5*time.Second, nil) {
+		t.Fatal("cluster did not quiesce: ledgers or retirement still diverge")
 	}
 	// Executed writes must be visible in every replica's store, and all
 	// stores must agree on the record count (same writes applied).
@@ -480,6 +489,60 @@ func TestLocalReadsBypassConsensus(t *testing.T) {
 			t.Fatalf("replica %d sequenced work under a local-read-only load: proposed=%d height=%d",
 				i, s.BatchesProposed, s.LedgerHeight)
 		}
+	}
+}
+
+// TestClusterScanMix: a write/read/scan mix in the default quorum mode
+// completes all three transaction kinds through consensus — scans execute
+// on every replica, their rows come back under the f+1 attested result
+// digest, and the ledgers agree.
+func TestClusterScanMix(t *testing.T) {
+	opts := smallOpts()
+	opts.Workload.ReadFraction = 0.25
+	opts.Workload.ScanFraction = 0.25
+	opts.Workload.ScanLength = 16
+	opts.PreloadTable = true
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.ReadTxns == 0 || res.ScanTxns == 0 || res.WriteTxns == 0 {
+		t.Fatalf("mixed workload did not complete all kinds: %s", res)
+	}
+	if res.LocalReads != 0 {
+		t.Fatalf("quorum mode used the local read path: %s", res)
+	}
+	if res.ScanP95Lat == 0 {
+		t.Fatalf("no scan latency recorded: %s", res)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterLocalScans: in local read mode a write-free scan request
+// rides the consensus-bypassing ReadRequest path (Scans tail) like point
+// reads do, while writes keep flowing through consensus.
+func TestClusterLocalScans(t *testing.T) {
+	opts := smallOpts()
+	opts.Workload.ReadFraction = 0.25
+	opts.Workload.ScanFraction = 0.25
+	opts.Workload.ScanLength = 16
+	opts.ReadMode = "local"
+	opts.PreloadTable = true
+	c, res := runCluster(t, opts, 1500*time.Millisecond)
+	if res.ReadTxns == 0 || res.ScanTxns == 0 || res.WriteTxns == 0 {
+		t.Fatalf("mixed workload did not complete all kinds: %s", res)
+	}
+	if res.LocalReads == 0 {
+		t.Fatalf("local mode never served a request locally: %s", res)
+	}
+	var served uint64
+	for i := 0; i < opts.N; i++ {
+		served += c.Replica(i).Stats().LocalReads
+	}
+	if served == 0 {
+		t.Fatal("no replica reports serving local reads")
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -43,6 +43,12 @@ func (p Protocol) String() string {
 type Outcome struct {
 	ClientSeq uint64
 	Result    types.Digest
+	// Seq is the sequence number the quorum committed the request at. It
+	// is part of the attested vote key (PBFT folds it into Result via
+	// types.ResponseDigest; Zyzzyva keys votes on it directly), so a
+	// client can trust it as a lower bound on replicated state and quote
+	// it as the staleness bound (ReadRequest.MinSeq) on later local reads.
+	Seq types.SeqNum
 	// ReadResults carries the read values for a request with read
 	// operations, in the request's (transaction, op) order. The values are
 	// trustworthy despite coming from a single response: the engine
@@ -190,7 +196,7 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 		k := voteKey{result: m.Result}
 		if e.vote(k, rep) >= e.f+1 {
-			return e.complete(m.Result, true, m.ReadResults), nil
+			return e.complete(m.Seq, m.Result, true, m.ReadResults), nil
 		}
 	case *types.SpecResponse:
 		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq {
@@ -219,7 +225,7 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 		if votes >= e.n {
 			// Fast path: all 3f+1 replicas agree.
-			return e.complete(m.Result, true, m.ReadResults), nil
+			return e.complete(m.Seq, m.Result, true, m.ReadResults), nil
 		}
 	case *types.LocalCommit:
 		if e.protocol != Zyzzyva || m.Client != e.id || m.ClientSeq != e.cur.clientSeq || !e.cur.certSent {
@@ -230,7 +236,7 @@ func (e *Engine) OnMessage(from types.NodeID, msg types.Message) (*Outcome, []co
 		}
 		e.cur.localCommits[rep] = true
 		if len(e.cur.localCommits) >= consensus.Quorum2f1(e.n) {
-			return e.complete(e.cur.specResult, false, e.cur.specReads), nil
+			return e.complete(e.cur.specSeq, e.cur.specResult, false, e.cur.specReads), nil
 		}
 	}
 	return nil, nil
@@ -246,7 +252,7 @@ func (e *Engine) vote(k voteKey, rep types.ReplicaID) int {
 	return len(voters)
 }
 
-func (e *Engine) complete(result types.Digest, fast bool, reads []types.ReadResult) *Outcome {
+func (e *Engine) complete(seq types.SeqNum, result types.Digest, fast bool, reads []types.ReadResult) *Outcome {
 	e.cur.done = true
 	e.stats.Completed++
 	if fast {
@@ -254,7 +260,7 @@ func (e *Engine) complete(result types.Digest, fast bool, reads []types.ReadResu
 	} else {
 		e.stats.SlowPath++
 	}
-	return &Outcome{ClientSeq: e.cur.clientSeq, Result: result, ReadResults: reads, FastPath: fast, Busy: e.robustBusy()}
+	return &Outcome{ClientSeq: e.cur.clientSeq, Seq: seq, Result: result, ReadResults: reads, FastPath: fast, Busy: e.robustBusy()}
 }
 
 // robustBusy folds the per-replica saturation gauges into the Outcome's

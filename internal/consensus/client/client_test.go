@@ -310,6 +310,67 @@ func TestZyzzyvaForgedReadResultsRejected(t *testing.T) {
 	}
 }
 
+// TestPBFTForgedScanResultsRejected extends the forgery matrix to scan
+// results: multi-row payloads give a Byzantine replica more to tamper
+// with — mutate a row's value, drop the tail rows, reorder them, or
+// append an extra row — and every variant must fail the ResponseDigest
+// recompute and lose its vote.
+func TestPBFTForgedScanResultsRejected(t *testing.T) {
+	e, err := New(3, 4, PBFT) // f=1, quorum 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Submit(req(3, 5))
+	rows := []types.ScanRow{
+		{Key: 10, Value: []byte("a")},
+		{Key: 11, Value: []byte("b")},
+		{Key: 12, Value: []byte("c")},
+	}
+	reads := []types.ReadResult{
+		{Found: true, Value: []byte("point")},
+		{Scan: true, Rows: rows},
+	}
+	result := types.ResponseDigest(7, 3, 5, reads)
+	honest := func(rep types.ReplicaID) *types.ClientResponse {
+		return &types.ClientResponse{Seq: 7, Client: 3, ClientSeq: 5, Result: result, Replica: rep, ReadResults: reads}
+	}
+	if out, _ := e.OnMessage(types.ReplicaNode(0), honest(0)); out != nil {
+		t.Fatal("completed with one response")
+	}
+	scanReads := func(rows []types.ScanRow) []types.ReadResult {
+		return []types.ReadResult{{Found: true, Value: []byte("point")}, {Scan: true, Rows: rows}}
+	}
+	forgeries := map[string][]types.ReadResult{
+		"forged row value": scanReads([]types.ScanRow{
+			{Key: 10, Value: []byte("a")}, {Key: 11, Value: []byte("X")}, {Key: 12, Value: []byte("c")}}),
+		"truncated rows": scanReads(rows[:1]),
+		"reordered rows": scanReads([]types.ScanRow{rows[1], rows[0], rows[2]}),
+		"extra row": scanReads(append(append([]types.ScanRow{}, rows...),
+			types.ScanRow{Key: 13, Value: []byte("d")})),
+		"forged row key": scanReads([]types.ScanRow{
+			{Key: 10, Value: []byte("a")}, {Key: 99, Value: []byte("b")}, {Key: 12, Value: []byte("c")}}),
+		"scan flag flipped": {{Found: true, Value: []byte("point")}, {Found: true, Value: []byte("a")}},
+		"empty scan":        scanReads(nil),
+	}
+	for name, fr := range forgeries {
+		forged := &types.ClientResponse{Seq: 7, Client: 3, ClientSeq: 5, Result: result, Replica: 1, ReadResults: fr}
+		if out, _ := e.OnMessage(types.ReplicaNode(1), forged); out != nil {
+			t.Fatalf("%s: forged scan response completed the request", name)
+		}
+	}
+	out, _ := e.OnMessage(types.ReplicaNode(1), honest(1))
+	if out == nil {
+		t.Fatal("honest f+1-th response did not complete")
+	}
+	if out.Seq != 7 {
+		t.Fatalf("Outcome.Seq = %d, want the committed sequence 7", out.Seq)
+	}
+	got := out.ReadResults
+	if len(got) != 2 || !got[1].Scan || len(got[1].Rows) != 3 || string(got[1].Rows[1].Value) != "b" {
+		t.Fatalf("outcome carries wrong scan results: %+v", got)
+	}
+}
+
 func TestViewTrackingFollowsResponses(t *testing.T) {
 	e, err := New(3, 4, PBFT)
 	if err != nil {

@@ -564,7 +564,9 @@ func (gc *gwConn) handleSubmit(s *Submit, arena *types.Arena) {
 	}
 	p := &pending{conn: gc, session: s.Session, nonce: s.Nonce, ops: s.Ops, arena: arena}
 	for i := range s.Ops {
-		if s.Ops[i].Kind == types.OpRead {
+		if s.Ops[i].Kind == types.OpRead || s.Ops[i].Kind == types.OpScan {
+			// Both produce one entry in the batched read results; the
+			// reply spans slice by that count.
 			p.reads++
 		}
 	}

@@ -28,12 +28,23 @@ func TestSessionWireRoundTrip(t *testing.T) {
 			{Kind: types.OpWrite, Key: 9, Value: []byte("nine")},
 		}},
 		{Session: 3, Nonce: 2}, // no ops
+		{Session: 4, Nonce: 7, Ops: []types.Op{
+			{Kind: types.OpScan, Key: 10, EndKey: 20, Limit: 5},
+			{Kind: types.OpWrite, Key: 11, Value: []byte("w")},
+		}},
 	}
 	reps := []Reply{
 		{Session: 1, Nonce: 1, Status: StatusOK, Seq: 42, Busy: 17},
 		{Session: 2, Nonce: 5, Status: StatusBusy, Busy: 255},
 		{Session: 3, Nonce: 6, Status: StatusOK, Seq: 43, Reads: []types.ReadResult{
 			{Found: true, Value: []byte("rv")}, {Found: false},
+		}},
+		{Session: 4, Nonce: 7, Status: StatusOK, Seq: 44, Reads: []types.ReadResult{
+			{Scan: true, Rows: []types.ScanRow{
+				{Key: 10, Value: []byte("ten")}, {Key: 12, Value: []byte("twelve")},
+			}},
+			{Scan: true}, // empty scan
+			{Found: true, Value: []byte("point")},
 		}},
 	}
 	for i := range subs {
@@ -61,6 +72,7 @@ func TestSessionWireRoundTrip(t *testing.T) {
 		}
 		for j := range want.Ops {
 			if got.Ops[j].Kind != want.Ops[j].Kind || got.Ops[j].Key != want.Ops[j].Key ||
+				got.Ops[j].EndKey != want.Ops[j].EndKey || got.Ops[j].Limit != want.Ops[j].Limit ||
 				!bytes.Equal(got.Ops[j].Value, want.Ops[j].Value) {
 				t.Fatalf("submit %d op %d: got %+v want %+v", i, j, got.Ops[j], want.Ops[j])
 			}
@@ -73,8 +85,15 @@ func TestSessionWireRoundTrip(t *testing.T) {
 			t.Fatalf("reply %d: got %+v want %+v", i, got, want)
 		}
 		for j := range want.Reads {
-			if got.Reads[j].Found != want.Reads[j].Found || !bytes.Equal(got.Reads[j].Value, want.Reads[j].Value) {
-				t.Fatalf("reply %d read %d: got %+v want %+v", i, j, got.Reads[j], want.Reads[j])
+			gr, wr := got.Reads[j], want.Reads[j]
+			if gr.Found != wr.Found || gr.Scan != wr.Scan ||
+				!bytes.Equal(gr.Value, wr.Value) || len(gr.Rows) != len(wr.Rows) {
+				t.Fatalf("reply %d read %d: got %+v want %+v", i, j, gr, wr)
+			}
+			for k := range wr.Rows {
+				if gr.Rows[k].Key != wr.Rows[k].Key || !bytes.Equal(gr.Rows[k].Value, wr.Rows[k].Value) {
+					t.Fatalf("reply %d read %d row %d: got %+v want %+v", i, j, k, gr.Rows[k], wr.Rows[k])
+				}
 			}
 		}
 	}
@@ -100,6 +119,36 @@ func TestSessionWireMalformed(t *testing.T) {
 			w.U64(1)
 			w.U64(1)
 			w.U32(1 << 30)
+		}),
+		"truncated scan op": frameBytes(t, 1, func(w *types.Writer) {
+			w.U8(kindSubmit)
+			w.U64(1)
+			w.U64(1)
+			w.U32(1)
+			w.U8(uint8(types.OpScan))
+			w.U64(10) // end key, limit, and value blob missing
+		}),
+		"scan rows overflow": frameBytes(t, 1, func(w *types.Writer) {
+			w.U8(kindReply)
+			w.U64(1)
+			w.U64(1)
+			w.U8(uint8(StatusOK))
+			w.U64(1)
+			w.U8(0)
+			w.U32(1)
+			w.U8(2)
+			w.U32(1 << 30)
+		}),
+		"unknown read marker": frameBytes(t, 1, func(w *types.Writer) {
+			w.U8(kindReply)
+			w.U64(1)
+			w.U64(1)
+			w.U8(uint8(StatusOK))
+			w.U64(1)
+			w.U8(0)
+			w.U32(1)
+			w.U8(7)
+			w.Blob(nil)
 		}),
 	}
 	for name, raw := range cases {
@@ -342,6 +391,93 @@ func TestGatewayRetryReplaysCachedReply(t *testing.T) {
 	}
 	if st := g.Stats(); st.DupReplayed != 1 {
 		t.Fatalf("stats: %+v, want DupReplayed=1", st)
+	}
+}
+
+// TestGatewayScanEndToEnd drives a range scan through the full gateway
+// path — session wire, edge batching into a shared consensus request,
+// f+1 quorum, reply span slicing — and then retries the same nonce: the
+// cached multi-row reply must replay byte-for-byte without re-executing.
+func TestGatewayScanEndToEnd(t *testing.T) {
+	c := newTestCluster(t)
+	g := newTestGateway(t, c, nil)
+	ts := dialSession(t, g)
+
+	// Seed a contiguous key range through the gateway itself, batched
+	// alongside the scan-free sessions so edge batching runs.
+	const base = uint64(1000)
+	subs := make([]Submit, 0, 5)
+	for i := uint64(0); i < 5; i++ {
+		subs = append(subs, Submit{
+			Session: i, Nonce: 1,
+			Ops: writeOp(base+i, fmt.Sprintf("k%d", i)),
+		})
+	}
+	ts.send(subs...)
+	for _, r := range ts.recv(5, 5*time.Second) {
+		if r.Status != StatusOK {
+			t.Fatalf("seed write: %+v", r)
+		}
+	}
+
+	// A transaction mixing a scan, a point read, and a write: the scan's
+	// rows and the read's value land in the right reply spans.
+	ts.send(Submit{Session: 8, Nonce: 1, Ops: []types.Op{
+		{Kind: types.OpScan, Key: base, EndKey: base + 4, Limit: 3},
+		{Kind: types.OpRead, Key: base + 4},
+		{Kind: types.OpWrite, Key: base + 9, Value: []byte("w")},
+	}})
+	first := ts.recv(1, 5*time.Second)[0]
+	if first.Status != StatusOK || len(first.Reads) != 2 {
+		t.Fatalf("scan reply: %+v", first)
+	}
+	sc := first.Reads[0]
+	if !sc.Scan || len(sc.Rows) != 3 {
+		t.Fatalf("scan result: %+v, want 3 rows", sc)
+	}
+	for i, row := range sc.Rows {
+		if row.Key != base+uint64(i) || string(row.Value) != fmt.Sprintf("k%d", i) {
+			t.Fatalf("scan row %d: (%d,%q)", i, row.Key, row.Value)
+		}
+	}
+	if !first.Reads[1].Found || string(first.Reads[1].Value) != "k4" {
+		t.Fatalf("point read alongside scan: %+v", first.Reads[1])
+	}
+
+	before := settleHeight(t, c)
+	txnsBefore := c.Replica(0).Stats().TxnsExecuted
+
+	// Retry with the same nonce: the cached reply — scan rows included —
+	// replays from the dedup window and nothing reaches consensus again.
+	ts.send(Submit{Session: 8, Nonce: 1, Ops: []types.Op{
+		{Kind: types.OpScan, Key: base, EndKey: base + 4, Limit: 3},
+		{Kind: types.OpRead, Key: base + 4},
+		{Kind: types.OpWrite, Key: base + 9, Value: []byte("w")},
+	}})
+	second := ts.recv(1, 5*time.Second)[0]
+	if second.Status != StatusOK || second.Seq != first.Seq || len(second.Reads) != 2 {
+		t.Fatalf("retry reply %+v, want replay of %+v", second, first)
+	}
+	resc := second.Reads[0]
+	if !resc.Scan || len(resc.Rows) != len(sc.Rows) {
+		t.Fatalf("replayed scan result: %+v", resc)
+	}
+	for i := range sc.Rows {
+		if resc.Rows[i].Key != sc.Rows[i].Key || !bytes.Equal(resc.Rows[i].Value, sc.Rows[i].Value) {
+			t.Fatalf("replayed row %d: %+v, want %+v", i, resc.Rows[i], sc.Rows[i])
+		}
+	}
+	if after := settleHeight(t, c); after != before {
+		t.Fatalf("ledger height moved %d → %d on a retried scan", before, after)
+	}
+	if got := c.Replica(0).Stats().TxnsExecuted; got != txnsBefore {
+		t.Fatalf("retry executed: %d → %d transactions", txnsBefore, got)
+	}
+	if st := g.Stats(); st.DupReplayed != 1 || st.ReadMismatches != 0 {
+		t.Fatalf("stats: %+v, want DupReplayed=1 ReadMismatches=0", st)
+	}
+	if err := c.VerifyLedgers(nil); err != nil {
+		t.Fatalf("ledger check: %v", err)
 	}
 }
 

@@ -130,6 +130,14 @@ func collectResponses(t *testing.T, eps []transport.Endpoint, want int) map[resp
 			key := respFingerprint{client: resp.Client, clientSeq: resp.ClientSeq, seq: resp.Seq}
 			val := fmt.Sprintf("result=%x reads=", resp.Result)
 			for _, rr := range resp.ReadResults {
+				if rr.Scan {
+					val += "[scan"
+					for _, row := range rr.Rows {
+						val += fmt.Sprintf("(%d,%x)", row.Key, row.Value)
+					}
+					val += "]"
+					continue
+				}
 				val += fmt.Sprintf("(%v,%x)", rr.Found, rr.Value)
 			}
 			if prev, ok := got[key]; ok && prev != val {
@@ -209,6 +217,80 @@ func TestLocalReadClientBinding(t *testing.T) {
 		case <-deadline:
 			t.Fatal("legitimate ReadRequest never answered")
 		}
+	}
+}
+
+// TestLocalReadStalenessBound: a ReadRequest whose MinSeq exceeds the
+// replica's last-retired sequence must come back as a refusal — a reply
+// with no results whose Seq stamp reports how far the replica actually
+// got — while a request within the bound is served, scans included.
+func TestLocalReadStalenessBound(t *testing.T) {
+	mem := store.NewMemStore(1 << 10)
+	for k := uint64(5); k < 10; k++ {
+		if err := mem.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, eps := newReadMixReplica(t, 1, 1, 1, mem)
+
+	send := func(cseq uint64, minSeq types.SeqNum) {
+		req := &types.ReadRequest{
+			Client: 0, ClientSeq: cseq,
+			Keys:   []uint64{7},
+			MinSeq: minSeq,
+			Scans:  []types.Op{{Kind: types.OpScan, Key: 5, EndKey: 9, Limit: 3}},
+		}
+		env := &types.Envelope{
+			From: types.ClientNode(0),
+			To:   types.ReplicaNode(1),
+			Type: types.MsgReadRequest,
+			Body: types.MarshalBody(req),
+		}
+		if err := eps[0].Send(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func() *types.ReadReply {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case env := <-eps[0].Inbox(0):
+				if env.Type != types.MsgReadReply {
+					continue
+				}
+				msg, err := types.DecodeBody(env.Type, env.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return msg.(*types.ReadReply)
+			case <-deadline:
+				t.Fatal("no ReadReply before timeout")
+			}
+		}
+	}
+
+	// Nothing retired yet: a bound of 3 must be refused with Seq 0.
+	send(1, 3)
+	reply := recv()
+	if reply.ClientSeq != 1 || len(reply.Results) != 0 {
+		t.Fatalf("stale request was served: %+v", reply)
+	}
+	if reply.Seq != 0 {
+		t.Fatalf("refusal stamps Seq %d, want 0", reply.Seq)
+	}
+
+	// Within the bound: both the point read and the scan are answered.
+	send(2, 0)
+	reply = recv()
+	if reply.ClientSeq != 2 || len(reply.Results) != 2 {
+		t.Fatalf("in-bound request not served: %+v", reply)
+	}
+	if !reply.Results[0].Found || len(reply.Results[0].Value) != 1 || reply.Results[0].Value[0] != 7 {
+		t.Fatalf("bad point result: %+v", reply.Results[0])
+	}
+	sc := reply.Results[1]
+	if !sc.Scan || len(sc.Rows) != 3 || sc.Rows[0].Key != 5 || sc.Rows[2].Key != 7 {
+		t.Fatalf("bad scan result: %+v", sc)
 	}
 }
 

@@ -464,12 +464,19 @@ type execItem struct {
 
 // shardOp is one typed operation routed to an execution shard, in batch
 // order. A write carries the value to apply; a read carries the slot in
-// the batch's read-result buffer where its result lands.
+// the batch's read-result buffer where its result lands. A scan carries
+// its range bounds and a pointer to this shard's fragment slot: the
+// worker fills it with the sorted rows of its own key partition inside
+// [key, end], and the coordinator merges the fragments at retirement.
 type shardOp struct {
 	key   uint64
 	value []byte
 	slot  int
 	read  bool
+	scan  bool
+	end   uint64
+	limit uint32
+	frag  *[]types.ScanRow
 }
 
 // readRange is one request's contiguous span of the batch's read-result
@@ -477,6 +484,19 @@ type shardOp struct {
 // request's reads are adjacent.
 type readRange struct {
 	start, n int
+}
+
+// pendingScan is one scan op of an in-flight batch: the coordinator fans
+// the scan to every shard worker (each computes the sorted fragment of
+// its own key partition) and merges the disjoint fragments into the
+// batch's read-result slot at retirement. limit is the row cap after the
+// merge; capping each fragment at limit too is lossless — a row a shard
+// drops has ≥ limit smaller same-shard rows ahead of it, so it cannot be
+// among the lowest limit rows overall.
+type pendingScan struct {
+	slot  int
+	limit uint32
+	frags [][]types.ScanRow
 }
 
 // execShardJob is one shard's partition of a committed batch: the writes
@@ -504,9 +524,11 @@ type inflightExec struct {
 	// reads is the slot-indexed read-result buffer the shard workers (or
 	// the serial path) fill during execution; readRanges maps each request
 	// in the batch to its span. Both stay nil for write-only batches, so
-	// the write path allocates nothing new.
+	// the write path allocates nothing new. scans lists the batch's scan
+	// slots, filled by the coordinator's fragment merge at retirement.
 	reads      []types.ReadResult
 	readRanges []readRange
+	scans      []pendingScan
 }
 
 // Replica is a runnable pipelined replica.
@@ -525,6 +547,10 @@ type Replica struct {
 
 	ledger *ledger.Ledger
 	store  store.Store
+	// scanner is the store's ordered view (nil when the store does not
+	// implement store.Scanner); scan ops against a scan-less store return
+	// empty rows and count a store failure.
+	scanner store.Scanner
 
 	// Execution sharding (ExecuteThreads > 1): execShards workers each
 	// own one hash partition of the key space; the coordinating
@@ -780,6 +806,9 @@ func New(cfg Config) (*Replica, error) {
 		r.compactor = comp
 		r.compactC = make(chan struct{}, 1)
 	}
+	if sc, ok := st.(store.Scanner); ok {
+		r.scanner = sc
+	}
 	r.inlinePending = make(map[uint64]consensus.Execute)
 	r.inlineNext = uint64(startSeq) + 1
 	if cfg.Bootstrap != nil {
@@ -802,6 +831,12 @@ func (r *Replica) Ledger() *ledger.Ledger { return r.ledger }
 
 // Store exposes the replica's record table.
 func (r *Replica) Store() store.Store { return r.store }
+
+// LastRetired returns the highest sequence number whose batch has fully
+// executed and retired — the store reflects exactly the batches up to
+// this point, while the ledger's height tracks commitment, which
+// execution trails.
+func (r *Replica) LastRetired() types.SeqNum { return types.SeqNum(r.lastRetired.Load()) }
 
 // ID returns the replica identifier.
 func (r *Replica) ID() types.ReplicaID { return r.cfg.ID }

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"resilientdb/internal/consensus"
@@ -146,24 +147,35 @@ func (r *Replica) inputReplicaLoop(inbox <-chan *types.Envelope, pend chan<- ver
 }
 
 // readLoop is one worker of the read lane: it answers locally served
-// ReadRequests from the last-executed state, off the input loop, so store
-// reads — a locked disk read per key with the read index disabled — are
-// paid here instead of head-of-line blocking all client traffic. lastRetired
-// is loaded before the keys are read and applied writes never roll back, so
-// the stamped Seq is a valid per-key freshness lower bound (there is no
-// cross-key snapshot; see types.ReadRequest).
+// ReadRequests (point keys and scans) from the last-executed state, off
+// the input loop, so store reads — a locked disk read per key with the
+// read index disabled — are paid here instead of head-of-line blocking
+// all client traffic. lastRetired is loaded before the keys are read and
+// applied writes never roll back, so the stamped Seq is a valid per-key
+// freshness lower bound (there is no cross-key snapshot; see
+// types.ReadRequest). A request whose MinSeq this replica has not yet
+// retired is refused — the reply carries the stamped Seq but no results —
+// and the client falls back to the quorum path, which is how the
+// staleness bound on local reads is enforced.
 func (r *Replica) readLoop() {
 	defer r.readWg.Done()
 	for req := range r.readQ {
+		last := r.lastRetired.Load()
 		reply := &types.ReadReply{
 			Client:    req.Client,
 			ClientSeq: req.ClientSeq,
-			Seq:       types.SeqNum(r.lastRetired.Load()),
+			Seq:       types.SeqNum(last),
 			Replica:   r.cfg.ID,
-			Results:   make([]types.ReadResult, len(req.Keys)),
 		}
-		for i, key := range req.Keys {
-			reply.Results[i] = r.readKey(key)
+		if last >= uint64(req.MinSeq) {
+			reply.Results = make([]types.ReadResult, 0, len(req.Keys)+len(req.Scans))
+			for _, key := range req.Keys {
+				reply.Results = append(reply.Results, r.readKey(key))
+			}
+			for i := range req.Scans {
+				sc := &req.Scans[i]
+				reply.Results = append(reply.Results, r.scanRange(sc.Key, sc.EndKey, sc.Limit))
+			}
 		}
 		r.localReads.Add(1)
 		r.sendTo(types.ClientNode(req.Client), reply)
@@ -683,6 +695,16 @@ func (r *Replica) executeBatch(act consensus.Execute) {
 // transaction, op) order as the coordinator walks the batch, and
 // duplicate-skipped transactions contribute none — so the result layout
 // is identical for serial and sharded execution.
+//
+// Ops within one transaction observe earlier ops' writes (read-your-
+// writes): serially that is immediate, and sharded it holds because a
+// key's write and read land in the same shard partition in batch order,
+// and the worker flushes pending writes before answering a read. A scan
+// spans shards, so it is appended to every shard's partition at its batch
+// position: each worker reaches the scan only after flushing exactly the
+// writes that precede it in batch order, computes the sorted fragment of
+// its own key partition, and the coordinator merges the disjoint
+// fragments at retirement — byte-identical to the serial scan.
 func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 	b := &inflightExec{act: act}
 	sharded := r.execShards > 1
@@ -723,6 +745,28 @@ func (r *Replica) stageBatch(act consensus.Execute) *inflightExec {
 						// write of this batch has already been applied, so
 						// the read observes exactly the prefix before it.
 						b.reads = append(b.reads, r.readKey(op.Key))
+					}
+					nextSlot++
+					continue
+				}
+				if op.Kind == types.OpScan {
+					if b.readRanges == nil {
+						b.readRanges = make([]readRange, len(act.Requests))
+					}
+					if sharded {
+						// The scan joins every shard's partition at this
+						// batch position; frags[sh] receives shard sh's
+						// sorted fragment and the merge happens at retire.
+						frags := make([][]types.ScanRow, r.execShards)
+						for sh := 0; sh < r.execShards; sh++ {
+							b.parts[sh] = append(b.parts[sh], shardOp{
+								key: op.Key, end: op.EndKey, limit: op.Limit,
+								scan: true, frag: &frags[sh],
+							})
+						}
+						b.scans = append(b.scans, pendingScan{slot: nextSlot, limit: op.Limit, frags: frags})
+					} else {
+						b.reads = append(b.reads, r.scanRange(op.Key, op.EndKey, op.Limit))
 					}
 					nextSlot++
 					continue
@@ -780,6 +824,82 @@ func (r *Replica) readKey(key uint64) types.ReadResult {
 	}
 }
 
+// scanRange answers one scan op against the store's current state:
+// ascending rows of [start, end], truncated to limit. An inverted range
+// or zero limit returns no rows (well-formed per types.Op); a store
+// without an ordered view, or a failing one, returns no rows and counts
+// a store failure. Rows grow incrementally, so a hostile limit cannot
+// drive an allocation.
+func (r *Replica) scanRange(start, end uint64, limit uint32) types.ReadResult {
+	res := types.ReadResult{Scan: true}
+	if limit == 0 || start > end {
+		return res
+	}
+	if r.scanner == nil {
+		r.storeFailures.Add(1)
+		return res
+	}
+	err := r.scanner.Scan(start, end, func(k uint64, v []byte) bool {
+		res.Rows = append(res.Rows, types.ScanRow{Key: k, Value: v})
+		return uint32(len(res.Rows)) < limit
+	})
+	if err != nil {
+		r.storeFailures.Add(1)
+	}
+	return res
+}
+
+// scanShardFragment computes one shard worker's fragment of a fanned-out
+// scan: the ascending rows of [op.key, op.end] whose keys the shard owns,
+// capped at op.limit (lossless — see pendingScan). Filtering to the
+// shard's own partition is what makes the fragment a pure function of the
+// shard's serially ordered write prefix even while other shards are
+// mid-batch: a key's writes only ever come from its owning shard.
+func (r *Replica) scanShardFragment(shard int, op *shardOp) []types.ScanRow {
+	if op.limit == 0 || op.key > op.end {
+		return nil
+	}
+	if r.scanner == nil {
+		r.storeFailures.Add(1)
+		return nil
+	}
+	var rows []types.ScanRow
+	err := r.scanner.Scan(op.key, op.end, func(k uint64, v []byte) bool {
+		if workload.ShardOf(k, r.execShards) != shard {
+			return true
+		}
+		rows = append(rows, types.ScanRow{Key: k, Value: v})
+		return uint32(len(rows)) < op.limit
+	})
+	if err != nil {
+		r.storeFailures.Add(1)
+	}
+	return rows
+}
+
+// mergeScanFrags merges per-shard scan fragments into the final row set:
+// fragments are each ascending and their key sets disjoint (one key, one
+// shard), so sorting the concatenation by key is a deterministic merge,
+// truncated to the scan's limit.
+func mergeScanFrags(frags [][]types.ScanRow, limit uint32) []types.ScanRow {
+	total := 0
+	for _, f := range frags {
+		total += len(f)
+	}
+	if total == 0 {
+		return nil
+	}
+	merged := make([]types.ScanRow, 0, total)
+	for _, f := range frags {
+		merged = append(merged, f...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	if uint32(len(merged)) > limit {
+		merged = merged[:limit]
+	}
+	return merged
+}
+
 // retireBatch completes one staged batch in sequence order: wait for its
 // shard barrier, append the block, report the execution to the engine
 // (driving checkpoints), and answer every client in the batch.
@@ -790,6 +910,12 @@ func (r *Replica) retireBatch(b *inflightExec) {
 		// The workers are done with the partition buffers; recycle them.
 		r.partsFree <- b.parts
 		b.parts = nil
+	}
+	// The barrier passed, so every shard's scan fragments are final; merge
+	// them into their result slots before responses are built.
+	for i := range b.scans {
+		ps := &b.scans[i]
+		b.reads[ps.slot] = types.ReadResult{Scan: true, Rows: mergeScanFrags(ps.frags, ps.limit)}
 	}
 	act := b.act
 
@@ -903,6 +1029,14 @@ func (r *Replica) execShardLoop(shard int) {
 		t0 := time.Now()
 		for i := range job.ops {
 			op := &job.ops[i]
+			if op.scan {
+				// Flush first so the fragment observes exactly the writes
+				// preceding the scan in batch order, then fill this shard's
+				// fragment slot; the coordinator merges after the barrier.
+				flush()
+				*op.frag = r.scanShardFragment(shard, op)
+				continue
+			}
 			if !op.read {
 				scratch = append(scratch, store.KV{Key: op.key, Value: op.value})
 				continue

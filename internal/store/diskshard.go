@@ -55,6 +55,12 @@ type ShardedDiskStore struct {
 	wg      sync.WaitGroup
 	closing sync.Once
 
+	// ordered is the store-wide sorted key sidecar behind Scan, seeded
+	// from the recovered shard indexes at open. Put/PutMany insert into it
+	// only after their shard appends return (no shard lock held), so scans
+	// and writers never hold the sidecar and a shard lock at once.
+	ordered *orderedKeys
+
 	// fsync and compaction accounting (atomic: SyncStats/CompactStats
 	// must not take shard locks).
 	fsyncs  atomic.Uint64
@@ -197,6 +203,13 @@ func OpenShardedDisk(dir string, opts ShardedDiskOptions) (*ShardedDiskStore, er
 		}
 		s.shards = append(s.shards, sh)
 	}
+	var keys []uint64
+	for _, sh := range s.shards {
+		for k := range sh.index {
+			keys = append(keys, k)
+		}
+	}
+	s.ordered = newOrderedKeys(keys)
 	if s.linger > 0 {
 		for _, sh := range s.shards {
 			s.wg.Add(1)
@@ -366,7 +379,11 @@ func (s *ShardedDiskStore) commitLoop(sh *diskLogShard) {
 // Put implements Store: append to the owning shard's log and, in group
 // commit mode, wait for a covering fsync.
 func (s *ShardedDiskStore) Put(key uint64, value []byte) error {
-	return s.putShard(s.shardFor(key), []KV{{Key: key, Value: value}})
+	if err := s.putShard(s.shardFor(key), []KV{{Key: key, Value: value}}); err != nil {
+		return err
+	}
+	s.ordered.insert(key)
+	return nil
 }
 
 func (s *ShardedDiskStore) putShard(sh *diskLogShard, kvs []KV) error {
@@ -408,7 +425,13 @@ func (s *ShardedDiskStore) PutMany(kvs []KV) error {
 		}
 	}
 	if aligned {
-		return s.putShard(s.shards[first], kvs)
+		if err := s.putShard(s.shards[first], kvs); err != nil {
+			return err
+		}
+		for i := range kvs {
+			s.ordered.insert(kvs[i].Key)
+		}
+		return nil
 	}
 	// Mixed partition: group records by shard, preserving order per shard.
 	groups := make([][]KV, len(s.shards))
@@ -461,6 +484,9 @@ func (s *ShardedDiskStore) PutMany(kvs []KV) error {
 			return err
 		}
 	}
+	for i := range kvs {
+		s.ordered.insert(kvs[i].Key)
+	}
 	return nil
 }
 
@@ -502,6 +528,14 @@ func (s *ShardedDiskStore) Get(key uint64) ([]byte, error) {
 		}
 		return out, nil
 	}
+}
+
+// Scan implements Scanner. Keys come from the store-wide ordered sidecar
+// in bounded chunks and values from Get, so each row is one shard read
+// (or a read-index hit) and a scan never stalls a shard's writers or its
+// group committer for longer than a point read would.
+func (s *ShardedDiskStore) Scan(start, end uint64, fn func(key uint64, value []byte) bool) error {
+	return scanVia(s.ordered, s.Get, start, end, fn)
 }
 
 // Len implements Store.

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Scanner is an optional Store capability: an ordered view over the live
+// keys, the storage half of the general-transaction refactor (range scans
+// travel the same execute pipeline as reads). All three backends implement
+// it through an insert-only ordered key sidecar — the fabric has no
+// deletes, so the sidecar only ever grows, which keeps it a sorted set
+// maintained outside the stores' own locks.
+//
+// The consistency contract is snapshot-per-key, not a range snapshot: a
+// Scan runs concurrently with Put/PutMany/Compact, every key present
+// before the Scan started is visited (keys never disappear — overwrites
+// keep their key, and compaction rewrites logs without touching the key
+// set), each visited key resolves to its live value at visit time, and
+// keys inserted mid-scan behind the cursor may or may not appear.
+// Deterministic scans (byte-identical across replicas) are the execute
+// coordinator's job: it orders scans against the write stream with its
+// shard flush barrier, so the store-level contract only needs to be
+// race-free, not serializable.
+type Scanner interface {
+	// Scan visits every live record with start <= key <= end in ascending
+	// key order, calling fn for each until fn returns false or the range
+	// is exhausted. The value slice is owned by the callee after fn
+	// returns (stores pass copies).
+	Scan(start, end uint64, fn func(key uint64, value []byte) bool) error
+}
+
+// orderedBlockMax bounds one sidecar block; a block that outgrows it
+// splits in two, keeping inserts O(block) instead of O(keys). The memory
+// cost of the sidecar is 8 bytes per live key plus per-block slice
+// headers — ~8.1 bytes/record at this block size.
+const orderedBlockMax = 512
+
+// orderedKeys is the insert-only sorted key set behind every Scanner:
+// sorted non-overlapping blocks of ascending uint64 keys. Lookups binary
+// search the block directory then the block. The fast path is the
+// overwrite (key already present), which takes only the read lock.
+type orderedKeys struct {
+	mu     sync.RWMutex
+	blocks [][]uint64
+	n      int
+}
+
+// newOrderedKeys builds a sidecar from an existing key set (disk backends
+// seed it from their recovered indexes at open). keys may arrive in any
+// order and is not retained.
+func newOrderedKeys(keys []uint64) *orderedKeys {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	o := &orderedKeys{}
+	for len(keys) > 0 {
+		nb := len(keys)
+		if nb > orderedBlockMax {
+			nb = orderedBlockMax
+		}
+		block := make([]uint64, nb)
+		copy(block, keys[:nb])
+		o.blocks = append(o.blocks, block)
+		o.n += nb
+		keys = keys[nb:]
+	}
+	return o
+}
+
+// insert adds k to the set; present keys (the overwrite-dominated common
+// case) return under the read lock alone.
+func (o *orderedKeys) insert(k uint64) {
+	o.mu.RLock()
+	found := o.containsLocked(k)
+	o.mu.RUnlock()
+	if found {
+		return
+	}
+	o.mu.Lock()
+	o.insertLocked(k)
+	o.mu.Unlock()
+}
+
+// containsLocked reports membership; the caller holds mu (either mode).
+func (o *orderedKeys) containsLocked(k uint64) bool {
+	bi := o.blockFor(k)
+	if bi >= len(o.blocks) {
+		return false
+	}
+	b := o.blocks[bi]
+	pos := sort.Search(len(b), func(i int) bool { return b[i] >= k })
+	return pos < len(b) && b[pos] == k
+}
+
+// blockFor returns the index of the only block that could contain k: the
+// last block whose first key is <= k (0 if k sorts before everything).
+func (o *orderedKeys) blockFor(k uint64) int {
+	bi := sort.Search(len(o.blocks), func(i int) bool { return o.blocks[i][0] > k }) - 1
+	if bi < 0 {
+		bi = 0
+	}
+	return bi
+}
+
+func (o *orderedKeys) insertLocked(k uint64) {
+	if len(o.blocks) == 0 {
+		o.blocks = append(o.blocks, []uint64{k})
+		o.n++
+		return
+	}
+	bi := o.blockFor(k)
+	b := o.blocks[bi]
+	pos := sort.Search(len(b), func(i int) bool { return b[i] >= k })
+	if pos < len(b) && b[pos] == k {
+		return
+	}
+	b = append(b, 0)
+	copy(b[pos+1:], b[pos:])
+	b[pos] = k
+	o.n++
+	if len(b) <= orderedBlockMax {
+		o.blocks[bi] = b
+		return
+	}
+	// Split: left half keeps the slot, right half slides in after it. The
+	// halves get private arrays so later appends never alias each other.
+	half := len(b) / 2
+	left := append([]uint64(nil), b[:half]...)
+	right := append([]uint64(nil), b[half:]...)
+	o.blocks[bi] = left
+	o.blocks = append(o.blocks, nil)
+	copy(o.blocks[bi+2:], o.blocks[bi+1:])
+	o.blocks[bi+1] = right
+}
+
+// size returns the number of keys in the set.
+func (o *orderedKeys) size() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.n
+}
+
+// chunk appends to out (up to its capacity) the keys in [start, end],
+// ascending, and returns the extended slice. Bounded chunks are what let
+// scanVia release the sidecar lock before touching store locks.
+func (o *orderedKeys) chunk(start, end uint64, out []uint64) []uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	bi := sort.Search(len(o.blocks), func(i int) bool {
+		b := o.blocks[i]
+		return b[len(b)-1] >= start
+	})
+	for ; bi < len(o.blocks); bi++ {
+		b := o.blocks[bi]
+		lo := sort.Search(len(b), func(i int) bool { return b[i] >= start })
+		for _, k := range b[lo:] {
+			if k > end {
+				return out
+			}
+			out = append(out, k)
+			if len(out) == cap(out) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// scanVia drives one Scan over an ordered sidecar: keys are gathered in
+// bounded chunks under the sidecar's read lock, then each is resolved
+// through get with no sidecar lock held. Never holding the sidecar lock
+// across a store lock is what makes Scan deadlock-free against writers,
+// which take store locks first and the sidecar lock second. A key the
+// store cannot resolve yet (an insert racing ahead of the sidecar's
+// bookkeeping cannot happen — stores insert into the sidecar last — but a
+// fault-injecting wrapper may refuse) is skipped, not fatal; other get
+// errors abort the scan.
+func scanVia(o *orderedKeys, get func(uint64) ([]byte, error), start, end uint64, fn func(uint64, []byte) bool) error {
+	if start > end {
+		return nil
+	}
+	var arr [128]uint64
+	cur := start
+	for {
+		keys := o.chunk(cur, end, arr[:0])
+		if len(keys) == 0 {
+			return nil
+		}
+		for _, k := range keys {
+			v, err := get(k)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				return err
+			}
+			if !fn(k, v) {
+				return nil
+			}
+		}
+		last := keys[len(keys)-1]
+		if last >= end || last == ^uint64(0) {
+			return nil
+		}
+		cur = last + 1
+	}
+}

@@ -159,6 +159,9 @@ var (
 	_ SyncStatser = (*ShardedDiskStore)(nil)
 	_ Compactor   = (*DiskStore)(nil)
 	_ Compactor   = (*ShardedDiskStore)(nil)
+	_ Scanner     = (*MemStore)(nil)
+	_ Scanner     = (*DiskStore)(nil)
+	_ Scanner     = (*ShardedDiskStore)(nil)
 )
 
 // shardMix is the multiplicative hash spreading record keys across
@@ -197,6 +200,10 @@ type MemStore struct {
 	closed sync.Once
 	dead   bool
 	mu     sync.RWMutex // guards dead
+	// ordered is the sorted key sidecar behind Scan. Writers insert into
+	// their map shard first and the sidecar second, so the sidecar is
+	// always a subset of the maps and scanned keys resolve.
+	ordered orderedKeys
 }
 
 // NewMemStore returns an empty in-memory store sized for sizeHint records.
@@ -228,6 +235,7 @@ func (s *MemStore) Put(key uint64, value []byte) error {
 	sh.mu.Lock()
 	sh.m[key] = cp
 	sh.mu.Unlock()
+	s.ordered.insert(key)
 	return nil
 }
 
@@ -250,6 +258,7 @@ func (s *MemStore) PutMany(kvs []KV) error {
 		sh.mu.Lock()
 		sh.m[kvs[i].Key] = cp
 		sh.mu.Unlock()
+		s.ordered.insert(kvs[i].Key)
 	}
 	return nil
 }
@@ -272,6 +281,19 @@ func (s *MemStore) Get(key uint64) ([]byte, error) {
 	cp := make([]byte, len(v))
 	copy(cp, v)
 	return cp, nil
+}
+
+// Scan implements Scanner. Keys come from the ordered sidecar in bounded
+// chunks and values from Get, so a scan never holds the sidecar lock
+// across a shard lock (see scanVia for the contract).
+func (s *MemStore) Scan(start, end uint64, fn func(key uint64, value []byte) bool) error {
+	s.mu.RLock()
+	if s.dead {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.mu.RUnlock()
+	return scanVia(&s.ordered, s.Get, start, end, fn)
 }
 
 // Len implements Store.

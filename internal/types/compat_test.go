@@ -146,6 +146,203 @@ func TestTypedTxnHostileCount(t *testing.T) {
 	}
 }
 
+// preScanV2TxnBytes hand-encodes a typed transaction in the pre-scan (v2)
+// wire layout: typed bit set, [u8 kind][u64 key][blob value] per op with
+// no scan bounds anywhere. These are the exact bytes read-bearing peers
+// emitted before OpScan existed.
+func preScanV2TxnBytes(w *Writer, t *Transaction) {
+	w.U32(uint32(t.Client))
+	w.U64(t.ClientSeq)
+	w.U32(uint32(len(t.Ops)) | opsTypedBit)
+	for i := range t.Ops {
+		w.U8(uint8(t.Ops[i].Kind))
+		w.U64(t.Ops[i].Key)
+		w.Blob(t.Ops[i].Value)
+	}
+	w.Blob(t.Payload)
+}
+
+// TestPreScanV2GoldenBytesDecode: a read-bearing (but scan-free) typed
+// transaction encoded by the pre-scan v2 layout must decode to the same
+// value and re-encode to identical bytes — the scan arm rides only on
+// kind 2 ops, so the v2 golden bytes may not shift.
+func TestPreScanV2GoldenBytesDecode(t *testing.T) {
+	txn := Transaction{
+		Client:    9,
+		ClientSeq: 77,
+		Ops: []Op{
+			{Kind: OpRead, Key: 4},
+			{Kind: OpWrite, Key: 5, Value: []byte("five")},
+		},
+		Payload: []byte{8},
+	}
+	var w Writer
+	preScanV2TxnBytes(&w, &txn)
+	golden := append([]byte(nil), w.Bytes()...)
+
+	var got Transaction
+	r := NewReader(golden)
+	unmarshalTxn(r, &got)
+	if err := r.Err(); err != nil {
+		t.Fatalf("decoding pre-scan v2 bytes: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("v2 decode left %d bytes", r.Remaining())
+	}
+	w.Reset()
+	marshalTxn(&w, &got)
+	if !bytes.Equal(w.Bytes(), golden) {
+		t.Fatal("scan-free typed transaction re-encodes differently from its pre-scan v2 bytes")
+	}
+	if got.Size() != len(golden) {
+		t.Fatalf("Size() = %d, v2 bytes = %d", got.Size(), len(golden))
+	}
+}
+
+// TestScanTxnRoundTripAndSize: transactions carrying scans survive a
+// round trip with bounds intact — hostile bounds included — and Size()
+// tracks the 12 extra bytes (end key + limit) each scan op carries.
+func TestScanTxnRoundTripAndSize(t *testing.T) {
+	txn := Transaction{
+		Client:    7,
+		ClientSeq: 42,
+		Ops: []Op{
+			{Kind: OpScan, Key: 10, EndKey: 20, Limit: 5},
+			{Kind: OpWrite, Key: 12, Value: []byte("w")},
+			{Kind: OpScan, Key: 9, EndKey: 3, Limit: 0},           // inverted, zero limit
+			{Kind: OpScan, Key: 0, EndKey: ^uint64(0), Limit: ^uint32(0)}, // saturating
+			{Kind: OpRead, Key: 13},
+		},
+		Payload: []byte{1},
+	}
+	var w Writer
+	marshalTxn(&w, &txn)
+	if w.Len() != txn.Size() {
+		t.Fatalf("scan Size() = %d, encoded = %d", txn.Size(), w.Len())
+	}
+	var got Transaction
+	r := NewReader(w.Bytes())
+	unmarshalTxn(r, &got)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Ops {
+		if got.Ops[i].Kind != txn.Ops[i].Kind || got.Ops[i].Key != txn.Ops[i].Key ||
+			got.Ops[i].EndKey != txn.Ops[i].EndKey || got.Ops[i].Limit != txn.Ops[i].Limit {
+			t.Fatalf("op %d: got %+v want %+v", i, got.Ops[i], txn.Ops[i])
+		}
+	}
+	var w2 Writer
+	marshalTxn(&w2, &got)
+	if !bytes.Equal(w2.Bytes(), w.Bytes()) {
+		t.Fatal("scan transaction round trip re-encodes differently")
+	}
+}
+
+// TestScanResponseRoundTripAndDigest: a response carrying scan results
+// round trips rows exactly, and ResponseDigest is sensitive to every row
+// mutation a Byzantine replica could try — value, key, order, count.
+func TestScanResponseRoundTripAndDigest(t *testing.T) {
+	reads := []ReadResult{
+		{Found: true, Value: []byte("p")},
+		{Scan: true, Rows: []ScanRow{
+			{Key: 5, Value: []byte("five")},
+			{Key: 6, Value: []byte("six")},
+		}},
+		{Scan: true}, // empty scan
+	}
+	resp := ClientResponse{View: 1, Seq: 2, Client: 3, ClientSeq: 4,
+		Result: ResponseDigest(2, 3, 4, reads), Replica: 6, ReadResults: reads}
+	body := MarshalBody(&resp)
+	got, err := DecodeBody(MsgClientResponse, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := got.(*ClientResponse).ReadResults
+	if len(rr) != 3 || !rr[1].Scan || len(rr[1].Rows) != 2 || !rr[2].Scan || len(rr[2].Rows) != 0 {
+		t.Fatalf("scan response round trip: %+v", rr)
+	}
+	if rr[1].Rows[1].Key != 6 || string(rr[1].Rows[1].Value) != "six" {
+		t.Fatalf("scan row mismatch: %+v", rr[1].Rows[1])
+	}
+	if ResponseDigest(2, 3, 4, rr) != resp.Result {
+		t.Fatal("decoded scan results hash differently")
+	}
+
+	base := ResponseDigest(2, 3, 4, reads)
+	mutate := func(f func([]ReadResult)) Digest {
+		c := make([]ReadResult, len(reads))
+		copy(c, reads)
+		rows := make([]ScanRow, len(reads[1].Rows))
+		copy(rows, reads[1].Rows)
+		c[1].Rows = rows
+		f(c)
+		return ResponseDigest(2, 3, 4, c)
+	}
+	if mutate(func(c []ReadResult) { c[1].Rows[0].Value = []byte("FIVE") }) == base {
+		t.Fatal("digest ignores a forged row value")
+	}
+	if mutate(func(c []ReadResult) { c[1].Rows[0].Key = 50 }) == base {
+		t.Fatal("digest ignores a forged row key")
+	}
+	if mutate(func(c []ReadResult) { c[1].Rows = c[1].Rows[:1] }) == base {
+		t.Fatal("digest ignores truncated rows")
+	}
+	if mutate(func(c []ReadResult) { c[1].Rows[0], c[1].Rows[1] = c[1].Rows[1], c[1].Rows[0] }) == base {
+		t.Fatal("digest ignores reordered rows")
+	}
+	if mutate(func(c []ReadResult) { c[1].Scan = false; c[1].Rows = nil }) == base {
+		t.Fatal("digest ignores a scan flag flip")
+	}
+}
+
+// TestReadRequestTailBackCompat: a ReadRequest without a staleness bound
+// or scans encodes byte-identically to the pre-scan wire form, old bytes
+// decode with MinSeq 0 and no scans, and the new tail round trips.
+func TestReadRequestTailBackCompat(t *testing.T) {
+	req := ReadRequest{Client: 3, ClientSeq: 9, Keys: []uint64{4, 5}}
+	var w Writer
+	w.U32(uint32(req.Client))
+	w.U64(req.ClientSeq)
+	w.U32(uint32(len(req.Keys)))
+	for _, k := range req.Keys {
+		w.U64(k)
+	}
+	legacy := append([]byte(nil), w.Bytes()...)
+
+	w.Reset()
+	req.marshal(&w)
+	if !bytes.Equal(w.Bytes(), legacy) {
+		t.Fatal("tail-free ReadRequest encodes differently from the pre-scan form")
+	}
+	got, err := DecodeBody(MsgReadRequest, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr := got.(*ReadRequest); gr.MinSeq != 0 || gr.Scans != nil {
+		t.Fatalf("legacy ReadRequest decoded with a tail: %+v", gr)
+	}
+
+	full := ReadRequest{Client: 3, ClientSeq: 10, Keys: []uint64{4}, MinSeq: 17, Scans: []Op{
+		{Kind: OpScan, Key: 2, EndKey: 8, Limit: 3},
+		{Kind: OpScan, Key: 9, EndKey: 1, Limit: 0},
+	}}
+	got, err = DecodeBody(MsgReadRequest, MarshalBody(&full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := got.(*ReadRequest)
+	if gr.MinSeq != 17 || len(gr.Scans) != 2 {
+		t.Fatalf("ReadRequest tail round trip: %+v", gr)
+	}
+	for i := range full.Scans {
+		if gr.Scans[i].Kind != full.Scans[i].Kind || gr.Scans[i].Key != full.Scans[i].Key ||
+			gr.Scans[i].EndKey != full.Scans[i].EndKey || gr.Scans[i].Limit != full.Scans[i].Limit {
+			t.Fatalf("scan %d: got %+v want %+v", i, gr.Scans[i], full.Scans[i])
+		}
+	}
+}
+
 // TestResponseTailBackCompat: a ClientResponse encoded without read
 // results (the pre-read wire form) decodes with a nil tail, and the
 // write-only encoding today is byte-identical to that form.

@@ -28,7 +28,25 @@ func validFrameCorpus(tb testing.TB) [][]byte {
 	if err := types.WriteBatchFrame(&batch, []*types.Envelope{env, env}); err != nil {
 		tb.Fatalf("encoding seed batch frame: %v", err)
 	}
-	return [][]byte{single.Bytes(), batch.Bytes()}
+	out := [][]byte{single.Bytes(), batch.Bytes()}
+	// Frames whose envelope bodies carry the scan wire arms (typed ops
+	// with hostile bounds, scan read results) so mutations start from the
+	// newest layouts too.
+	for _, seed := range scanBodyCorpus() {
+		scanEnv := &types.Envelope{
+			From: types.ClientNode(1),
+			To:   types.ReplicaNode(0),
+			Type: seed.kind,
+			Body: seed.body,
+			Auth: []byte{7},
+		}
+		var buf bytes.Buffer
+		if err := types.WriteFrame(&buf, scanEnv); err != nil {
+			tb.Fatalf("encoding scan seed frame: %v", err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
 }
 
 // FuzzReadFrames feeds arbitrary byte streams to the copying frame
@@ -80,6 +98,45 @@ func FuzzReadFramesPooled(f *testing.F) {
 	})
 }
 
+// scanBodyCorpus returns well-formed bodies exercising the scan wire
+// arms, including semantically hostile bounds the decoder must carry
+// without special-casing: an inverted range (start > end), a zero limit,
+// and a saturating limit. Execution treats the first two as empty scans
+// and caps the third; the wire layer's only job is round-tripping them.
+func scanBodyCorpus() []struct {
+	kind types.MsgType
+	body []byte
+} {
+	invReq := &types.ClientRequest{Client: 1, FirstSeq: 1, Sig: []byte{1}, Txns: []types.Transaction{
+		{Client: 1, ClientSeq: 1, Ops: []types.Op{
+			{Kind: types.OpScan, Key: 10, EndKey: 5, Limit: 0},
+			{Kind: types.OpWrite, Key: 3, Value: []byte("w")},
+		}},
+	}}
+	satReq := &types.ClientRequest{Client: 1, FirstSeq: 2, Sig: []byte{1}, Txns: []types.Transaction{
+		{Client: 1, ClientSeq: 2, Ops: []types.Op{
+			{Kind: types.OpScan, Key: 0, EndKey: ^uint64(0), Limit: ^uint32(0)},
+		}},
+	}}
+	readReq := &types.ReadRequest{Client: 1, ClientSeq: 3, Keys: []uint64{7}, MinSeq: 9, Scans: []types.Op{
+		{Kind: types.OpScan, Key: 4, EndKey: 2, Limit: 0},
+	}}
+	resp := &types.ClientResponse{Seq: 1, Client: 1, ClientSeq: 1, ReadResults: []types.ReadResult{
+		{Scan: true, Rows: []types.ScanRow{{Key: 5, Value: []byte("v")}, {Key: 6}}},
+		{Scan: true},
+		{Found: true, Value: []byte("p")},
+	}}
+	return []struct {
+		kind types.MsgType
+		body []byte
+	}{
+		{types.MsgClientRequest, types.MarshalBody(invReq)},
+		{types.MsgClientRequest, types.MarshalBody(satReq)},
+		{types.MsgReadRequest, types.MarshalBody(readReq)},
+		{types.MsgClientResponse, types.MarshalBody(resp)},
+	}
+}
+
 // FuzzDecodeBody covers body decoding for every message type the wire
 // can carry, seeded with the chaos harness's malformed bodies. A body
 // that decodes must re-marshal without panicking.
@@ -88,11 +145,15 @@ func FuzzDecodeBody(f *testing.F) {
 		types.MsgClientRequest, types.MsgClientResponse, types.MsgPrePrepare,
 		types.MsgPrepare, types.MsgCommit, types.MsgCheckpoint,
 		types.MsgViewChange, types.MsgNewView,
+		types.MsgReadRequest, types.MsgReadReply,
 	}
 	for _, body := range chaos.MalformedBodies() {
 		for _, kind := range kinds {
 			f.Add(uint8(kind), body)
 		}
+	}
+	for _, seed := range scanBodyCorpus() {
+		f.Add(uint8(seed.kind), seed.body)
 	}
 	f.Fuzz(func(t *testing.T, kind uint8, body []byte) {
 		msg, err := types.DecodeBody(types.MsgType(kind), body)

@@ -120,6 +120,12 @@ func marshalTxn(w *Writer, t *Transaction) {
 		for i := range t.Ops {
 			w.U8(uint8(t.Ops[i].Kind))
 			w.U64(t.Ops[i].Key)
+			if t.Ops[i].Kind == OpScan {
+				// Scan bounds ride between key and value, so non-scan
+				// typed ops keep their pre-scan byte layout exactly.
+				w.U64(t.Ops[i].EndKey)
+				w.U32(t.Ops[i].Limit)
+			}
 			w.Blob(t.Ops[i].Value)
 		}
 	}
@@ -149,6 +155,10 @@ func unmarshalTxn(r *Reader, t *Transaction) {
 			t.Ops[i].Kind = OpKind(r.U8())
 		}
 		t.Ops[i].Key = r.U64()
+		if t.Ops[i].Kind == OpScan {
+			t.Ops[i].EndKey = r.U64()
+			t.Ops[i].Limit = r.U32()
+		}
 		t.Ops[i].Value = r.Blob()
 	}
 	t.Payload = r.Blob()
@@ -438,29 +448,80 @@ func (m *NewView) unmarshal(r *Reader) {
 
 // ---- ClientResponse ----
 
-// ReadResult is the outcome of one read operation: whether the key existed
-// and, if so, the value observed at the transaction's position in the
-// serial order.
+// ScanRow is one record returned by a range scan: the key it was stored
+// under and the value observed at the scan's position in the serial order.
+type ScanRow struct {
+	Key   uint64
+	Value []byte
+}
+
+// ReadResult is the outcome of one read or scan operation. For a point
+// read (Scan false) it reports whether the key existed and, if so, the
+// value observed at the transaction's position in the serial order. For a
+// range scan (Scan true) Rows carries the matching records in ascending
+// key order, truncated to the op's limit; Found and Value are unused.
 type ReadResult struct {
 	Found bool
 	Value []byte
+	Scan  bool
+	Rows  []ScanRow
+}
+
+// scanMarker is the per-result tag byte that distinguishes a scan result
+// from a point read on the wire: 0 = not found, 1 = found, 2 = scan rows.
+// Pre-scan peers only ever emitted 0/1, so their bytes decode unchanged.
+const scanMarker = 2
+
+// marshalReadResult appends one result: [marker u8] then either the point
+// read's value blob or the scan arm [u32 rows]([u64 key][value blob])...
+func marshalReadResult(w *Writer, res *ReadResult) {
+	if res.Scan {
+		w.U8(scanMarker)
+		w.U32(uint32(len(res.Rows)))
+		for i := range res.Rows {
+			w.U64(res.Rows[i].Key)
+			w.Blob(res.Rows[i].Value)
+		}
+		return
+	}
+	if res.Found {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.Blob(res.Value)
+}
+
+// unmarshalReadResult decodes one result written by marshalReadResult.
+func unmarshalReadResult(r *Reader, res *ReadResult) {
+	switch marker := r.U8(); marker {
+	case scanMarker:
+		res.Scan = true
+		rows := r.count(12) // u64 key + u32 length prefix per row
+		if r.Err() != nil || rows == 0 {
+			return
+		}
+		res.Rows = make([]ScanRow, rows)
+		for i := 0; i < rows; i++ {
+			res.Rows[i].Key = r.U64()
+			res.Rows[i].Value = r.Blob()
+		}
+	default:
+		res.Found = marker != 0
+		res.Value = r.Blob()
+	}
 }
 
 // marshalReadResults appends the optional read-result tail: nothing at all
 // for write-only responses (preserving the pre-read wire bytes), else a
-// count plus [found u8][value blob] per result.
+// count plus one marshalReadResult per result.
 func marshalReadResults(w *Writer, results []ReadResult) {
 	if len(results) == 0 {
 		return
 	}
 	w.U32(uint32(len(results)))
 	for i := range results {
-		if results[i].Found {
-			w.U8(1)
-		} else {
-			w.U8(0)
-		}
-		w.Blob(results[i].Value)
+		marshalReadResult(w, &results[i])
 	}
 }
 
@@ -503,8 +564,7 @@ func unmarshalReadResults(r *Reader) []ReadResult {
 	}
 	results := make([]ReadResult, n)
 	for i := 0; i < n; i++ {
-		results[i].Found = r.U8() != 0
-		results[i].Value = r.Blob()
+		unmarshalReadResult(r, &results[i])
 	}
 	return results
 }
@@ -517,14 +577,26 @@ func unmarshalReadResults(r *Reader) []ReadResult {
 // digest over a response's carried ReadResults and discard mismatches,
 // because votes are counted on Result alone: without the recomputation a
 // single Byzantine replica could copy the correct Result from honest
-// replicas and attach forged read values. With no reads the digest is
-// byte-identical to the historical write-only form.
+// replicas and attach forged read values. Scan results fold their marker,
+// row count, and every row's key and value, so forging, truncating, or
+// reordering scan rows changes the digest exactly like forging a point
+// read. With no reads the digest is byte-identical to the historical
+// write-only form, and point-read-only digests match the pre-scan form.
 func ResponseDigest(seq SeqNum, client ClientID, clientSeq uint64, reads []ReadResult) Digest {
 	w := GetWriter()
 	w.U64(uint64(seq))
 	w.U32(uint32(client))
 	w.U64(clientSeq)
 	for i := range reads {
+		if reads[i].Scan {
+			w.U8(scanMarker)
+			w.U32(uint32(len(reads[i].Rows)))
+			for j := range reads[i].Rows {
+				w.U64(reads[i].Rows[j].Key)
+				w.Blob(reads[i].Rows[j].Value)
+			}
+			continue
+		}
 		found := byte(0)
 		if reads[i].Found {
 			found = 1
@@ -756,23 +828,35 @@ func (m *LocalCommit) unmarshal(r *Reader) {
 
 // ---- Local read path ----
 
-// ReadRequest asks a single replica to answer reads from its last-executed
-// state, bypassing consensus entirely (the Fabric-style read path). The
-// guarantee is per-key freshness, not a snapshot: the read lane runs
-// concurrently with the execute stage applying later batches, so each key
-// individually reflects at least every batch retired up to the reply's Seq
-// — possibly plus writes of a batch still mid-application — but a
-// multi-key read may observe different keys at different positions of the
-// serial order. Reads that must be serialized in the global order (or
-// atomic across keys) go through consensus as OpRead transactions instead.
+// ReadRequest asks a single replica to answer point reads and range scans
+// from its last-executed state, bypassing consensus entirely (the
+// Fabric-style read path). The guarantee is per-key freshness, not a
+// snapshot: the read lane runs concurrently with the execute stage
+// applying later batches, so each key individually reflects at least every
+// batch retired up to the reply's Seq — possibly plus writes of a batch
+// still mid-application — but a multi-key read (and the rows of a scan)
+// may observe different keys at different positions of the serial order.
+// Reads that must be serialized in the global order (or atomic across
+// keys) go through consensus as OpRead/OpScan transactions instead.
 // The reply may also trail the cluster head; ClientSeq matches the reply
 // to the request. The replica only answers a ReadRequest whose Client
 // matches the authenticated sender, mirroring the signed-Client binding of
 // the ordered path.
+//
+// MinSeq is the client's staleness bound: the replica answers only if its
+// last-retired sequence number is at least MinSeq, and otherwise returns a
+// reply with no results (its Seq stamp reporting how far it actually got)
+// so the client can fall back to the quorum path. Scans carries range
+// reads (Key/EndKey/Limit per entry; Kind is implied); their results
+// follow the Keys results in the reply, in request order. Both fields ride
+// an optional tail — a request without them is byte-identical to the
+// pre-scan wire form, and old bytes decode with MinSeq 0 and no scans.
 type ReadRequest struct {
 	Client    ClientID
 	ClientSeq uint64
 	Keys      []uint64
+	MinSeq    SeqNum
+	Scans     []Op
 }
 
 // Type implements Message.
@@ -784,6 +868,16 @@ func (m *ReadRequest) marshal(w *Writer) {
 	w.U32(uint32(len(m.Keys)))
 	for _, k := range m.Keys {
 		w.U64(k)
+	}
+	if m.MinSeq == 0 && len(m.Scans) == 0 {
+		return // pre-scan wire form, byte-identical
+	}
+	w.U64(uint64(m.MinSeq))
+	w.U32(uint32(len(m.Scans)))
+	for i := range m.Scans {
+		w.U64(m.Scans[i].Key)
+		w.U64(m.Scans[i].EndKey)
+		w.U32(m.Scans[i].Limit)
 	}
 }
 
@@ -798,6 +892,21 @@ func (m *ReadRequest) unmarshal(r *Reader) {
 	for i := 0; i < n; i++ {
 		m.Keys[i] = r.U64()
 	}
+	if r.Err() != nil || r.Remaining() == 0 {
+		return // pre-scan peer: no staleness bound, no scans
+	}
+	m.MinSeq = SeqNum(r.U64())
+	n = r.count(20)
+	if r.Err() != nil || n == 0 {
+		return
+	}
+	m.Scans = make([]Op, n)
+	for i := 0; i < n; i++ {
+		m.Scans[i].Kind = OpScan
+		m.Scans[i].Key = r.U64()
+		m.Scans[i].EndKey = r.U64()
+		m.Scans[i].Limit = r.U32()
+	}
 }
 
 // ReadReply answers a ReadRequest from one replica's store. Seq is a lower
@@ -805,7 +914,10 @@ func (m *ReadRequest) unmarshal(r *Reader) {
 // reflected in every result, but individual keys may additionally reflect
 // writes from later batches still being applied (see ReadRequest for the
 // full semantics). A client can bound its staleness with Seq but must not
-// treat the results as a cross-key snapshot.
+// treat the results as a cross-key snapshot. Results answers the request's
+// Keys first, then its Scans, each in request order; a reply with no
+// results to a request that asked for some is the staleness refusal
+// (lastRetired < MinSeq — Seq reports how far the replica actually got).
 type ReadReply struct {
 	Client    ClientID
 	ClientSeq uint64
@@ -824,12 +936,7 @@ func (m *ReadReply) marshal(w *Writer) {
 	w.U16(uint16(m.Replica))
 	w.U32(uint32(len(m.Results)))
 	for i := range m.Results {
-		if m.Results[i].Found {
-			w.U8(1)
-		} else {
-			w.U8(0)
-		}
-		w.Blob(m.Results[i].Value)
+		marshalReadResult(w, &m.Results[i])
 	}
 }
 
@@ -844,7 +951,6 @@ func (m *ReadReply) unmarshal(r *Reader) {
 	}
 	m.Results = make([]ReadResult, n)
 	for i := 0; i < n; i++ {
-		m.Results[i].Found = r.U8() != 0
-		m.Results[i].Value = r.Blob()
+		unmarshalReadResult(r, &m.Results[i])
 	}
 }

@@ -81,17 +81,26 @@ const (
 	// OpRead fetches the record under Key; Value is empty on the wire and
 	// the result travels back in the response's read results.
 	OpRead
-	// Future kinds (range scans) extend the enum here; the typed wire
-	// encoding already carries a kind byte per op.
+	// OpScan fetches every record with Key <= key <= EndKey in ascending
+	// key order, truncated to Limit rows. Value is empty on the wire and
+	// the rows travel back as the scan arm of the op's read result.
+	OpScan
 )
 
 // Op is a single operation inside a transaction: a write of Value under
-// Key, or a read of Key. The evaluation workload (YCSB, Section 5.1)
-// issues these against a keyed record table.
+// Key, a read of Key, or a range scan of [Key, EndKey]. The evaluation
+// workload (YCSB, Section 5.1) issues these against a keyed record table.
+// EndKey and Limit are meaningful only for OpScan: a scan with
+// Key > EndKey or Limit == 0 is well-formed and returns zero rows.
 type Op struct {
 	Kind  OpKind
 	Key   uint64
 	Value []byte
+	// EndKey is the inclusive upper bound of an OpScan's key range.
+	EndKey uint64
+	// Limit caps the rows an OpScan returns (after merging, lowest keys
+	// first); 0 returns none.
+	Limit uint32
 }
 
 // Transaction is a client transaction: one or more operations plus an
@@ -119,11 +128,15 @@ func (t *Transaction) typedOps() bool {
 
 // Size returns the encoded size of the transaction in bytes. The simulator
 // and the NIC model use it to account for bandwidth. It tracks both wire
-// layouts: the typed encoding spends one extra kind byte per op.
+// layouts: the typed encoding spends one extra kind byte per op, and a
+// scan op additionally carries its end key and limit.
 func (t *Transaction) Size() int {
 	n := 4 + 8 + 4 + 4 + len(t.Payload)
 	for i := range t.Ops {
 		n += 8 + 4 + len(t.Ops[i].Value)
+		if t.Ops[i].Kind == OpScan {
+			n += 8 + 4 // end key + limit
+		}
 	}
 	if t.typedOps() {
 		n += len(t.Ops)

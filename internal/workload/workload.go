@@ -2,8 +2,9 @@
 // (paper Figure 5 and Section 5.1): a YCSB-style benchmark in which each
 // client transaction indexes a table with an active set of 600K records,
 // with keys drawn from a Zipfian (or uniform) distribution. Transactions
-// are write-only by default; a read fraction (or a YCSB A/B/C preset)
-// mixes read-only transactions into the same deterministic streams.
+// are write-only by default; read and scan fractions (or a YCSB A/B/C/E
+// preset) mix read-only and range-scan transactions into the same
+// deterministic streams.
 package workload
 
 import (
@@ -61,9 +62,21 @@ type Config struct {
 	// anything in (0, 1] mixes that fraction of read transactions into the
 	// stream. Mutually exclusive with Preset.
 	ReadFraction float64
+	// ScanFraction is the probability a transaction is a range scan, per
+	// the YCSB-E mix convention. Same knob convention as ReadFraction: 0
+	// default (no scans), -1 explicitly disabled, (0, 1] mixes that
+	// fraction of scan transactions in. ReadFraction + ScanFraction must
+	// not exceed 1; the remainder is writes. Mutually exclusive with
+	// Preset.
+	ScanFraction float64
+	// ScanLength is the maximum rows per scan: each scan op covers a span
+	// of 1..ScanLength keys drawn uniformly (the YCSB-E shape). 0 means
+	// the default (DefaultScanLength).
+	ScanLength int
 	// Preset selects a standard YCSB mix by name: "a" (50% reads),
-	// "b" (95% reads), or "c" (read-only). Empty means no preset; setting
-	// both Preset and ReadFraction is a configuration error.
+	// "b" (95% reads), "c" (read-only), or "e" (95% scans, 5% writes).
+	// Empty means no preset; setting both Preset and ReadFraction or
+	// ScanFraction is a configuration error.
 	Preset string
 	// Seed makes the workload reproducible.
 	Seed int64
@@ -100,14 +113,27 @@ func (c Config) Validate() error {
 	if c.ReadFraction != -1 && (c.ReadFraction < 0 || c.ReadFraction > 1) {
 		return fmt.Errorf("workload: ReadFraction must be in [0,1] or -1 (disabled), got %g", c.ReadFraction)
 	}
+	if c.ScanFraction != -1 && (c.ScanFraction < 0 || c.ScanFraction > 1) {
+		return fmt.Errorf("workload: ScanFraction must be in [0,1] or -1 (disabled), got %g", c.ScanFraction)
+	}
+	if c.ReadFraction > 0 && c.ScanFraction > 0 && c.ReadFraction+c.ScanFraction > 1 {
+		return fmt.Errorf("workload: ReadFraction %g + ScanFraction %g exceeds 1", c.ReadFraction, c.ScanFraction)
+	}
+	if c.ScanLength < 0 {
+		return fmt.Errorf("workload: ScanLength must be non-negative, got %d", c.ScanLength)
+	}
 	switch c.Preset {
-	case "", "a", "b", "c":
+	case "", "a", "b", "c", "e":
 	default:
-		return fmt.Errorf("workload: unknown preset %q (want a, b, or c)", c.Preset)
+		return fmt.Errorf("workload: unknown preset %q (want a, b, c, or e)", c.Preset)
 	}
 	if c.Preset != "" && c.ReadFraction != 0 {
 		return fmt.Errorf("workload: Preset %q conflicts with explicit ReadFraction %g; set one",
 			c.Preset, c.ReadFraction)
+	}
+	if c.Preset != "" && c.ScanFraction != 0 {
+		return fmt.Errorf("workload: Preset %q conflicts with explicit ScanFraction %g; set one",
+			c.Preset, c.ScanFraction)
 	}
 	return nil
 }
@@ -129,6 +155,30 @@ func (c Config) readFraction() float64 {
 	return c.ReadFraction
 }
 
+// scanFraction resolves the effective scan fraction from the preset and
+// the explicit knob (0 = default = no scans, -1 = disabled).
+func (c Config) scanFraction() float64 {
+	if c.Preset == "e" {
+		return 0.95
+	}
+	if c.ScanFraction <= 0 {
+		return 0
+	}
+	return c.ScanFraction
+}
+
+// DefaultScanLength is the maximum scan span when ScanLength is 0, the
+// standard YCSB-E max scan length.
+const DefaultScanLength = 100
+
+// scanLength resolves the effective maximum scan span.
+func (c Config) scanLength() int {
+	if c.ScanLength == 0 {
+		return DefaultScanLength
+	}
+	return c.ScanLength
+}
+
 // Generator draws keys from the configured distribution. Generators are
 // not safe for concurrent use; create one per client goroutine.
 type Generator interface {
@@ -143,6 +193,8 @@ type Workload struct {
 	rnd      *rand.Rand
 	fill     byte
 	readFrac float64
+	scanFrac float64
+	scanLen  int
 }
 
 // New creates a Workload for cfg. Each Workload owns an independent
@@ -164,24 +216,45 @@ func New(cfg Config, salt int64) (*Workload, error) {
 		}
 		gen = NewZipfian(rnd, cfg.Records, theta)
 	}
-	return &Workload{cfg: cfg, gen: gen, rnd: rnd, fill: byte(salt), readFrac: cfg.readFraction()}, nil
+	return &Workload{
+		cfg: cfg, gen: gen, rnd: rnd, fill: byte(salt),
+		readFrac: cfg.readFraction(), scanFrac: cfg.scanFraction(), scanLen: cfg.scanLength(),
+	}, nil
 }
 
 // ReadFraction returns the effective read mix the workload runs with,
 // after preset resolution.
 func (w *Workload) ReadFraction() float64 { return w.readFrac }
 
+// ScanFraction returns the effective scan mix the workload runs with,
+// after preset resolution.
+func (w *Workload) ScanFraction() float64 { return w.scanFrac }
+
 // NextTransaction builds the next transaction for the client: read-only
-// with probability ReadFraction, write-only otherwise (the YCSB txn-level
-// mix). With a zero read fraction the stream — including every byte of
-// every value — is identical to the pre-read workload: the read/write coin
-// is only flipped when reads are configured, so it perturbs no draws.
+// with probability ReadFraction, scan-only with probability ScanFraction,
+// write-only otherwise (the YCSB txn-level mix; scans are the YCSB-E
+// shape, a uniform span of 1..ScanLength keys). With zero read and scan
+// fractions the stream — including every byte of every value — is
+// identical to the pre-read workload: the mix coin is only flipped when
+// reads or scans are configured, so it perturbs no draws, and streams
+// with reads but no scans draw exactly as they did before scans existed.
 func (w *Workload) NextTransaction(client types.ClientID, clientSeq uint64) types.Transaction {
-	readTxn := w.readFrac > 0 && w.rnd.Float64() < w.readFrac
+	readTxn, scanTxn := false, false
+	if w.readFrac > 0 || w.scanFrac > 0 {
+		u := w.rnd.Float64()
+		readTxn = u < w.readFrac
+		scanTxn = !readTxn && u < w.readFrac+w.scanFrac
+	}
 	ops := make([]types.Op, w.cfg.OpsPerTxn)
 	for i := range ops {
 		if readTxn {
 			ops[i] = types.Op{Kind: types.OpRead, Key: w.gen.Next()}
+			continue
+		}
+		if scanTxn {
+			key := w.gen.Next()
+			span := uint64(1 + w.rnd.Intn(w.scanLen))
+			ops[i] = types.Op{Kind: types.OpScan, Key: key, EndKey: key + span - 1, Limit: uint32(span)}
 			continue
 		}
 		val := make([]byte, w.cfg.ValueSize)

@@ -194,6 +194,86 @@ func TestWriteStreamUnchangedByReadKnob(t *testing.T) {
 	}
 }
 
+func TestScanMixShape(t *testing.T) {
+	cfg := Default()
+	cfg.Records = 10_000
+	cfg.OpsPerTxn = 2
+	cfg.ReadFraction = 0.3
+	cfg.ScanFraction = 0.3
+	cfg.ScanLength = 25
+	w := mustNew(t, cfg, 1)
+	counts := map[types.OpKind]int{}
+	const txns = 3000
+	for i := 0; i < txns; i++ {
+		txn := w.NextTransaction(1, uint64(i+1))
+		kind := txn.Ops[0].Kind
+		counts[kind]++
+		for _, op := range txn.Ops {
+			if op.Kind != kind {
+				t.Fatal("transaction mixes op kinds; the mix is txn-level")
+			}
+			if op.Kind != types.OpScan {
+				if op.EndKey != 0 || op.Limit != 0 {
+					t.Fatalf("non-scan op carries scan bounds: %+v", op)
+				}
+				continue
+			}
+			if len(op.Value) != 0 {
+				t.Fatal("scan op carries a value")
+			}
+			span := op.EndKey - op.Key + 1
+			if op.EndKey < op.Key || span > uint64(cfg.ScanLength) || uint64(op.Limit) != span {
+				t.Fatalf("malformed scan bounds: key=%d end=%d limit=%d", op.Key, op.EndKey, op.Limit)
+			}
+		}
+	}
+	for kind, want := range map[types.OpKind]float64{types.OpRead: 0.3, types.OpScan: 0.3, types.OpWrite: 0.4} {
+		if frac := float64(counts[kind]) / txns; frac < want-0.08 || frac > want+0.08 {
+			t.Fatalf("kind %d fraction %.2f far from configured %.2f", kind, frac, want)
+		}
+	}
+
+	pc := Default()
+	pc.Preset = "e"
+	pw := mustNew(t, pc, 1)
+	if pw.ScanFraction() != 0.95 || pw.ReadFraction() != 0 {
+		t.Fatalf("preset e resolved to read=%g scan=%g, want 0/0.95", pw.ReadFraction(), pw.ScanFraction())
+	}
+	dc := Default()
+	dc.ScanFraction = -1
+	if got := mustNew(t, dc, 1).ScanFraction(); got != 0 {
+		t.Fatalf("ScanFraction=-1 resolved to %g, want 0", got)
+	}
+	bad := Default()
+	bad.ReadFraction = 0.7
+	bad.ScanFraction = 0.7
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ReadFraction+ScanFraction > 1 validated")
+	}
+}
+
+// TestReadStreamUnchangedByScanKnob: a read/write mix must generate the
+// exact same stream whether scans are default-off or explicitly disabled —
+// the scan arm shares the read mix coin, so adding the knob perturbs no
+// pre-scan stream.
+func TestReadStreamUnchangedByScanKnob(t *testing.T) {
+	cfg := Default()
+	cfg.ReadFraction = 0.5
+	base := mustNew(t, cfg, 4)
+	off := cfg
+	off.ScanFraction = -1
+	disabled := mustNew(t, off, 4)
+	for i := 0; i < 50; i++ {
+		a := base.NextRequest(1, uint64(i*3+1), 3)
+		b := disabled.NextRequest(1, uint64(i*3+1), 3)
+		da := types.BatchDigest([]types.ClientRequest{a})
+		db := types.BatchDigest([]types.ClientRequest{b})
+		if da != db {
+			t.Fatalf("request %d diverged between default and explicitly-disabled scans", i)
+		}
+	}
+}
+
 func TestInitTable(t *testing.T) {
 	cfg := Default()
 	cfg.Records = 1000
